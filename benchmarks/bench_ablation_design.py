@@ -1,0 +1,81 @@
+"""A1 — design-choice ablation (the paper's ref [5] experiment).
+
+One engine, one knob flipped at a time on the Berkeley VIA baseline:
+each column isolates one architectural decision's contribution to the
+headline micro-benchmarks.
+"""
+
+from repro.providers import get_spec
+from repro.providers.costs import DataPath, DispatchKind, TableLocation
+from repro.vibe import TransferConfig, run_bandwidth, run_latency
+
+BASE = get_spec("bvia")
+
+VARIANTS = {
+    "baseline": BASE,
+    "nic_tables": BASE.with_choices(table_location=TableLocation.NIC_MEMORY),
+    "direct_dispatch": BASE.with_choices(dispatch=DispatchKind.DIRECT),
+    "big_tlb": BASE.with_choices(nic_tlb_entries=1024),
+}
+
+
+def _profile(spec):
+    return {
+        "lat4": run_latency(spec, TransferConfig(size=4)).latency_us,
+        "lat4_32vi": run_latency(
+            spec, TransferConfig(size=4, extra_vis=31)).latency_us,
+        # pool of 16 x 7-page buffers = 112 pages: overflows the 32-entry
+        # baseline cache every lap, but fits a 1024-entry cache after the
+        # first lap (iters cover several laps)
+        "lat28k_0reuse": run_latency(spec, TransferConfig(
+            size=28672, buffer_pool=16, reuse_fraction=0.0, iters=64,
+        )).latency_us,
+        "bw28k": run_bandwidth(
+            spec, TransferConfig(size=28672, count=60)).bandwidth_mbs,
+    }
+
+
+def test_design_ablation(run_once, record):
+    profiles = run_once(
+        lambda: {name: _profile(spec) for name, spec in VARIANTS.items()}
+    )
+    cols = ["variant", "lat4", "lat4_32vi", "lat28k_0reuse", "bw28k"]
+    rows = [cols]
+    for name, prof in profiles.items():
+        rows.append([name] + [f"{prof[c]:.1f}" for c in cols[1:]])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(cols))]
+    text = "\n".join("  ".join(c.rjust(w) for c, w in zip(r, widths))
+                     for r in rows)
+    record("ablation_design", "Design-choice ablation (BVIA baseline)\n"
+           + text)
+
+    base = profiles["baseline"]
+    # NIC-resident tables remove the reuse penalty, nothing else
+    nic = profiles["nic_tables"]
+    assert nic["lat28k_0reuse"] < base["lat28k_0reuse"] - 50
+    assert abs(nic["lat4_32vi"] - base["lat4_32vi"]) < 2.0
+    # direct dispatch removes the multi-VI penalty, nothing else
+    dd = profiles["direct_dispatch"]
+    assert dd["lat4_32vi"] < base["lat4_32vi"] - 50
+    assert abs(dd["lat28k_0reuse"] - base["lat28k_0reuse"]) < 5.0
+    # a big TLB also absorbs the 48-buffer working set
+    assert profiles["big_tlb"]["lat28k_0reuse"] < base["lat28k_0reuse"]
+
+
+def test_staged_vs_zero_copy(run_once, record):
+    """Flipping only the data path reproduces the copy penalty."""
+    def sweep():
+        staged = BASE.with_choices(data_path=DataPath.STAGED)
+        return {
+            "zero_copy": run_latency(
+                BASE, TransferConfig(size=28672)).latency_us,
+            "staged": run_latency(
+                staged, TransferConfig(size=28672)).latency_us,
+        }
+
+    lats = run_once(sweep)
+    record("ablation_datapath",
+           f"28 KiB one-way latency: zero-copy {lats['zero_copy']:.0f} us, "
+           f"staged {lats['staged']:.0f} us")
+    # two 28 KiB copies at ~90 MB/s cost ~640 us extra
+    assert lats["staged"] > lats["zero_copy"] + 300

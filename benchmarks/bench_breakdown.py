@@ -1,0 +1,46 @@
+"""X4 — per-component latency breakdown (paper §3's "pinpoint the
+bottlenecks" use of the suite).
+
+Decomposes a traced 1 KiB and 16 KiB transfer into architectural
+phases for every provider and asserts the component attribution that
+explains Figs. 3–6.
+"""
+
+from repro.models import latency_breakdown, render_breakdowns
+
+from conftest import PROVIDERS
+
+ALL = PROVIDERS + ("iba",)
+
+
+def test_breakdown_small(run_once, record):
+    bds = run_once(lambda: [latency_breakdown(p, 1024) for p in ALL])
+    record("breakdown_1k", render_breakdowns(bds))
+    by = {b.provider: b for b in bds}
+    # M-VIA's costs live on the host (staging copies + kernel receive)
+    host_share = (by["mvia"].phases["staging"]
+                  + by["mvia"].phases["rx_kernel"]) / by["mvia"].total
+    assert host_share > 0.3
+    # BVIA's live on the NIC engine
+    nic_share = (by["bvia"].phases["dispatch"]
+                 + by["bvia"].phases["tx_dma"]
+                 + by["bvia"].phases["rx_processing"]) / by["bvia"].total
+    assert nic_share > 0.5
+    # cLAN/IBA are wire/DMA bound — protocol overhead is small
+    for p in ("clan", "iba"):
+        proto = (by[p].phases["post"] + by[p].phases["dispatch"]
+                 + by[p].phases["translation"] + by[p].phases["reap"])
+        assert proto < 0.25 * by[p].total
+
+
+def test_breakdown_large(run_once, record):
+    bds = run_once(lambda: [latency_breakdown(p, 16384) for p in ALL])
+    record("breakdown_16k", render_breakdowns(bds))
+    for b in bds:
+        # at 16 KiB data movement dominates every stack
+        movement = (b.phases["staging"] + b.phases["tx_dma"]
+                    + b.phases["wire"] + b.phases["rx_processing"]
+                    + b.phases["rx_kernel"])
+        assert movement > 0.8 * b.total
+        # and the telescoping invariant holds
+        assert abs(sum(b.phases.values()) - b.total) < 1e-6

@@ -1,0 +1,37 @@
+"""E7 — §4.3.3: impact of completion queues.
+
+LatCQ − Lat per provider: the paper reports a 2-5 µs overhead for
+Berkeley VIA and negligible impact for M-VIA and cLAN.
+"""
+
+from repro.vibe import cq_bandwidth, cq_overhead
+from repro.vibe.metrics import merge_tables
+
+from conftest import PROVIDERS
+
+SIZES = [4, 256, 1024, 4096]
+
+
+def test_cq_overhead(run_once, record):
+    results = run_once(lambda: [cq_overhead(p, SIZES) for p in PROVIDERS])
+    record("cq_overhead",
+           merge_tables(results, "overhead_us",
+                        "LatCQ - Lat: completion-queue overhead (us)"))
+    by = {r.provider: r for r in results}
+    for size in SIZES:
+        assert 2.0 <= by["bvia"].point(size).extra["overhead_us"] <= 5.0
+        assert by["mvia"].point(size).extra["overhead_us"] < 1.0
+        assert by["clan"].point(size).extra["overhead_us"] < 0.5
+
+
+def test_cq_bandwidth_unaffected(run_once, record):
+    results = run_once(lambda: [cq_bandwidth(p, [4096]) for p in PROVIDERS])
+    record("cq_bandwidth",
+           merge_tables(results, "bandwidth_mbs",
+                        "BwCQ: 4 KiB bandwidth via CQ completions (MB/s)"))
+    from repro.vibe import base_bandwidth
+
+    for r in results:
+        base = base_bandwidth(r.provider, [4096]).point(4096).bandwidth_mbs
+        # CQ notification is per message, off the streaming critical path
+        assert r.point(4096).bandwidth_mbs > 0.9 * base

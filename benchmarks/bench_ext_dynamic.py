@@ -1,0 +1,47 @@
+"""X6 — dynamic-runtime behaviour (paper §3.1's scalability motivation).
+
+Connection churn rates and open-loop tail latencies: the operational
+costs Table 1 prices per call, measured as sustained system behaviour.
+"""
+
+from repro.vibe import connection_churn, tail_latency_under_load
+from repro.vibe.metrics import BenchResult, merge_tables
+
+from conftest import PROVIDERS
+
+ALL = PROVIDERS + ("iba",)
+
+
+def test_connection_churn(run_once, record):
+    points = run_once(lambda: [connection_churn(p, cycles=8) for p in ALL])
+    result = BenchResult("connection_churn", "all", points)
+    record("ext_churn", result.table())
+    rates = {p.param: p.extra["cycles_per_s"] for p in points}
+    # Table 1 inverted: cheap connections win the lifecycle race
+    assert rates["bvia"] > rates["clan"] > rates["mvia"]
+    assert rates["iba"] > rates["clan"]
+    # and the absolute rates are Table-1-sized: ~150/s for M-VIA's
+    # 6.5 ms handshake, >1000/s for BVIA's 0.5 ms one
+    assert 100 < rates["mvia"] < 200
+    assert rates["bvia"] > 1000
+
+
+def test_tail_latency_under_load(run_once, record):
+    results = run_once(lambda: [
+        tail_latency_under_load(p, loads=(0.3, 0.7, 0.95), requests=100)
+        for p in ("mvia", "clan", "iba")
+    ])
+    text = [merge_tables(results, "p99_us",
+                         "p99 sojourn time (us) vs offered load"),
+            merge_tables(results, "p50_us",
+                         "p50 sojourn time (us) vs offered load")]
+    record("ext_tail_latency", "\n\n".join(text))
+    for r in results:
+        # higher load never improves the tail
+        p99s = [p.extra["p99_us"] for p in r.points]
+        assert p99s[0] <= p99s[-1]
+    by = {r.provider: r for r in results}
+    # the queueing tail is visible on the fast stacks at 0.95 load
+    for p in ("clan", "iba"):
+        pt = by[p].point(0.95)
+        assert pt.extra["p99_us"] > 1.5 * pt.extra["p50_us"]

@@ -1,0 +1,61 @@
+"""X3 — the InfiniBand preview (paper §5: "a similar micro-benchmark
+suite for the upcoming InfiniBand Architecture").
+
+Runs the unmodified VIBe suite against the IBA-style provider and
+compares it with the best VIA stack (cLAN).
+"""
+
+from repro.vibe import (
+    base_bandwidth,
+    base_latency,
+    client_server,
+    nondata_costs,
+    render_figure,
+    render_table1,
+)
+
+PAIR = ("clan", "iba")
+
+
+def test_iba_nondata(run_once, record):
+    results = run_once(lambda: {p: nondata_costs(p, repeats=3)
+                                for p in PAIR})
+    record("ext_iba_table1", render_table1(results))
+    # faster silicon across the board
+    for op in ("create_vi", "establish_connection", "create_cq"):
+        assert results["iba"].point(op).extra["cost_us"] \
+            < results["clan"].point(op).extra["cost_us"]
+
+
+def test_iba_base_transfer(run_once, record):
+    def sweep():
+        lat = [base_latency(p) for p in PAIR]
+        bw = [base_bandwidth(p) for p in PAIR]
+        return lat, bw
+
+    lat, bw = run_once(sweep)
+    record("ext_iba_latency",
+           render_figure(lat, "latency_us",
+                         "cLAN vs IBA: one-way latency (us)"))
+    record("ext_iba_bandwidth",
+           render_figure(bw, "bandwidth_mbs",
+                         "cLAN vs IBA: bandwidth (MB/s)"))
+    lby = {r.provider: r for r in lat}
+    bby = {r.provider: r for r in bw}
+    for size in (4, 1024, 28672):
+        assert lby["iba"].point(size).latency_us \
+            < lby["clan"].point(size).latency_us
+    # the HCA is PCI-bound, not link-bound: big but capped gain
+    assert 110 < bby["iba"].point(28672).bandwidth_mbs < 132
+
+
+def test_iba_client_server(run_once, record):
+    results = run_once(lambda: [client_server(p, 16, [16, 1024, 12288],
+                                              transactions=16)
+                                for p in PAIR])
+    record("ext_iba_clientserver",
+           render_figure(results, "tps",
+                         "cLAN vs IBA: transactions/s, request 16 B"))
+    by = {r.provider: r for r in results}
+    for reply in (16, 1024):
+        assert by["iba"].point(reply).tps > by["clan"].point(reply).tps

@@ -1,0 +1,50 @@
+"""X2 — multi-client server scalability (CQ + multi-VI combined).
+
+One server node, N client nodes, every receive completion merged
+through a single CQ — the deployment pattern the paper's §3.2.3/§3.2.4
+micro-benchmarks exist to predict.
+"""
+
+from repro.providers import get_spec
+from repro.providers.costs import DispatchKind
+from repro.vibe import multiclient_throughput, render_figure
+
+from conftest import PROVIDERS
+
+COUNTS = (1, 2, 4, 8)
+
+
+def test_multiclient_scalability(run_once, record):
+    results = run_once(lambda: [multiclient_throughput(p, COUNTS,
+                                                       transactions=8)
+                                for p in PROVIDERS])
+    record("ext_multiclient",
+           render_figure(results, "tps",
+                         "Aggregate transactions/s vs #client nodes "
+                         "(request 16 B, reply 1 KiB)"))
+    by = {r.provider: r for r in results}
+    for p in PROVIDERS:
+        # more clients never reduce aggregate throughput below 1 client...
+        assert by[p].point(8).tps > by[p].point(1).tps * 0.8
+        # ...but per-client throughput always falls (single server)
+        assert by[p].point(8).extra["tps_per_client"] \
+            < by[p].point(1).extra["tps_per_client"]
+    # cLAN serves the most in every configuration
+    for n in COUNTS:
+        assert by["clan"].point(n).tps >= by["bvia"].point(n).tps
+
+
+def test_polled_dispatch_tax_at_scale(run_once, record):
+    def sweep():
+        polled = multiclient_throughput("bvia", (8,), transactions=8)
+        direct = multiclient_throughput(
+            get_spec("bvia").with_choices(dispatch=DispatchKind.DIRECT),
+            (8,), transactions=8)
+        return polled, direct
+
+    polled, direct = run_once(sweep)
+    record("ext_multiclient_dispatch",
+           f"BVIA 8-client aggregate tps: polled dispatch "
+           f"{polled.point(8).tps:.0f}, direct dispatch "
+           f"{direct.point(8).tps:.0f}")
+    assert direct.point(8).tps > polled.point(8).tps * 1.1

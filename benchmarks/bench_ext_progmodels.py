@@ -1,0 +1,111 @@
+"""X1 — programming-model benchmarks (paper §5 future work).
+
+Message-passing (MPI-style), get/put and DSM micro-benchmarks over the
+repro.layers implementations — the suites the paper planned to add.
+"""
+
+from repro.vibe import (
+    dsm_fault_latency,
+    eager_threshold_sweep,
+    getput_latency,
+    msg_layer_bandwidth,
+    msg_layer_latency,
+    render_figure,
+)
+from repro.vibe.metrics import merge_tables
+
+from conftest import PROVIDERS
+
+ALL = PROVIDERS + ("iba",)
+SIZES = [16, 256, 1024, 4096, 16384]
+
+
+def test_msg_layer_latency(run_once, record):
+    results = run_once(lambda: [msg_layer_latency(p, SIZES, iters=10)
+                                for p in ALL])
+    record("ext_msg_latency",
+           render_figure(results, "latency_us",
+                         "MsgLat: message-layer one-way latency (us)"))
+    by = {r.provider: r for r in results}
+    # the raw-VIA ordering survives the layer
+    for size in (16, 1024):
+        assert by["clan"].point(size).latency_us \
+            < by["mvia"].point(size).latency_us
+        assert by["iba"].point(size).latency_us \
+            < by["clan"].point(size).latency_us
+
+
+def test_msg_layer_bandwidth(run_once, record):
+    def sweep():
+        sync = [msg_layer_bandwidth(p, [1024, 4096], count=40) for p in ALL]
+        pipelined = [msg_layer_bandwidth(p, [1024, 4096], count=40,
+                                         nonblocking=True) for p in ALL]
+        return sync, pipelined
+
+    sync, pipelined = run_once(sweep)
+    record("ext_msg_bandwidth",
+           render_figure(sync + pipelined, "bandwidth_mbs",
+                         "MsgBw: message-layer bandwidth (MB/s), "
+                         "synchronous send vs pipelined isend"))
+    # Synchronous sends cap streaming at one message per round trip;
+    # isend (a send-pipeline at the layer, cf. E13) recovers most of it.
+    sync_by = {r.provider: r for r in sync}
+    pipe_by = {r.provider.removesuffix("+isend"): r for r in pipelined}
+    for p in ALL:
+        assert pipe_by[p].point(4096).bandwidth_mbs \
+            > sync_by[p].point(4096).bandwidth_mbs * 1.3
+
+
+def test_eager_threshold(run_once, record):
+    results = run_once(lambda: [eager_threshold_sweep(p, size=8192,
+                                                      iters=10)
+                                for p in ("bvia", "clan")])
+    record("ext_eager_threshold",
+           merge_tables(results, "latency_us",
+                        "Eager-threshold sweep: 8 KiB message latency (us) "
+                        "as the threshold crosses the size"))
+    # on BVIA, whose registration is expensive (Fig. 1), eager wins at
+    # 8 KiB; the rendezvous handshake + RDMA only pays off above that
+    for r in results:
+        eager = [p for p in r.points if p.extra["protocol"] == "eager"]
+        rdv = [p for p in r.points if p.extra["protocol"] == "rendezvous"]
+        assert eager and rdv
+
+
+def test_getput(run_once, record):
+    results = run_once(lambda: [getput_latency(p, sizes=[256, 4096],
+                                               iters=8)
+                                for p in ("bvia", "clan", "iba")])
+    record("ext_getput",
+           merge_tables(results, "get_over_put",
+                        "Get/Put: emulated-get penalty (get/put latency "
+                        "ratio; <1 means one-sided RDMA read)"))
+    by = {r.provider: r for r in results}
+    # Emulated gets pay a request/reply round trip.  On unreliable BVIA
+    # a put completes locally, so the ratio is large; on
+    # reliable-delivery cLAN the put already waits for an ack (its own
+    # round trip), so the ratio shrinks toward 1 — but never below it.
+    assert by["bvia"].point(4096).extra["get_over_put"] > 1.5
+    assert by["clan"].point(4096).extra["get_over_put"] > 1.0
+    # IBA's true one-sided RDMA read beats even the put
+    assert by["iba"].point(4096).extra["get_over_put"] < 1.0
+
+
+def test_dsm_faults(run_once, record):
+    results = run_once(lambda: [dsm_fault_latency(p, page_sizes=(1024, 4096,
+                                                                 16384),
+                                                  faults=6)
+                                for p in ALL])
+    record("ext_dsm_faults",
+           merge_tables(results, "read_miss_us",
+                        "DSM read-miss (page fetch) latency vs page size "
+                        "(us)"))
+    by = {r.provider: r for r in results}
+    for p in ALL:
+        pts = by[p].points
+        # fault cost grows with the page size
+        assert pts[-1].extra["read_miss_us"] > pts[0].extra["read_miss_us"]
+    # the provider latency profile orders the DSM fault costs
+    assert by["iba"].point(4096).extra["read_miss_us"] \
+        < by["clan"].point(4096).extra["read_miss_us"] \
+        < by["mvia"].point(4096).extra["read_miss_us"]

@@ -1,0 +1,35 @@
+"""X7 — sockets-over-VIA throughput (the paper's ref [17] model).
+
+Byte-stream throughput vs chunk size on every provider: the per-chunk
+overhead / rendezvous-cliff trade-off a high-performance sockets layer
+tunes with VIBe's numbers.
+"""
+
+from repro.vibe import stream_throughput
+from repro.vibe.metrics import merge_tables
+
+from conftest import PROVIDERS
+
+ALL = PROVIDERS + ("iba",)
+
+
+def test_stream_throughput(run_once, record):
+    results = run_once(lambda: [stream_throughput(p, total_bytes=150_000)
+                                for p in ALL])
+    record("ext_stream",
+           merge_tables(results, "bandwidth_mbs",
+                        "Sockets-layer throughput (MB/s) vs chunk size "
+                        "(eager threshold 4096)"))
+    by = {r.provider: r for r in results}
+    for p in ALL:
+        res = by[p]
+        # per-chunk overhead: 512 B chunks lose to 4 KiB chunks
+        assert res.point(512).bandwidth_mbs < res.point(4096).bandwidth_mbs
+        # the rendezvous cliff: chunks beyond the eager threshold lose
+        # their pipelining and fall hard
+        assert res.point(16384).bandwidth_mbs \
+            < res.point(4096).bandwidth_mbs
+    # ordering: the fast stacks stream faster at the sweet spot
+    assert by["iba"].point(4096).bandwidth_mbs \
+        > by["clan"].point(4096).bandwidth_mbs \
+        > by["mvia"].point(4096).bandwidth_mbs

@@ -1,0 +1,93 @@
+"""X9 — placement on a two-tier fabric (the §3.1 scalability question
+at cluster scale).
+
+One leaf/spine cluster, two placements of the same 4-client workload:
+clients co-located with the server's leaf vs clients across the spine.
+The shared inter-switch link prices placement — the operational
+consequence of the latencies VIBe measures.
+"""
+
+from repro.providers import Testbed
+from repro.via import Descriptor
+from repro.vibe.metrics import BenchResult, Measurement
+
+
+def _workload(tb, client_nodes, server_node, transactions=10,
+              reply_size=4096):
+    done = {}
+
+    def server():
+        h = tb.open(server_node, "server")
+        sessions = []
+        for i, _c in enumerate(client_nodes):
+            vi = yield from h.create_vi()
+            req_buf = h.alloc(64)
+            rep_buf = h.alloc(reply_size)
+            req_mh = yield from h.register_mem(req_buf)
+            rep_mh = yield from h.register_mem(rep_buf)
+            req_segs = [h.segment(req_buf, req_mh, 0, 16)]
+            rep_segs = [h.segment(rep_buf, rep_mh, 0, reply_size)]
+            for _ in range(transactions):
+                yield from h.post_recv(vi, Descriptor.recv(req_segs))
+            req = yield from h.connect_wait(800 + i)
+            yield from h.accept(req, vi)
+            sessions.append((vi, rep_segs))
+
+        def serve(vi, rep_segs):
+            for _ in range(transactions):
+                yield from h.recv_wait(vi)
+                yield from h.post_send(vi, Descriptor.send(rep_segs))
+                yield from h.send_wait(vi)
+
+        procs = [tb.spawn(serve(vi, segs), "serve") for vi, segs in sessions]
+        for p in procs:
+            yield p
+        done["t"] = tb.now
+
+    def client(node, i):
+        h = tb.open(node, f"client{i}")
+        vi = yield from h.create_vi()
+        req_buf = h.alloc(64)
+        rep_buf = h.alloc(reply_size)
+        req_mh = yield from h.register_mem(req_buf)
+        rep_mh = yield from h.register_mem(rep_buf)
+        req_segs = [h.segment(req_buf, req_mh, 0, 16)]
+        rep_segs = [h.segment(rep_buf, rep_mh, 0, reply_size)]
+        yield from h.connect(vi, server_node, 800 + i)
+        for _ in range(transactions):
+            yield from h.post_recv(vi, Descriptor.recv(rep_segs))
+            yield from h.post_send(vi, Descriptor.send(req_segs))
+            yield from h.send_wait(vi)
+            yield from h.recv_wait(vi)
+
+    procs = [tb.spawn(server(), "server")]
+    for i, node in enumerate(client_nodes):
+        procs.append(tb.spawn(client(node, i), f"client{i}"))
+    for p in procs:
+        tb.run(p)
+    total = len(client_nodes) * transactions
+    return total / (done["t"] / 1e6)
+
+
+GROUPS = (("srv", "c0", "c1", "c2", "c3"),
+          ("d0", "d1", "d2", "d3", "spare"))
+
+
+def test_placement_prices_the_spine(run_once, record):
+    def sweep():
+        local_tb = Testbed("clan", leaf_groups=GROUPS)
+        local = _workload(local_tb, ["c0", "c1", "c2", "c3"], "srv")
+        remote_tb = Testbed("clan", leaf_groups=GROUPS)
+        remote = _workload(remote_tb, ["d0", "d1", "d2", "d3"], "srv")
+        return local, remote
+
+    local, remote = run_once(sweep)
+    result = BenchResult("topology_placement", "clan", [
+        Measurement(param="same-leaf", tps=local),
+        Measurement(param="cross-spine", tps=remote),
+    ])
+    record("ext_topology", result.table())
+    # crossing the spine costs real throughput (two extra serialisations
+    # per direction on the shared inter-switch links)
+    assert remote < local * 0.85
+    assert local > 0 and remote > 0

@@ -1,0 +1,20 @@
+"""E2 — Fig. 1: cost of memory registration vs region size."""
+
+from repro.vibe import memreg_sweep, render_memreg
+
+from conftest import PROVIDERS
+
+
+def test_fig1_registration(run_once, record):
+    results = run_once(lambda: {p: memreg_sweep(p) for p in PROVIDERS})
+    record("fig1_memreg", render_memreg(results, "register_us"))
+
+    # "memory registration is more expensive in BVIA for messages of up
+    # to 20 KB" — and the cost envelope stays near the paper's ~35 us
+    for size in (4, 1024, 4096, 12288):
+        bvia = results["bvia"].point(size).extra["register_us"]
+        assert bvia > results["mvia"].point(size).extra["register_us"]
+        assert bvia > results["clan"].point(size).extra["register_us"]
+    for p in PROVIDERS:
+        top = results[p].point(28672).extra["register_us"]
+        assert top < 40.0

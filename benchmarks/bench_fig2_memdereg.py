@@ -1,0 +1,23 @@
+"""E3 — Fig. 2: cost of memory deregistration vs region size."""
+
+from repro.vibe import memreg_sweep, render_memreg
+
+from conftest import PROVIDERS
+
+# Fig. 2's x-axis plus the "up to 32 MB" claim from the text
+SIZES = [4, 16, 64, 256, 1024, 4096, 12288, 20480, 28672,
+         1 << 20, 32 << 20]
+
+
+def test_fig2_deregistration(run_once, record):
+    results = run_once(lambda: {p: memreg_sweep(p, SIZES) for p in PROVIDERS})
+    record("fig2_memdereg", render_memreg(results, "deregister_us"))
+
+    for p in PROVIDERS:
+        for point in results[p].points:
+            # "much smaller than ... registration and less than 16us for
+            # memory region sizes of up to 32 MB"
+            assert point.extra["deregister_us"] < 16.0
+        small_reg = results[p].point(4096).extra["register_us"]
+        small_dereg = results[p].point(4096).extra["deregister_us"]
+        assert small_dereg < small_reg

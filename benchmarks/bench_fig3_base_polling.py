@@ -1,0 +1,53 @@
+"""E4 — Fig. 3: base latency and bandwidth with polling."""
+
+from repro.vibe import base_bandwidth, base_latency, render_figure
+
+from conftest import PROVIDERS
+
+
+def test_fig3_latency(run_once, record):
+    results = run_once(lambda: [base_latency(p) for p in PROVIDERS])
+    record("fig3_latency_polling",
+           render_figure(results, "latency_us",
+                         "Fig. 3: base one-way latency, polling (us)"))
+    by = {r.provider: r for r in results}
+    # "cLAN provides the lowest latency"
+    for size in (4, 256, 1024, 4096):
+        assert by["clan"].point(size).latency_us \
+            < min(by["mvia"].point(size).latency_us,
+                  by["bvia"].point(size).latency_us)
+    # "M-VIA has a lower latency for short messages. BVIA outperforms
+    # M-VIA for longer messages"
+    assert by["mvia"].point(4).latency_us < by["bvia"].point(4).latency_us
+    assert by["bvia"].point(28672).latency_us \
+        < by["mvia"].point(28672).latency_us
+
+
+def test_fig3_bandwidth(run_once, record):
+    results = run_once(lambda: [base_bandwidth(p) for p in PROVIDERS])
+    record("fig3_bandwidth_polling",
+           render_figure(results, "bandwidth_mbs",
+                         "Fig. 3: base streaming bandwidth, polling (MB/s)"))
+    by = {r.provider: r for r in results}
+    # "superiority of cLAN ... for a large range of message sizes.
+    # However, for large messages, BVIA outperforms both"
+    for size in (256, 1024, 4096):
+        assert by["clan"].point(size).bandwidth_mbs \
+            > max(by["mvia"].point(size).bandwidth_mbs,
+                  by["bvia"].point(size).bandwidth_mbs)
+    for size in (20480, 28672):
+        assert by["bvia"].point(size).bandwidth_mbs \
+            > max(by["clan"].point(size).bandwidth_mbs,
+                  by["mvia"].point(size).bandwidth_mbs)
+
+
+def test_fig3_cpu_is_100_percent_polling(run_once, record):
+    results = run_once(lambda: [base_latency(p, [4, 4096]) for p in PROVIDERS])
+    # "CPU utilization results show a 100% utilization when polling is
+    # used and are not shown" — we record them anyway
+    record("fig3_cpu_polling",
+           render_figure(results, "cpu_send",
+                         "Base sender CPU utilisation, polling (fraction)"))
+    for r in results:
+        for p in r.points:
+            assert abs(p.cpu_send - 1.0) < 1e-6

@@ -1,0 +1,36 @@
+"""E5 — Fig. 4: base latency and CPU utilisation with blocking."""
+
+from repro.via.constants import WaitMode
+from repro.vibe import base_latency, render_figure
+
+from conftest import PROVIDERS
+
+
+def test_fig4_blocking(run_once, record):
+    def sweep():
+        poll = [base_latency(p) for p in PROVIDERS]
+        block = [base_latency(p, mode=WaitMode.BLOCK) for p in PROVIDERS]
+        return poll, block
+
+    poll, block = run_once(sweep)
+    record("fig4_latency_blocking",
+           render_figure(block, "latency_us",
+                         "Fig. 4: base one-way latency, blocking (us)"))
+    record("fig4_cpu_blocking",
+           render_figure(block, "cpu_send",
+                         "Fig. 4: sender CPU utilisation, blocking"))
+
+    poll_by = {r.provider: r for r in poll}
+    block_by = {r.provider: r for r in block}
+    for p in PROVIDERS:
+        for size in (4, 1024, 28672):
+            # "latency results with blocking show a significant increase"
+            assert block_by[p].point(size).latency_us \
+                > poll_by[p].point(size).latency_us + 5.0
+            # blocking frees the CPU
+            assert block_by[p].point(size).cpu_send < 0.9
+    # "Since M-VIA emulates VIA in the host operating system, it has a
+    # higher CPU utilization for small messages"
+    assert block_by["mvia"].point(4).cpu_send \
+        > max(block_by["bvia"].point(4).cpu_send,
+              block_by["clan"].point(4).cpu_send)

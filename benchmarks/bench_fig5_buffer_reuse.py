@@ -1,0 +1,54 @@
+"""E6 — Fig. 5: latency and bandwidth vs send/receive buffer reuse
+(Berkeley VIA, with M-VIA / cLAN as flat controls)."""
+
+from repro.vibe import render_figure, reuse_bandwidth, reuse_latency
+
+
+def test_fig5_latency(run_once, record):
+    results = run_once(lambda: reuse_latency("bvia", iters=40))
+    record("fig5_latency_reuse",
+           render_figure(results, "latency_us",
+                         "Fig. 5: BVIA one-way latency vs buffer reuse (us)"))
+    by = {r.params["reuse"]: r for r in results}
+    for size in (4, 4096, 28672):
+        lats = [by[f].point(size).latency_us for f in (1.0, 0.75, 0.5, 0.25, 0.0)]
+        # monotone degradation as reuse drops
+        for a, b in zip(lats, lats[1:]):
+            assert b >= a - 1e-9
+        assert lats[-1] > lats[0]
+    # "more severe for large messages"
+    delta_small = by[0.0].point(4).latency_us - by[1.0].point(4).latency_us
+    delta_big = by[0.0].point(28672).latency_us \
+        - by[1.0].point(28672).latency_us
+    assert delta_big > 2 * delta_small
+
+
+def test_fig5_bandwidth(run_once, record):
+    results = run_once(
+        lambda: reuse_bandwidth("bvia", reuse_levels=(1.0, 0.5, 0.0),
+                                count=100)
+    )
+    record("fig5_bandwidth_reuse",
+           render_figure(results, "bandwidth_mbs",
+                         "Fig. 5: BVIA bandwidth vs buffer reuse (MB/s)"))
+    by = {r.params["reuse"]: r for r in results}
+    # "the percentage of buffer reuse also has a significant effect on
+    # the bandwidth"
+    for size in (4096, 28672):
+        assert by[0.0].point(size).bandwidth_mbs \
+            < by[1.0].point(size).bandwidth_mbs
+
+
+def test_fig5_controls_flat(run_once, record):
+    def sweep():
+        return {p: reuse_latency(p, sizes=[4096, 28672],
+                                 reuse_levels=(1.0, 0.0), iters=32)
+                for p in ("mvia", "clan")}
+
+    controls = run_once(sweep)
+    for p, results in controls.items():
+        l100 = {pt.param: pt.latency_us for pt in results[0].points}
+        l0 = {pt.param: pt.latency_us for pt in results[1].points}
+        for size in (4096, 28672):
+            # "results for M-VIA and cLAN do not change significantly"
+            assert abs(l0[size] - l100[size]) < 1.0, (p, size)

@@ -1,0 +1,42 @@
+"""E8 — Fig. 6: latency and bandwidth vs number of active VIs."""
+
+from repro.vibe import multivi_bandwidth, multivi_latency, render_figure
+
+from conftest import PROVIDERS
+
+
+def test_fig6_latency(run_once, record):
+    results = run_once(lambda: [multivi_latency(p, size=4)
+                                for p in PROVIDERS])
+    record("fig6_latency_multivi",
+           render_figure(results, "latency_us",
+                         "Fig. 6: one-way latency vs #active VIs, 4 B (us)"))
+    by = {r.provider: r for r in results}
+    # "with increase in the number of VIs, the latency of messages
+    # increases significantly" (BVIA firmware polls all VIs)
+    bvia = [p.latency_us for p in by["bvia"].points]
+    for a, b in zip(bvia, bvia[1:]):
+        assert b > a
+    assert by["bvia"].point(32).latency_us \
+        > by["bvia"].point(1).latency_us * 2
+    # "results for M-VIA and cLAN do not show any significant change"
+    for p in ("mvia", "clan"):
+        lats = [pt.latency_us for pt in by[p].points]
+        assert max(lats) - min(lats) < 1.0
+
+
+def test_fig6_bandwidth(run_once, record):
+    results = run_once(lambda: [multivi_bandwidth(p, size=4096,
+                                                  vi_counts=(1, 4, 16, 32))
+                                for p in PROVIDERS])
+    record("fig6_bandwidth_multivi",
+           render_figure(results, "bandwidth_mbs",
+                         "Fig. 6: bandwidth vs #active VIs, 4 KiB (MB/s)"))
+    by = {r.provider: r for r in results}
+    # "The impact of number of active VIs on bandwidth is also
+    # significant" (BVIA only)
+    assert by["bvia"].point(32).bandwidth_mbs \
+        < by["bvia"].point(1).bandwidth_mbs * 0.8
+    for p in ("mvia", "clan"):
+        bws = [pt.bandwidth_mbs for pt in by[p].points]
+        assert (max(bws) - min(bws)) / max(bws) < 0.02

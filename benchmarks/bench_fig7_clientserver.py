@@ -1,0 +1,48 @@
+"""E9 — Fig. 7: client/server transaction benchmark, request sizes
+16 B and 256 B, reply size swept."""
+
+from repro.vibe import client_server, render_figure
+
+from conftest import PROVIDERS
+
+
+def test_fig7_request16(run_once, record):
+    results = run_once(lambda: [client_server(p, 16, transactions=20)
+                                for p in PROVIDERS])
+    record("fig7_clientserver_req16",
+           render_figure(results, "tps",
+                         "Fig. 7: client/server, request=16 B "
+                         "(transactions/s)"))
+    by = {r.provider: r for r in results}
+    # "cLAN implementation outperforms BVIA and M-VIA"
+    for reply in (16, 1024, 4096):
+        assert by["clan"].point(reply).tps \
+            > max(by["mvia"].point(reply).tps, by["bvia"].point(reply).tps)
+    # cLAN small-reply rate is in the paper's ~50-60k band
+    assert 40_000 < by["clan"].point(16).tps < 70_000
+    # "M-VIA outperforms BVIA for short ... but is outperformed by BVIA
+    # for mid-size messages"
+    assert by["mvia"].point(16).tps > by["bvia"].point(16).tps
+    assert by["bvia"].point(4096).tps > by["mvia"].point(4096).tps
+
+
+def test_fig7_request256(run_once, record):
+    results = run_once(lambda: [client_server(p, 256, transactions=20)
+                                for p in PROVIDERS])
+    record("fig7_clientserver_req256",
+           render_figure(results, "tps",
+                         "Fig. 7: client/server, request=256 B "
+                         "(transactions/s)"))
+    by = {r.provider: r for r in results}
+    for reply in (16, 1024):
+        assert by["clan"].point(reply).tps \
+            > max(by["mvia"].point(reply).tps, by["bvia"].point(reply).tps)
+
+
+def test_fig7_bigger_requests_cost_tps(run_once, record):
+    def sweep():
+        return {req: client_server("clan", req, [1024], transactions=16)
+                for req in (16, 256)}
+
+    results = run_once(sweep)
+    assert results[256].point(1024).tps < results[16].point(1024).tps

@@ -1,0 +1,55 @@
+"""A2 — LogP sufficiency analysis (the paper's §1 argument).
+
+Fits LogGP to each provider's base curves, then scores its predictions
+on the component-level sweeps (buffer reuse, multiple VIs) where a
+three-parameter linear model has no mechanism to follow the data.
+"""
+
+from repro.models import evaluate_fit, extract
+from repro.vibe import multivi_latency, reuse_latency
+
+from conftest import PROVIDERS
+
+SIZES = [4, 256, 1024, 4096, 12288, 28672]
+
+
+def test_loggp_fit_and_insufficiency(run_once, record):
+    def sweep():
+        out = {}
+        for p in PROVIDERS:
+            fit = extract(p, sizes=SIZES)
+            out[p] = fit
+        return out
+
+    fits = run_once(sweep)
+    lines = ["LogGP parameters fitted from VIBe base curves",
+             f"{'provider':<10s}{'L+2o (us)':>10s}{'G (us/B)':>10s}"
+             f"{'g (us)':>8s}{'rms resid':>10s}"]
+    for p, fit in fits.items():
+        lines.append(f"{p:<10s}{fit.L + 2 * fit.o:>10.2f}{fit.G:>10.4f}"
+                     f"{fit.g:>8.2f}{fit.residual_us:>10.2f}")
+
+    # the base curves ARE nearly linear: good fit expected
+    for fit in fits.values():
+        assert fit.residual_us < 20.0
+        assert fit.G > 0
+
+    # but LogGP cannot see VIA components: the BVIA multi-VI sweep
+    # diverges from its single prediction
+    mv = multivi_latency("bvia", size=4, vi_counts=(1, 8, 32))
+    pred = fits["bvia"].predict_latency(4)
+    worst = max(abs(p.latency_us - pred) / p.latency_us for p in mv.points)
+    lines.append("")
+    lines.append(f"BVIA multi-VI sweep vs LogGP prediction ({pred:.1f} us): "
+                 f"worst relative error {worst:.0%}")
+    assert worst > 0.5
+
+    # and the buffer-reuse sweep at 0 % reuse sits far above the fit
+    ru = reuse_latency("bvia", sizes=[28672], reuse_levels=(0.0,),
+                       iters=32)[0]
+    ev = evaluate_fit(fits["bvia"], ru)
+    lines.append(f"BVIA 0%-reuse 28 KiB vs LogGP: relative error "
+                 f"{ev['mean_relative_error']:.0%}")
+    assert ev["mean_relative_error"] > 0.03
+
+    record("logp_fit", "\n".join(lines))

@@ -1,0 +1,130 @@
+"""S1 — performance of the simulation substrate itself.
+
+Unlike the paper-reproduction benches (deterministic single shots),
+these measure the *wall-clock* cost of the discrete-event kernel and
+the full VIA stack, with real pytest-benchmark rounds — the numbers
+that bound how large an experiment the repo can simulate.
+"""
+
+from repro.providers import Testbed
+from repro.sim import Resource, Simulator
+from repro.via import Descriptor
+
+from conftest import PROVIDERS
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw timeout events through the heap."""
+    N = 20_000
+
+    def run():
+        sim = Simulator()
+        for i in range(N):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.now
+
+    result = benchmark(run)
+    assert result == 96.0
+
+
+def test_kernel_process_switching(benchmark):
+    """Generator processes ping-ponging through events."""
+    N = 2_000
+
+    def run():
+        sim = Simulator()
+        res = Resource(sim, 1)
+
+        def worker():
+            for _ in range(5):
+                yield from res.acquire(1.0)
+
+        for _ in range(N // 5):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) == float(N)
+
+
+def test_via_message_rate(benchmark):
+    """Full-stack messages simulated per wall-second (cLAN, 4 B)."""
+    N = 300
+
+    def run():
+        tb = Testbed("clan")
+        done = {}
+
+        def client():
+            h = tb.open("node0", "c")
+            vi = yield from h.create_vi()
+            r = h.alloc(64)
+            mh = yield from h.register_mem(r)
+            yield from h.connect(vi, "node1", 3)
+            segs = [h.segment(r, mh, 0, 4)]
+            for _ in range(N):
+                yield from h.post_send(vi, Descriptor.send(segs))
+                yield from h.send_wait(vi)
+            done["ok"] = True
+
+        def server():
+            h = tb.open("node1", "s")
+            vi = yield from h.create_vi()
+            r = h.alloc(64)
+            mh = yield from h.register_mem(r)
+            segs = [h.segment(r, mh, 0, 4)]
+            for _ in range(N):
+                yield from h.post_recv(vi, Descriptor.recv(segs))
+            req = yield from h.connect_wait(3)
+            yield from h.accept(req, vi)
+            for _ in range(N):
+                yield from h.recv_wait(vi)
+
+        cp = tb.spawn(client())
+        sp = tb.spawn(server())
+        tb.run(cp)
+        tb.run(sp)
+        return done["ok"]
+
+    assert benchmark(run)
+
+
+def test_fragmented_transfer_rate(benchmark):
+    """A 28 KiB transfer on the 1500 B-MTU fabric (20 fragments)."""
+    def run():
+        tb = Testbed("mvia")
+        out = {}
+
+        def client():
+            h = tb.open("node0", "c")
+            vi = yield from h.create_vi()
+            r = h.alloc(28672)
+            mh = yield from h.register_mem(r)
+            yield from h.connect(vi, "node1", 3)
+            segs = [h.segment(r, mh, 0, 28672)]
+            for _ in range(10):
+                yield from h.post_send(vi, Descriptor.send(segs))
+                yield from h.send_wait(vi)
+
+        def server():
+            h = tb.open("node1", "s")
+            vi = yield from h.create_vi()
+            r = h.alloc(28672)
+            mh = yield from h.register_mem(r)
+            segs = [h.segment(r, mh, 0, 28672)]
+            for _ in range(10):
+                yield from h.post_recv(vi, Descriptor.recv(segs))
+            req = yield from h.connect_wait(3)
+            yield from h.accept(req, vi)
+            for _ in range(10):
+                yield from h.recv_wait(vi)
+            out["t"] = tb.now
+
+        cp = tb.spawn(client())
+        sp = tb.spawn(server())
+        tb.run(cp)
+        tb.run(sp)
+        return out["t"]
+
+    assert benchmark(run) > 0

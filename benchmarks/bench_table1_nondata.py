@@ -1,0 +1,44 @@
+"""E1 — Table 1: non-data-transfer micro-benchmarks.
+
+Regenerates the per-operation costs (VI create/destroy, connection
+establish/teardown, CQ create/destroy) for all three providers and
+asserts the paper's orderings.
+"""
+
+from repro.vibe import nondata_costs, render_table1
+
+from conftest import PROVIDERS
+
+
+def test_table1(run_once, record):
+    results = run_once(
+        lambda: {p: nondata_costs(p, repeats=5) for p in PROVIDERS}
+    )
+    record("table1_nondata", render_table1(results))
+
+    def cost(p, op):
+        return results[p].point(op).extra["cost_us"]
+
+    # paper Table 1 magnitudes (us): allow 15% slack on the totals that
+    # include wire time, exact match on pure host constants
+    paper = {
+        ("mvia", "create_vi"): 93, ("bvia", "create_vi"): 28,
+        ("clan", "create_vi"): 3,
+        ("mvia", "establish_connection"): 6465,
+        ("bvia", "establish_connection"): 496,
+        ("clan", "establish_connection"): 2454,
+        ("mvia", "create_cq"): 17, ("bvia", "create_cq"): 206,
+        ("clan", "create_cq"): 54,
+    }
+    for (p, op), expected in paper.items():
+        measured = cost(p, op)
+        assert abs(measured - expected) / expected < 0.15, (p, op, measured)
+
+    # orderings the paper calls out in §4.2
+    assert cost("mvia", "establish_connection") > \
+        cost("clan", "establish_connection") > \
+        cost("bvia", "establish_connection")
+    assert cost("bvia", "create_cq") > cost("clan", "create_cq") > \
+        cost("mvia", "create_cq")
+    assert cost("clan", "teardown_connection") > \
+        cost("bvia", "teardown_connection")

@@ -1,0 +1,36 @@
+"""E11 — §3.2.5: impact of asynchronous message handling (TR [6]).
+
+Measures delivery latency when the receive descriptor is posted late,
+exposing the unexpected-message policy of each stack.
+"""
+
+from repro.vibe import async_latency
+from repro.vibe.metrics import merge_tables
+
+from conftest import PROVIDERS
+
+DELAYS = (0.0, 25.0, 100.0, 400.0)
+
+
+def test_async_delivery(run_once, record):
+    results = run_once(lambda: [async_latency(p, delays=DELAYS)
+                                for p in PROVIDERS])
+    lines = [merge_tables(results, "latency_us",
+                          "AsyLat: delivery latency vs recv-post delay (us; "
+                          "'-' = message lost)")]
+    record("tr_async_latency", "\n".join(lines))
+    by = {r.provider: r for r in results}
+
+    # M-VIA kernel-buffers: always delivered; latency tracks the delay
+    for d in DELAYS:
+        assert by["mvia"].point(d).extra["delivered"]
+    assert by["mvia"].point(400.0).latency_us > 400.0
+
+    # BVIA drops once the message truly beats the descriptor
+    assert not by["bvia"].point(400.0).extra["delivered"]
+
+    # cLAN NAK/retry: delivered, at a retry-backoff premium
+    late = by["clan"].point(400.0)
+    assert late.extra["delivered"]
+    assert late.extra["retransmissions"] >= 1
+    assert late.latency_us > 400.0

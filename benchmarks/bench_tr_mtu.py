@@ -1,0 +1,42 @@
+"""E14 — §3.2.5: impact of maximum transfer size / MTU (TR [6])."""
+
+from repro.vibe import mtu_bandwidth, mtu_latency, render_figure
+
+from conftest import PROVIDERS
+
+MTUS = (256, 512, 1500, 4096, 16384)
+
+
+def test_mtu_bandwidth(run_once, record):
+    results = run_once(lambda: [mtu_bandwidth(p, size=16384, mtus=MTUS)
+                                for p in PROVIDERS])
+    record("tr_mtu_bandwidth",
+           render_figure(results, "bandwidth_mbs",
+                         "MtsBw: 16 KiB bandwidth vs wire MTU (MB/s)"))
+    for r in results:
+        # more fragments = more per-fragment overhead: tiny MTUs lose
+        assert r.point(256).bandwidth_mbs < r.point(16384).bandwidth_mbs
+        bws = [p.bandwidth_mbs for p in r.points]
+        # near-monotone growth (a provider already at line rate may
+        # wobble within a few percent once overheads are negligible)
+        for a, b in zip(bws, bws[1:]):
+            assert b >= a * 0.97
+
+
+def test_mtu_latency(run_once, record):
+    results = run_once(lambda: [mtu_latency(p, size=16384, mtus=MTUS)
+                                for p in PROVIDERS])
+    record("tr_mtu_latency",
+           render_figure(results, "latency_us",
+                         "MtsLat: 16 KiB one-way latency vs wire MTU (us)"))
+    # Latency is U-shaped in the MTU: tiny fragments pay per-fragment
+    # engine/framing overhead, while one giant fragment forfeits the
+    # DMA/wire pipelining of store-and-forward stages.  The optimum is
+    # interior — the fragmentation trade-off the MTS benchmark exists
+    # to expose.
+    for r in results:
+        lats = [p.latency_us for p in r.points]
+        best = min(lats)
+        assert lats[0] > best          # 256 B MTU: overhead-bound
+        assert lats[-1] > best         # 16 KiB MTU: no pipelining
+        assert lats.index(best) not in (0, len(lats) - 1)

@@ -1,0 +1,27 @@
+"""E13 — §3.2.5: impact of sender pipeline length (TR [6])."""
+
+from repro.vibe import pipeline_bandwidth, render_figure
+
+from conftest import PROVIDERS
+
+
+def test_pipeline_bandwidth(run_once, record):
+    results = run_once(lambda: [pipeline_bandwidth(p, size=4096)
+                                for p in PROVIDERS])
+    record("tr_pipeline_bandwidth",
+           render_figure(results, "bandwidth_mbs",
+                         "PLBw: 4 KiB bandwidth vs outstanding sends (MB/s)"))
+    by = {r.provider: r for r in results}
+    for p in PROVIDERS:
+        bws = [pt.bandwidth_mbs for pt in by[p].points]
+        # non-decreasing in window size, saturating
+        for a, b in zip(bws, bws[1:]):
+            assert b >= a - 1e-6
+    # reliable delivery (cLAN) needs the pipeline the most: completions
+    # cost a NIC round trip, so window=1 serialises it hardest
+    clan_gain = by["clan"].point(64).bandwidth_mbs \
+        / by["clan"].point(1).bandwidth_mbs
+    mvia_gain = by["mvia"].point(64).bandwidth_mbs \
+        / by["mvia"].point(1).bandwidth_mbs
+    assert clan_gain > mvia_gain
+    assert clan_gain > 1.5

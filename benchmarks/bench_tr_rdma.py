@@ -1,0 +1,47 @@
+"""E12 — §3.2.5: impact of RDMA operations (TR [6]).
+
+RDMA write (with immediate) vs the send/receive model, plus RDMA read
+on an RDMA-read-capable provider variant.
+"""
+
+from repro.vibe import (
+    base_latency,
+    rdma_read_latency,
+    rdma_write_latency,
+    render_figure,
+)
+
+from conftest import PROVIDERS
+
+SIZES = [4, 256, 4096, 28672]
+
+
+def test_rdma_write_vs_send(run_once, record):
+    def sweep():
+        writes = [rdma_write_latency(p, SIZES) for p in PROVIDERS]
+        sends = [base_latency(p, SIZES) for p in PROVIDERS]
+        return writes, sends
+
+    writes, sends = run_once(sweep)
+    record("tr_rdma_write",
+           render_figure(writes, "latency_us",
+                         "RdmaLat: RDMA-write ping-pong latency (us)"))
+    wby = {r.provider: r for r in writes}
+    sby = {r.provider: r for r in sends}
+    for p in PROVIDERS:
+        for size in SIZES:
+            w = wby[p].point(size).latency_us
+            s = sby[p].point(size).latency_us
+            # RDMA write skips receive-descriptor matching: never slower,
+            # and within the same regime as send/recv
+            assert w <= s * 1.05, (p, size, w, s)
+
+
+def test_rdma_read(run_once, record):
+    result = run_once(lambda: rdma_read_latency("clan", SIZES))
+    record("tr_rdma_read", result.table())
+    lats = [p.latency_us for p in result.points]
+    assert lats == sorted(lats)
+    # a read is a full round trip: slower than a one-way write
+    write = rdma_write_latency("clan", [4])
+    assert result.point(4).latency_us > write.point(4).latency_us

@@ -1,0 +1,53 @@
+"""E15 — §3.2.5: impact of reliability levels (TR [6])."""
+
+from repro.vibe import (
+    loss_goodput,
+    reliability_bandwidth,
+    reliability_latency,
+    render_figure,
+)
+
+from conftest import PROVIDERS
+
+
+def test_reliability_latency(run_once, record):
+    results = run_once(lambda: [reliability_latency(p, size=1024)
+                                for p in PROVIDERS])
+    record("tr_reliability_latency",
+           render_figure(results, "latency_us",
+                         "RelLat: 1 KiB one-way latency per level (us)"))
+    for r in results:
+        lats = {p.param: p.latency_us for p in r.points}
+        # the ping-pong's receive path dominates: levels stay within a
+        # few microseconds of each other (acks are off the critical path)
+        spread = max(lats.values()) - min(lats.values())
+        assert spread < 5.0
+
+
+def test_reliability_bandwidth(run_once, record):
+    results = run_once(lambda: [reliability_bandwidth(p, size=4096)
+                                for p in PROVIDERS])
+    record("tr_reliability_bandwidth",
+           render_figure(results, "bandwidth_mbs",
+                         "RelBw: 4 KiB bandwidth per level (MB/s)"))
+    for r in results:
+        bws = {p.param: p.bandwidth_mbs for p in r.points}
+        # with a deep window, acked completions cost little bandwidth
+        assert bws["reliable_delivery"] > 0.85 * bws["unreliable"]
+
+
+def test_loss_semantics(run_once, record):
+    results = run_once(lambda: [loss_goodput(p, count=50, loss_rate=0.03,
+                                             seed=7)
+                                for p in PROVIDERS])
+    text = []
+    for r in results:
+        text.append(r.table())
+    record("tr_loss_goodput", "\n\n".join(text))
+    for r in results:
+        by = {p.param: p.extra for p in r.points}
+        # unreliable loses messages; the reliable levels deliver all
+        assert by["unreliable"]["delivered"] < by["unreliable"]["sent"]
+        for level in ("reliable_delivery", "reliable_reception"):
+            assert by[level]["delivered"] == by[level]["sent"]
+            assert by[level]["retransmissions"] > 0

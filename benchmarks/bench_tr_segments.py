@@ -1,0 +1,35 @@
+"""E10 — §3.2.5: impact of multiple data segments (TR [6])."""
+
+from repro.vibe import render_figure, segments_bandwidth, segments_latency
+
+from conftest import PROVIDERS
+
+
+def test_segments_latency(run_once, record):
+    results = run_once(lambda: [segments_latency(p, size=4096)
+                                for p in PROVIDERS])
+    record("tr_segments_latency",
+           render_figure(results, "latency_us",
+                         "SegLat: 4 KiB one-way latency vs #segments (us)"))
+    for r in results:
+        lats = [p.latency_us for p in r.points]
+        # per-segment parsing cost: monotone growth
+        for a, b in zip(lats, lats[1:]):
+            assert b >= a
+        assert lats[-1] > lats[0]
+    by = {r.provider: r for r in results}
+    # the slow LANai firmware pays the most per extra segment
+    bvia_delta = by["bvia"].point(16).latency_us - by["bvia"].point(1).latency_us
+    clan_delta = by["clan"].point(16).latency_us - by["clan"].point(1).latency_us
+    assert bvia_delta > clan_delta
+
+
+def test_segments_bandwidth(run_once, record):
+    results = run_once(lambda: [segments_bandwidth(p, size=4096,
+                                                   segment_counts=(1, 8, 16))
+                                for p in PROVIDERS])
+    record("tr_segments_bandwidth",
+           render_figure(results, "bandwidth_mbs",
+                         "SegBw: 4 KiB bandwidth vs #segments (MB/s)"))
+    for r in results:
+        assert r.point(16).bandwidth_mbs <= r.point(1).bandwidth_mbs

@@ -1,0 +1,46 @@
+"""Benchmark-suite plumbing.
+
+Every bench function regenerates one of the paper's tables/figures:
+it runs the full simulated sweep under pytest-benchmark (timing the
+reproduction itself), asserts the paper's qualitative shape, and writes
+the series to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can be
+cross-checked against fresh numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+PROVIDERS = ("mvia", "bvia", "clan")
+
+
+@pytest.fixture
+def record():
+    """Write a rendered table to benchmarks/out/<name>.txt (and echo)."""
+
+    def _record(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a sweep exactly once under the benchmark timer.
+
+    The interesting cost is the simulation itself; repeated rounds
+    would re-measure identical deterministic work.
+    """
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Pinpoint each VIA implementation's bottleneck (paper §3).
+
+The paper argues that besides end-to-end numbers, VIBe should "identify
+how much time is spent in each of the components in the implementation,
+and pinpoint the bottlenecks that can be improved".  This example uses
+the event tracer to decompose a single message's one-way journey into
+architectural phases, then asks the engineering question: *if you could
+fix one thing in each stack, what should it be?*
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro.models import latency_breakdown, render_breakdowns
+
+PROVIDERS = ("mvia", "bvia", "clan", "iba")
+
+ADVICE = {
+    "post": "shrink the posting path (descriptor build)",
+    "staging": "remove the kernel staging copy (go zero-copy)",
+    "dispatch": "replace queue polling with direct doorbell dispatch",
+    "translation": "move translation tables onto the NIC",
+    "tx_dma": "widen/raise the I/O bus or overlap DMA with the wire",
+    "wire": "a faster link (the protocol is already out of the way)",
+    "rx_processing": "speed up the receive engine / placement path",
+    "reap": "cheapen completion checks",
+    "rx_kernel": "remove the receive-side kernel copy (go zero-copy)",
+}
+
+
+def main() -> None:
+    for size in (1024, 16384):
+        bds = [latency_breakdown(p, size) for p in PROVIDERS]
+        print(render_breakdowns(bds))
+        print()
+        for bd in bds:
+            bn = bd.bottleneck()
+            share = bd.phases[bn] / bd.total
+            print(f"  {bd.provider:>5s} @ {size:5d} B: bottleneck is "
+                  f"'{bn}' ({share:.0%} of {bd.total:.0f} us) -> "
+                  f"{ADVICE[bn]}")
+        print()
+
+    print("""Reading (matches the paper's §4 narrative):
+ - M-VIA's time lives on the HOST (staging + rx_kernel): its fix is the
+   zero-copy path the other stacks already have — which is exactly why
+   it loses Fig. 3 at large sizes despite winning small-message latency
+   against BVIA.
+ - BVIA's time lives on the NIC ENGINE (dispatch + slow LANai
+   processing): ref [5]'s design alternatives (direct dispatch,
+   NIC-resident tables) attack precisely these phases — see
+   examples/design_space_explorer.py for the knobs flipped live.
+ - cLAN and the IBA model are wire/DMA bound: protocol overhead is
+   already under a quarter of the total, so only faster links or buses
+   help — and indeed the IBA column shows the link upgrade paying off
+   until the PCI bus becomes the next wall.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare the three VIA implementations the paper evaluates.
+
+Regenerates compact versions of the headline results — Table 1 plus the
+Fig. 3 latency/bandwidth comparison — and prints the architectural
+reading the paper draws from them.
+
+Run:  python examples/compare_providers.py
+"""
+
+from repro.vibe import (
+    base_bandwidth,
+    base_latency,
+    nondata_costs,
+    render_figure,
+    render_table1,
+)
+
+PROVIDERS = ("mvia", "bvia", "clan")
+SIZES = [4, 64, 1024, 4096, 12288, 28672]
+
+
+def main() -> None:
+    print(render_table1({p: nondata_costs(p, repeats=3) for p in PROVIDERS}))
+    print()
+
+    lat = [base_latency(p, SIZES) for p in PROVIDERS]
+    print(render_figure(lat, "latency_us",
+                        "Base one-way latency, polling (us)"))
+    print()
+    bw = [base_bandwidth(p, SIZES) for p in PROVIDERS]
+    print(render_figure(bw, "bandwidth_mbs",
+                        "Base streaming bandwidth (MB/s)"))
+
+    by = {r.provider: r for r in lat}
+    print(f"""
+Reading the results (paper §4.3.1):
+ - cLAN (hardware VIA) has the lowest small-message latency
+   ({by['clan'].point(4).latency_us:.1f} us at 4 B) — doorbells are MMIO
+   stores and translation tables live on the NIC.
+ - M-VIA beats Berkeley VIA for short messages
+   ({by['mvia'].point(4).latency_us:.1f} vs
+   {by['bvia'].point(4).latency_us:.1f} us) but its kernel staging
+   copies make it the slowest for long ones.
+ - Berkeley VIA's zero-copy path wins at 28 KiB
+   ({by['bvia'].point(28672).latency_us:.0f} us one-way) and gives it
+   the best large-message bandwidth of the three.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Explore the VIA implementation design space (the paper's ref [5]).
+
+The simulated provider is one engine parameterised by design choices;
+this example flips one knob at a time on a Berkeley-VIA baseline and
+shows how each architectural decision moves the headline numbers —
+the experiment CANPC'00 ran with five separate implementations.
+
+Run:  python examples/design_space_explorer.py
+"""
+
+from repro.providers import get_spec
+from repro.providers.costs import DispatchKind, TableLocation
+from repro.vibe import TransferConfig, run_bandwidth, run_latency
+
+BASE = get_spec("bvia")
+
+VARIANTS = [
+    ("baseline (BVIA)", BASE),
+    ("+ tables in NIC memory",
+     BASE.with_choices(table_location=TableLocation.NIC_MEMORY)),
+    ("+ direct doorbell dispatch",
+     BASE.with_choices(dispatch=DispatchKind.DIRECT)),
+    ("+ both (cLAN-like NIC)",
+     BASE.with_choices(table_location=TableLocation.NIC_MEMORY,
+                       dispatch=DispatchKind.DIRECT)),
+    ("+ bigger translation cache (256 entries)",
+     BASE.with_choices(nic_tlb_entries=256)),
+]
+
+
+def main() -> None:
+    print("Design-choice ablation on the Berkeley VIA baseline")
+    print(f"{'variant':<42s} {'4B lat':>8s} {'28K lat*':>9s} {'16VIs':>8s}")
+    print(f"{'':42s} {'(us)':>8s} {'0% reuse':>9s} {'4B (us)':>8s}")
+    for name, spec in VARIANTS:
+        lat4 = run_latency(spec, TransferConfig(size=4)).latency_us
+        reuse = run_latency(spec, TransferConfig(
+            size=28672, buffer_pool=48, reuse_fraction=0.0, iters=32,
+        )).latency_us
+        multi = run_latency(spec, TransferConfig(size=4, extra_vis=15)).latency_us
+        print(f"{name:<42s} {lat4:8.1f} {reuse:9.1f} {multi:8.1f}")
+
+    print("""
+What the knobs do:
+ - NIC-resident tables kill the buffer-reuse penalty (the 28K/0% column
+   drops to the 100%-reuse figure) but leave everything else alone;
+ - direct dispatch removes the per-VI polling tax (16-VI column falls
+   back to the 1-VI latency);
+ - a bigger cache helps only while the working set fits — unlike moving
+   the whole table onto the NIC.
+This is the decomposition a raw ping-pong number cannot give you —
+the reason the paper proposes VIBe in the first place.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The paper's last sentence, executed: VIBe on InfiniBand.
+
+"We also plan to develop a similar micro-benchmark suite for the
+upcoming InfiniBand Architecture" (§5).  Because IBA kept VIA's
+concepts (queue pairs ↔ VIs, CQs, registration, doorbells), the
+*unmodified* suite runs against the IBA-style provider — this example
+does exactly that and reads off what the new fabric changes.
+
+Run:  python examples/infiniband_preview.py
+"""
+
+from repro.models import latency_breakdown
+from repro.vibe import (
+    base_bandwidth,
+    base_latency,
+    client_server,
+    nondata_costs,
+    render_figure,
+    render_table1,
+)
+
+PAIR = ("clan", "iba")
+SIZES = [4, 256, 4096, 28672]
+
+
+def main() -> None:
+    print(render_table1({p: nondata_costs(p, repeats=3) for p in PAIR}))
+    print()
+    lat = [base_latency(p, SIZES) for p in PAIR]
+    print(render_figure(lat, "latency_us",
+                        "One-way latency (us): best VIA vs first-gen IBA"))
+    print()
+    bw = [base_bandwidth(p, SIZES) for p in PAIR]
+    print(render_figure(bw, "bandwidth_mbs", "Bandwidth (MB/s)"))
+    print()
+    tps = [client_server(p, 16, [16, 1024], transactions=16) for p in PAIR]
+    print(render_figure(tps, "tps", "Client/server transactions/s"))
+
+    lby = {r.provider: r for r in lat}
+    bby = {r.provider: r for r in bw}
+    bd = latency_breakdown("iba", 28672)
+    dma_share = bd.phases["tx_dma"] / bd.total
+    print(f"""
+What the InfiniBand generation changes (and what it doesn't):
+ - small messages: {lby['clan'].point(4).latency_us:.1f} -> """
+          f"""{lby['iba'].point(4).latency_us:.1f} us — faster silicon,
+   same architecture (the suite needed zero changes to measure it);
+ - large messages: bandwidth only reaches """
+          f"""{bby['iba'].point(28672).bandwidth_mbs:.0f} MB/s on a
+   2.5 Gb/s (~235 MB/s) link, because the 32-bit/33 MHz PCI bus is now
+   the bottleneck — the traced breakdown puts {dma_share:.0%} of a
+   28 KiB transfer in tx_dma;
+ - plus capabilities VIA hardware never shipped: RDMA read (see the
+   get/put benchmarks) and reliable-connection service by default.
+The lesson VIBe was built to teach carries over: end-to-end numbers
+say 'faster'; the component benchmarks say *where* and *what's next*
+(here: the I/O bus).""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A message-passing layer over VIA, tuned with VIBe's insights.
+
+Demonstrates the programming-model layer the paper's §3.3 motivates:
+an MPI-flavoured endpoint with eager/rendezvous protocols.  Two design
+decisions the micro-benchmarks inform are measured live:
+
+1. the **eager threshold** — below it messages are copied, above it
+   they go rendezvous (RTS/CTS + RDMA write).  The right crossover
+   follows from the copy-vs-registration cost balance VIBe measures;
+2. **registration caching** — re-registering the rendezvous buffer per
+   message pays Fig. 1's cost every time.
+
+Run:  python examples/mpi_style_messaging.py
+"""
+
+from repro.layers import MsgEndpoint
+from repro.providers import Testbed
+
+
+def ping_pong(provider: str, size: int, eager_size: int, iters: int = 16,
+              reg_cache: bool = True) -> float:
+    """One-way latency of the message layer at one configuration."""
+    tb = Testbed(provider)
+    out = {}
+    payload = bytes(i % 256 for i in range(size))
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=eager_size, reg_cache=reg_cache)
+        yield from msg.setup()
+        yield from h.connect(vi, "node1", 21)
+        # warm up one round (fills caches), then time
+        yield from msg.send(1, payload)
+        yield from msg.recv(2)
+        t0 = tb.now
+        for _ in range(iters):
+            yield from msg.send(1, payload)
+            yield from msg.recv(2)
+        out["lat"] = (tb.now - t0) / (2 * iters)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=eager_size, reg_cache=reg_cache)
+        yield from msg.setup()
+        req = yield from h.connect_wait(21)
+        yield from h.accept(req, vi)
+        for _ in range(iters + 1):
+            _tag, data = yield from msg.recv(1)
+            assert data == payload
+            yield from msg.send(2, data)
+
+    cproc = tb.spawn(client())
+    tb.spawn(server())
+    tb.run(cproc)
+    return out["lat"]
+
+
+def main() -> None:
+    print("Eager-threshold study on Berkeley VIA (8 KiB messages):")
+    print("  threshold   protocol      one-way latency")
+    for eager in (512, 4096, 16384):
+        lat = ping_pong("bvia", size=8192, eager_size=eager)
+        proto = "eager (copies)" if eager >= 8192 else "rendezvous"
+        print(f"  {eager:8d}   {proto:<14s}  {lat:8.1f} us")
+
+    print("\nRegistration caching for rendezvous buffers (16 KiB, BVIA):")
+    for cached in (True, False):
+        lat = ping_pong("bvia", size=16384, eager_size=1024,
+                        reg_cache=cached)
+        label = "cached registrations " if cached else "register every time"
+        print(f"  {label:24s} {lat:8.1f} us")
+
+    print("\nThe gap is Fig. 1's registration cost paid per message — the"
+          "\ninsight VIBe exists to hand to layer developers (paper §1).")
+
+
+if __name__ == "__main__":
+    main()

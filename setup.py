@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim exists so legacy editable
+# installs work on toolchains without the `wheel` package.
+setup()

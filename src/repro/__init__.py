@@ -1,0 +1,27 @@
+"""repro — a reproduction of the VIBe micro-benchmark suite (IPPS 2001).
+
+The package implements, from scratch:
+
+- :mod:`repro.sim` — a deterministic discrete-event simulation kernel;
+- :mod:`repro.hw` — host/NIC/fabric hardware models;
+- :mod:`repro.via` — the Virtual Interface Architecture spec layer;
+- :mod:`repro.providers` — three simulated VIA implementations
+  (M-VIA on Gigabit Ethernet, Berkeley VIA on Myrinet, cLAN on
+  Giganet) plus a configurable design-choice engine;
+- :mod:`repro.vibe` — the VIBe micro-benchmark suite itself;
+- :mod:`repro.layers` — programming-model layers over VIA (messages,
+  streams, get/put, RPC);
+- :mod:`repro.models` — LogP parameter extraction and analysis.
+
+Quick start::
+
+    from repro.vibe import base_latency
+    result = base_latency("clan", sizes=[4, 1024])
+    print(result.table())
+"""
+
+__version__ = "1.0.0"
+
+from .providers import Testbed  # noqa: F401  (primary entry point)
+
+__all__ = ["Testbed", "__version__"]

@@ -1,0 +1,282 @@
+"""Command-line entry point: ``vibe <command>``.
+
+Regenerates the paper's tables and figures as text on stdout::
+
+    vibe table1                      # non-data-transfer costs
+    vibe figure 1                    # memory registration sweep
+    vibe figure 3 --sizes 4,1024     # base latency/bandwidth, polling
+    vibe run base_latency --provider clan
+    vibe list                        # all suite benchmark names
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .vibe import (
+    SUITE,
+    ascii_plot,
+    base_bandwidth,
+    base_latency,
+    client_server,
+    memreg_sweep,
+    multivi_bandwidth,
+    multivi_latency,
+    nondata_costs,
+    render_figure,
+    render_memreg,
+    render_table1,
+    reuse_bandwidth,
+    reuse_latency,
+    run_benchmark,
+)
+from .via.constants import WaitMode
+
+PROVIDERS = ("mvia", "bvia", "clan")
+
+
+def _sizes(arg: str | None) -> list[int] | None:
+    if not arg:
+        return None
+    return [int(x) for x in arg.split(",")]
+
+
+def _render(args, results, metric, title):
+    if getattr(args, "plot", False):
+        return ascii_plot(results, metric, title)
+    return render_figure(results, metric, title)
+
+
+def cmd_table1(args) -> None:
+    results = {p: nondata_costs(p) for p in args.providers}
+    print(render_table1(results))
+
+
+def cmd_figure(args) -> None:
+    sizes = _sizes(args.sizes)
+    n = args.number
+    if n == 1:
+        results = {p: memreg_sweep(p, sizes) for p in args.providers}
+        print(render_memreg(results, "register_us"))
+    elif n == 2:
+        results = {p: memreg_sweep(p, sizes) for p in args.providers}
+        print(render_memreg(results, "deregister_us"))
+    elif n == 3:
+        lat = [base_latency(p, sizes) for p in args.providers]
+        print(_render(args, lat, "latency_us",
+                      "Fig. 3: base latency, polling (us)"))
+        print()
+        bw = [base_bandwidth(p, sizes) for p in args.providers]
+        print(_render(args, bw, "bandwidth_mbs",
+                      "Fig. 3: base bandwidth, polling (MB/s)"))
+    elif n == 4:
+        lat = [base_latency(p, sizes, mode=WaitMode.BLOCK)
+               for p in args.providers]
+        print(render_figure(lat, "latency_us",
+                            "Fig. 4: base latency, blocking (us)"))
+        print()
+        print(render_figure(lat, "cpu_send",
+                            "Fig. 4: sender CPU utilisation, blocking"))
+    elif n == 5:
+        lat = reuse_latency("bvia", sizes)
+        print(render_figure(lat, "latency_us",
+                            "Fig. 5: BVIA latency vs buffer reuse (us)"))
+        print()
+        bw = reuse_bandwidth("bvia", sizes)
+        print(render_figure(bw, "bandwidth_mbs",
+                            "Fig. 5: BVIA bandwidth vs buffer reuse (MB/s)"))
+    elif n == 6:
+        lat = [multivi_latency(p) for p in args.providers]
+        print(render_figure(lat, "latency_us",
+                            "Fig. 6: latency vs #VIs, 4 B messages (us)"))
+        print()
+        bw = [multivi_bandwidth(p) for p in args.providers]
+        print(render_figure(bw, "bandwidth_mbs",
+                            "Fig. 6: bandwidth vs #VIs, 4 KiB messages"))
+    elif n == 7:
+        for req in (16, 256):
+            res = [client_server(p, req, sizes) for p in args.providers]
+            print(render_figure(
+                res, "tps",
+                f"Fig. 7: client/server, request={req} B (transactions/s)"))
+            print()
+    else:
+        sys.exit(f"no figure {n}; the paper has figures 1-7")
+
+
+def cmd_run(args) -> None:
+    provider = args.provider
+    if args.provider_spec:
+        from .providers.custom import load_spec
+
+        provider = load_spec(args.provider_spec)
+    result = run_benchmark(args.benchmark, provider)
+    if isinstance(result, list):
+        for r in result:
+            print(r.table())
+            print()
+    else:
+        print(result.table())
+
+
+def cmd_list(_args) -> None:
+    for name in SUITE:
+        print(name)
+
+
+def cmd_breakdown(args) -> None:
+    from .models.breakdown import latency_breakdown, render_breakdowns
+
+    if args.compare:
+        bds = [latency_breakdown(p, args.size) for p in args.providers]
+        print(render_breakdowns(bds))
+    else:
+        bd = latency_breakdown(args.provider, args.size)
+        print(bd.table())
+        print(f"\nbottleneck: {bd.bottleneck()}")
+
+
+def cmd_trace(args) -> None:
+    from .models.breakdown import latency_breakdown
+    from .providers import Testbed
+    from .sim.trace import Tracer
+    from .via import Descriptor
+
+    tb = Testbed(args.provider)
+    tb.sim.tracer = Tracer()
+    out = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(args.size, 4))
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 3)
+        segs = [h.segment(region, mh, 0, args.size)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(args.size, 4))
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, args.size)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(3)
+        yield from h.accept(req, vi)
+        yield from h.recv_wait(vi)
+
+    cproc = tb.spawn(client())
+    sproc = tb.spawn(server())
+    tb.run(cproc)
+    tb.run(sproc)
+    print(tb.sim.tracer.timeline())
+
+
+def cmd_save(args) -> None:
+    from .vibe.repository import ResultRepository
+
+    repo = ResultRepository(args.repo)
+    names = args.benchmarks or ["nondata", "memreg", "base_latency",
+                                "base_bandwidth", "client_server"]
+    for name in names:
+        result = run_benchmark(name, args.provider)
+        results = result if isinstance(result, list) else [result]
+        for r in results:
+            path = repo.save(args.platform, r)
+            print(f"saved {path}")
+
+
+def cmd_report(args) -> None:
+    from .vibe.reportgen import generate_report
+
+    path = generate_report(args.out, providers=tuple(args.providers),
+                           quick=args.quick)
+    print(f"report written to {path}")
+
+
+def cmd_compare(args) -> None:
+    from .vibe.repository import ResultRepository
+
+    repo = ResultRepository(args.repo)
+    print(repo.compare(args.benchmark, args.metric, args.platforms))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vibe",
+        description="VIBe micro-benchmark suite over simulated VIA providers",
+    )
+    parser.add_argument("--providers", default=",".join(PROVIDERS),
+                        type=lambda s: s.split(","),
+                        help="comma-separated provider list")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: non-data-transfer costs")
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int)
+    fig.add_argument("--sizes", help="comma-separated message sizes")
+    fig.add_argument("--plot", action="store_true",
+                     help="ASCII plot instead of a table")
+
+    run = sub.add_parser("run", help="run one suite benchmark")
+    run.add_argument("benchmark", choices=sorted(SUITE))
+    run.add_argument("--provider", default="clan")
+    run.add_argument("--provider-spec", metavar="JSON",
+                     help="run against a user-defined provider spec file")
+
+    sub.add_parser("list", help="list benchmark names")
+
+    bd = sub.add_parser("breakdown",
+                        help="per-component latency breakdown (paper §3)")
+    bd.add_argument("--provider", default="clan")
+    bd.add_argument("--size", type=int, default=1024)
+    bd.add_argument("--compare", action="store_true",
+                    help="all providers side by side")
+
+    tr = sub.add_parser("trace", help="dump one message's event timeline")
+    tr.add_argument("--provider", default="clan")
+    tr.add_argument("--size", type=int, default=64)
+
+    save = sub.add_parser("save",
+                          help="store results in a repository (paper §5)")
+    save.add_argument("--repo", required=True)
+    save.add_argument("--platform", required=True)
+    save.add_argument("--provider", default="clan")
+    save.add_argument("benchmarks", nargs="*", metavar="benchmark")
+
+    rep = sub.add_parser("report",
+                         help="regenerate the whole paper into a directory")
+    rep.add_argument("--out", default="report")
+    rep.add_argument("--quick", action="store_true",
+                     help="reduced sweeps (seconds instead of a minute)")
+
+    cmp_ = sub.add_parser("compare", help="compare stored platform results")
+    cmp_.add_argument("--repo", required=True)
+    cmp_.add_argument("benchmark")
+    cmp_.add_argument("metric")
+    cmp_.add_argument("--platforms", type=lambda s: s.split(","),
+                      default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    {
+        "table1": cmd_table1,
+        "figure": cmd_figure,
+        "run": cmd_run,
+        "list": cmd_list,
+        "breakdown": cmd_breakdown,
+        "trace": cmd_trace,
+        "save": cmd_save,
+        "report": cmd_report,
+        "compare": cmd_compare,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,149 @@
+"""Wire model: packets, unidirectional channels, full-duplex links.
+
+A :class:`Channel` models one direction of a physical link: packets are
+*serialised* (the channel is held for ``header + size`` at line rate),
+then *propagate* (fixed delay, pipelined — the channel frees as soon as
+the last bit leaves, so back-to-back packets stream at line rate, which
+is what makes the bandwidth benchmarks saturate correctly).
+
+Loss injection (for the unreliable-delivery reliability level) drops a
+packet after serialisation, exactly where a SAN would lose it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from ..sim import Event, Resource, Simulator
+
+__all__ = ["Packet", "Channel", "Link", "DuplexPort"]
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One wire packet (a fragment of a VIA message or a control frame).
+
+    ``size`` is the payload byte count on the wire; header overhead is a
+    channel property.  ``payload`` carries protocol metadata and real
+    data bytes; the wire does not interpret it.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    size: int
+    payload: Any = None
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("packet size must be >= 0")
+
+
+class Channel:
+    """One direction of a link: serialise at line rate, then propagate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        prop_delay: float,
+        header_bytes: int = 0,
+        per_packet_cost: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: random.Random | None = None,
+        name: str = "channel",
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive (bytes/us)")
+        if prop_delay < 0 or per_packet_cost < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.prop_delay = prop_delay
+        self.header_bytes = header_bytes
+        self.per_packet_cost = per_packet_cost
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self.name = name
+        self.sink: Callable[[Packet], None] | None = None
+        self._line = Resource(sim, capacity=1)
+        self.sent_packets = 0
+        self.dropped_packets = 0
+        self.sent_bytes = 0
+
+    def serialization_time(self, packet: Packet) -> float:
+        return self.per_packet_cost + (packet.size + self.header_bytes) / self.bandwidth
+
+    def send(self, packet: Packet) -> Generator[Event, Any, None]:
+        """Process fragment: occupy the line while the packet serialises.
+
+        Returns once the last bit is on the wire; delivery to the sink
+        happens ``prop_delay`` later without holding the line.
+        """
+        if self.sink is None:
+            raise RuntimeError(f"{self.name}: no sink attached")
+        yield self._line.request()
+        try:
+            yield self.sim.timeout(self.serialization_time(packet))
+        finally:
+            self._line.release()
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        self.sim.trace("wire", "serialized", self.name, pkt=packet.pkt_id,
+                       kind=packet.kind, size=packet.size)
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.dropped_packets += 1
+            self.sim.trace("wire", "dropped", self.name, pkt=packet.pkt_id)
+            return
+        deliver = self.sim.timeout(self.prop_delay, packet)
+        deliver.callbacks.append(self._deliver)
+
+    def _deliver(self, event: Event) -> None:
+        assert self.sink is not None
+        self.sim.trace("wire", "delivered", self.name,
+                       pkt=event.value.pkt_id)
+        self.sink(event.value)
+
+
+class Link:
+    """A full-duplex link: an independent channel per direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        prop_delay: float,
+        header_bytes: int = 0,
+        per_packet_cost: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        name: str = "link",
+    ) -> None:
+        self.name = name
+        self.forward = Channel(
+            sim, bandwidth, prop_delay, header_bytes, per_packet_cost,
+            loss_rate, random.Random(seed * 2 + 1), f"{name}.fwd",
+        )
+        self.backward = Channel(
+            sim, bandwidth, prop_delay, header_bytes, per_packet_cost,
+            loss_rate, random.Random(seed * 2 + 2), f"{name}.bwd",
+        )
+
+
+class DuplexPort:
+    """A NIC's attachment point: one outgoing and one incoming channel."""
+
+    def __init__(self, out_channel: Channel, name: str = "port") -> None:
+        self.out_channel = out_channel
+        self.name = name
+
+    def send(self, packet: Packet) -> Generator[Event, Any, None]:
+        yield from self.out_channel.send(packet)

@@ -1,0 +1,188 @@
+"""Fabric: nodes wired through a switch, with per-network presets.
+
+The paper's testbed ran the same Pentium-II hosts on three fabrics:
+Myrinet (LANai 4.3) for Berkeley VIA, Packet Engines GNIC-II Gigabit
+Ethernet for M-VIA, and Giganet cLAN5000 for cLAN VIA.  The presets
+below encode the fabric-level differences (line rate, MTU, framing
+overhead, switch discipline); provider-level differences live in
+``repro.providers``.
+
+Switch model: every packet traverses sender-uplink -> switch ->
+receiver-downlink.  The uplink serialises at line rate (this is the
+bandwidth bottleneck).  Store-and-forward fabrics (Ethernet) serialise
+again on the downlink, which adds one frame time to latency — visible in
+the paper's GigE latency numbers.  Cut-through fabrics (Myrinet,
+Giganet) forward with only a small fixed switch latency; the downlink is
+modelled at an effectively infinite rate so no second serialisation is
+charged (wormhole backpressure across multiple contending senders is out
+of scope for the two-node VIBe testbed and documented as such).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim import Simulator
+from .link import Channel, DuplexPort, Packet
+from .node import Node
+
+__all__ = ["NetworkParams", "HostParams", "Switch", "Fabric",
+           "MYRINET", "GIGE", "GIGANET"]
+
+_CUT_THROUGH_SPEEDUP = 1000.0  # downlink rate multiplier for cut-through
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Fabric-level characteristics (time in µs, rates in bytes/µs)."""
+
+    name: str
+    bandwidth: float            # line rate
+    prop_delay: float           # one-way cable propagation per hop
+    mtu: int                    # max payload bytes per wire packet
+    header_bytes: int           # framing overhead per packet
+    per_packet_cost: float      # fixed serialisation overhead per packet
+    switch_latency: float       # fixed forwarding delay in the switch
+    store_and_forward: bool     # Ethernet-style full-frame buffering
+    loss_rate: float = 0.0      # injected drop probability (per packet)
+
+    def with_loss(self, loss_rate: float) -> "NetworkParams":
+        return replace(self, loss_rate=loss_rate)
+
+    def with_mtu(self, mtu: int) -> "NetworkParams":
+        if mtu < 64:
+            raise ValueError("mtu must be >= 64 bytes")
+        return replace(self, mtu=mtu)
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Host characteristics — identical across the paper's three testbeds."""
+
+    mem_copy_bw: float = 90.0           # host memcpy throughput (MB/s);
+                                        # Pentium-II era copies miss cache
+    dma_bandwidth: float = 132.0        # 32-bit/33 MHz PCI effective rate
+    dma_per_transfer_cost: float = 0.25 # PCI transaction setup
+    tlb_entries: int = 64               # NIC translation-cache entries
+    page_size: int = 4096
+
+
+# -- presets calibrated to the paper's testbed ---------------------------
+MYRINET = NetworkParams(
+    name="myrinet",
+    bandwidth=160.0,       # 1.28 Gb/s LANai 4.3 generation
+    prop_delay=0.2,
+    mtu=32768,
+    header_bytes=8,
+    per_packet_cost=0.2,
+    switch_latency=0.5,
+    store_and_forward=False,
+)
+
+GIGE = NetworkParams(
+    name="gige",
+    bandwidth=125.0,       # 1 Gb/s
+    prop_delay=0.3,
+    mtu=1500,
+    header_bytes=26,       # Ethernet + IPC framing
+    per_packet_cost=0.6,
+    switch_latency=2.0,
+    store_and_forward=True,
+)
+
+GIGANET = NetworkParams(
+    name="giganet",
+    bandwidth=112.0,       # 1.25 Gbaud cLAN, 8b/10b coded
+    prop_delay=0.2,
+    mtu=65536,
+    header_bytes=8,
+    per_packet_cost=0.15,
+    switch_latency=0.4,
+    store_and_forward=False,
+)
+
+
+class Switch:
+    """A single switch forwarding between node ports by destination name."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams) -> None:
+        self.sim = sim
+        self.params = params
+        self._downlinks: dict[str, Channel] = {}
+        self.forwarded = 0
+
+    def attach(self, node_name: str, downlink: Channel) -> None:
+        self._downlinks[node_name] = downlink
+
+    def receive(self, packet: Packet) -> None:
+        """Sink for uplink channels: forward after the switch latency."""
+        downlink = self._downlinks.get(packet.dst)
+        if downlink is None:
+            raise KeyError(f"switch has no port for destination {packet.dst!r}")
+        self.forwarded += 1
+        self.sim.process(self._forward(packet, downlink), name=f"fwd-{packet.pkt_id}")
+
+    def _forward(self, packet: Packet, downlink: Channel):
+        yield self.sim.timeout(self.params.switch_latency)
+        yield from downlink.send(packet)
+
+
+class Fabric:
+    """A complete testbed: N nodes on one switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: NetworkParams,
+        node_names: tuple[str, ...] = ("node0", "node1"),
+        host: HostParams = HostParams(),
+        seed: int = 0,
+    ) -> None:
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("node names must be unique")
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.switch = Switch(sim, network)
+        self.nodes: dict[str, Node] = {}
+        down_bw = network.bandwidth
+        down_hdr = network.header_bytes
+        down_ppc = network.per_packet_cost
+        if not network.store_and_forward:
+            # Cut-through: no second serialisation charge (see module doc).
+            down_bw *= _CUT_THROUGH_SPEEDUP
+            down_hdr = 0
+            down_ppc = 0.0
+        for i, name in enumerate(node_names):
+            node = Node(
+                sim,
+                name,
+                mem_copy_bw=host.mem_copy_bw,
+                dma_bandwidth=host.dma_bandwidth,
+                dma_per_transfer_cost=host.dma_per_transfer_cost,
+                tlb_entries=host.tlb_entries,
+                page_size=host.page_size,
+            )
+            uplink = Channel(
+                sim, network.bandwidth, network.prop_delay, network.header_bytes,
+                network.per_packet_cost, network.loss_rate,
+                rng=__import__("random").Random(seed * 100 + i * 2),
+                name=f"{name}.up",
+            )
+            downlink = Channel(
+                sim, down_bw, network.prop_delay, down_hdr, down_ppc,
+                0.0,  # loss is injected on the uplink only (once per path)
+                name=f"{name}.down",
+            )
+            uplink.sink = self.switch.receive
+            downlink.sink = node.nic.deliver
+            node.nic.attach_port(DuplexPort(uplink, name=f"{name}.port"))
+            self.switch.attach(name, downlink)
+            self.nodes[name] = node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self.nodes)

@@ -1,0 +1,39 @@
+"""A compute node: host CPU + memory + NIC."""
+
+from __future__ import annotations
+
+from ..sim import Simulator
+from .cpu import HostCPU
+from .memory import MemorySystem
+from .nic import NIC
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One machine in the testbed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mem_copy_bw: float = 180.0,
+        dma_bandwidth: float = 200.0,
+        dma_per_transfer_cost: float = 0.2,
+        tlb_entries: int = 64,
+        page_size: int = 4096,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpu = HostCPU(sim, mem_copy_bw=mem_copy_bw)
+        self.mem = MemorySystem(page_size=page_size)
+        self.nic = NIC(
+            sim,
+            f"{name}.nic",
+            dma_bandwidth=dma_bandwidth,
+            dma_per_transfer_cost=dma_per_transfer_cost,
+            tlb_entries=tlb_entries,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name}>"

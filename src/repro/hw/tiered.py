@@ -1,0 +1,171 @@
+"""Two-tier (leaf/spine) fabrics: the cluster beyond one switch.
+
+The paper's testbed is a single switch; real SAN deployments of the era
+(and the scalability questions §3.1 raises) involve multi-switch
+topologies where traffic crossing switches shares inter-switch links.
+:class:`TieredFabric` wires groups of nodes to leaf switches joined by
+one spine:
+
+    node --- leaf switch ===(uplink)=== spine ===(uplink)=== leaf --- node
+
+Intra-leaf traffic behaves exactly like the flat :class:`Fabric`;
+inter-leaf traffic additionally serialises on the leaf↔spine links —
+the shared resource that makes placement matter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim import Simulator
+from .link import Channel, DuplexPort, Packet
+from .network import HostParams, NetworkParams, _CUT_THROUGH_SPEEDUP
+from .node import Node
+
+__all__ = ["TieredFabric"]
+
+
+class _LeafSwitch:
+    """Connects its local nodes; forwards the rest to the spine."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams, name: str) -> None:
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.local_down: dict[str, Channel] = {}
+        self.uplink: Channel | None = None     # to the spine
+        self.forwarded_local = 0
+        self.forwarded_up = 0
+
+    def receive(self, packet: Packet) -> None:
+        if packet.dst in self.local_down:
+            self.forwarded_local += 1
+            self.sim.process(self._forward(packet,
+                                           self.local_down[packet.dst]),
+                             name=f"{self.name}-fwd")
+        else:
+            self.forwarded_up += 1
+            assert self.uplink is not None
+            self.sim.process(self._forward(packet, self.uplink),
+                             name=f"{self.name}-up")
+
+    def _forward(self, packet: Packet, channel: Channel):
+        yield self.sim.timeout(self.params.switch_latency)
+        yield from channel.send(packet)
+
+
+class _SpineSwitch:
+    """Routes between leaves by destination node."""
+
+    def __init__(self, sim: Simulator, params: NetworkParams) -> None:
+        self.sim = sim
+        self.params = params
+        self.down_by_node: dict[str, Channel] = {}
+        self.forwarded = 0
+
+    def receive(self, packet: Packet) -> None:
+        channel = self.down_by_node.get(packet.dst)
+        if channel is None:
+            raise KeyError(f"spine has no route to {packet.dst!r}")
+        self.forwarded += 1
+        self.sim.process(self._forward(packet, channel), name="spine-fwd")
+
+    def _forward(self, packet: Packet, channel: Channel):
+        yield self.sim.timeout(self.params.switch_latency)
+        yield from channel.send(packet)
+
+
+class TieredFabric:
+    """Leaf/spine topology with the flat-fabric node construction.
+
+    ``leaf_groups`` is a tuple of node-name tuples, one per leaf switch.
+    ``uplink_bandwidth`` (bytes/µs) sets the leaf↔spine capacity —
+    defaults to the line rate, i.e. a 1:N oversubscribed core when a
+    leaf hosts N nodes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: NetworkParams,
+        leaf_groups: tuple[tuple[str, ...], ...],
+        host: HostParams = HostParams(),
+        uplink_bandwidth: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        names = [n for group in leaf_groups for n in group]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique across leaves")
+        if len(leaf_groups) < 2:
+            raise ValueError("a tiered fabric needs at least two leaves")
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.nodes: dict[str, Node] = {}
+        self.leaf_of: dict[str, int] = {}
+        self.leaves: list[_LeafSwitch] = []
+        self.spine = _SpineSwitch(sim, network)
+        up_bw = uplink_bandwidth or network.bandwidth
+
+        down_bw = network.bandwidth
+        down_hdr = network.header_bytes
+        down_ppc = network.per_packet_cost
+        if not network.store_and_forward:
+            down_bw *= _CUT_THROUGH_SPEEDUP
+            down_hdr = 0
+            down_ppc = 0.0
+
+        for li, group in enumerate(leaf_groups):
+            leaf = _LeafSwitch(sim, network, f"leaf{li}")
+            # leaf -> spine and spine -> leaf links: ALWAYS serialised at
+            # the uplink rate (this is the shared core resource)
+            up = Channel(sim, up_bw, network.prop_delay,
+                         network.header_bytes, network.per_packet_cost,
+                         name=f"leaf{li}.up")
+            up.sink = self.spine.receive
+            leaf.uplink = up
+            spine_down = Channel(sim, up_bw, network.prop_delay,
+                                 network.header_bytes,
+                                 network.per_packet_cost,
+                                 name=f"leaf{li}.spinedown")
+            spine_down.sink = leaf.receive
+            for ni, name in enumerate(group):
+                node = Node(
+                    sim, name,
+                    mem_copy_bw=host.mem_copy_bw,
+                    dma_bandwidth=host.dma_bandwidth,
+                    dma_per_transfer_cost=host.dma_per_transfer_cost,
+                    tlb_entries=host.tlb_entries,
+                    page_size=host.page_size,
+                )
+                uplink = Channel(
+                    sim, network.bandwidth, network.prop_delay,
+                    network.header_bytes, network.per_packet_cost,
+                    network.loss_rate,
+                    rng=random.Random(seed * 1000 + li * 64 + ni),
+                    name=f"{name}.up",
+                )
+                downlink = Channel(sim, down_bw, network.prop_delay,
+                                   down_hdr, down_ppc, name=f"{name}.down")
+                uplink.sink = leaf.receive
+                downlink.sink = node.nic.deliver
+                node.nic.attach_port(DuplexPort(uplink, name=f"{name}.port"))
+                leaf.local_down[name] = downlink
+                self.spine.down_by_node[name] = spine_down
+                self.nodes[name] = node
+                self.leaf_of[name] = li
+            self.leaves.append(leaf)
+
+        # the spine's per-leaf downlink must route to the LEAF, which
+        # then delivers locally; spine_down.sink is leaf.receive and the
+        # leaf sees dst in local_down -> local delivery.  (Set above.)
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(self.nodes)
+
+    def same_leaf(self, a: str, b: str) -> bool:
+        return self.leaf_of[a] == self.leaf_of[b]

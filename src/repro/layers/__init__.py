@@ -1,0 +1,26 @@
+"""Programming-model layers over VIA (paper §3.3): messages, streams,
+get/put, RPC, and a page-based DSM."""
+
+from .collectives import CommGroup, connect_group
+from .dsm import DsmNode, DsmStats, PageState, connect_mesh
+from .getput import GetPut, RemoteWindow
+from .msg import ANY_TAG, MsgEndpoint
+from .rpc import RpcClient, RpcError, RpcServer
+from .stream import ViaStream
+
+__all__ = [
+    "ANY_TAG",
+    "CommGroup",
+    "connect_group",
+    "DsmNode",
+    "DsmStats",
+    "GetPut",
+    "MsgEndpoint",
+    "PageState",
+    "RemoteWindow",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "ViaStream",
+    "connect_mesh",
+]

@@ -1,0 +1,205 @@
+"""Collective operations over the VIA message layer.
+
+The distributed-memory programming model the paper plans benchmarks for
+(§5) is MPI-shaped: beyond point-to-point sends it needs collectives.
+This module implements the three classic building blocks with their
+textbook algorithms over :class:`~repro.layers.msg.MsgEndpoint` meshes:
+
+- **barrier** — dissemination: ⌈log₂ n⌉ rounds, in round k each rank
+  signals ``(rank + 2^k) mod n`` and waits for ``(rank - 2^k) mod n``;
+- **broadcast** — binomial tree rooted anywhere;
+- **allreduce** — recursive doubling for powers of two, with a
+  fold-in/fold-out step for the remainder ranks.
+
+Every collective is ⌈log₂ n⌉ point-to-point latencies deep, so the
+provider's VIBe small-message latency directly sets collective cost —
+measurable with :func:`repro.vibe.progmodel_msg` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..sim import Event
+from ..via.constants import WaitMode
+from .msg import MsgEndpoint
+
+__all__ = ["CommGroup", "connect_group"]
+
+Op = Generator[Event, Any, Any]
+
+_TAG_BARRIER = 0xC0
+_TAG_BCAST = 0xC1
+_TAG_REDUCE = 0xC2
+
+
+class CommGroup:
+    """One rank's view of a fully-connected communicator."""
+
+    def __init__(self, rank: int, size: int,
+                 peers: dict[int, MsgEndpoint]) -> None:
+        if not 0 <= rank < size:
+            raise ValueError("rank out of range")
+        if size < 2:
+            raise ValueError("a communicator needs at least two ranks")
+        if set(peers) != set(range(size)) - {rank}:
+            raise ValueError("need an endpoint for every other rank")
+        self.rank = rank
+        self.size = size
+        self.peers = peers
+        self._epoch = {"barrier": 0, "bcast": 0, "reduce": 0}
+
+    # -- helpers -----------------------------------------------------------
+    def _tagged(self, base: int, kind: str) -> int:
+        """Collectives on the same channel must not cross epochs."""
+        tag = (base << 16) | (self._epoch[kind] & 0xFFFF)
+        return tag
+
+    def send(self, peer: int, tag: int, data: bytes) -> Op:
+        yield from self.peers[peer].send(tag, data)
+
+    def recv(self, peer: int, tag: int) -> Op:
+        _tag, data = yield from self.peers[peer].recv(tag)
+        return data
+
+    # -- barrier ----------------------------------------------------------
+    def barrier(self) -> Op:
+        """Dissemination barrier: no rank leaves before all entered."""
+        tag = self._tagged(_TAG_BARRIER, "barrier")
+        self._epoch["barrier"] += 1
+        distance = 1
+        while distance < self.size:
+            to = (self.rank + distance) % self.size
+            frm = (self.rank - distance) % self.size
+            yield from self.send(to, tag, b"")
+            yield from self.recv(frm, tag)
+            distance *= 2
+
+    # -- broadcast -----------------------------------------------------------
+    def bcast(self, data: bytes | None, root: int = 0) -> Op:
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        if not 0 <= root < self.size:
+            raise ValueError("root out of range")
+        # validate arguments BEFORE consuming an epoch: a raised call
+        # must leave the group's collective counters untouched, or the
+        # next collective would disagree with the other ranks' tags
+        vrank = (self.rank - root) % self.size
+        if vrank == 0 and data is None:
+            raise ValueError("root must supply the payload")
+        tag = self._tagged(_TAG_BCAST, "bcast")
+        self._epoch["bcast"] += 1
+        if vrank == 0:
+            # the root's subtree spans the whole (virtual) group
+            span = 1
+            while span < self.size:
+                span *= 2
+        else:
+            # receive from the parent: clear the lowest set bit
+            parent = vrank & (vrank - 1)
+            src = (parent + root) % self.size
+            data = yield from self.recv(src, tag)
+            span = vrank & -vrank        # my subtree is [vrank, vrank+span)
+        # forward to children vrank+span/2, vrank+span/4, ..., vrank+1
+        step = span >> 1
+        while step >= 1:
+            child = vrank + step
+            if child < self.size:
+                dst = (child + root) % self.size
+                yield from self.send(dst, tag, data)
+            step >>= 1
+        return data
+
+    # -- allreduce -------------------------------------------------------------
+    def allreduce(self, value: bytes,
+                  op: Callable[[bytes, bytes], bytes]) -> Op:
+        """Recursive-doubling allreduce of an opaque byte value.
+
+        ``op`` must be associative and commutative.  Non-power-of-two
+        sizes fold the tail ranks into the main block first and fan the
+        result back out afterwards.
+        """
+        tag = self._tagged(_TAG_REDUCE, "reduce")
+        self._epoch["reduce"] += 1
+        # recursive doubling exchanges are symmetric: both partners send
+        # before either receives.  Rendezvous-sized payloads would have
+        # both sides parked awaiting a CTS nobody can issue, so the
+        # exchange is restricted to the eager path.
+        for peer in self.peers.values():
+            if len(value) > peer.eager_size:
+                raise ValueError(
+                    f"allreduce value of {len(value)} bytes exceeds the "
+                    f"eager threshold ({peer.eager_size}); symmetric "
+                    "exchanges cannot use the rendezvous protocol"
+                )
+        n = self.size
+        pow2 = 1
+        while pow2 * 2 <= n:
+            pow2 *= 2
+        rem = n - pow2
+        data = value
+        # fold-in: ranks >= pow2 send to (rank - pow2)
+        if self.rank >= pow2:
+            yield from self.send(self.rank - pow2, tag, data)
+            result = yield from self.recv(self.rank - pow2, tag)
+            return result
+        if self.rank < rem:
+            other = yield from self.recv(self.rank + pow2, tag)
+            data = op(data, other)
+        # recursive doubling within the power-of-two block
+        distance = 1
+        while distance < pow2:
+            partner = self.rank ^ distance
+            yield from self.send(partner, tag, data)
+            other = yield from self.recv(partner, tag)
+            data = op(data, other)
+            distance *= 2
+        # fold-out
+        if self.rank < rem:
+            yield from self.send(self.rank + pow2, tag, data)
+        return data
+
+
+def connect_group(tb, node_names: list[str], eager_size: int = 4096,
+                  wait_mode: WaitMode = WaitMode.POLL):
+    """Wire a fully-connected communicator; one setup generator per rank.
+
+    Each returned generator yields its :class:`CommGroup` once every
+    pairwise channel is connected.
+    """
+    n = len(node_names)
+
+    def disc(i: int, j: int) -> int:
+        return 40_000 + i * 128 + j
+
+    def rank_setup(i: int):
+        h = tb.open(node_names[i], f"rank{i}")
+        peers: dict[int, MsgEndpoint] = {}
+        accepted: dict[int, MsgEndpoint] = {}
+
+        def acceptor(j: int):
+            vi = yield from h.create_vi()
+            msg = MsgEndpoint(h, vi, eager_size=eager_size,
+                              wait_mode=wait_mode)
+            yield from msg.setup()
+            req = yield from h.connect_wait(disc(j, i))
+            yield from h.accept(req, vi)
+            accepted[j] = msg
+
+        # lower ranks dial higher ranks; higher ranks accept
+        for j in range(n):
+            if j > i:
+                tb.spawn(acceptor(j), f"acc-{i}-{j}")
+        for j in range(n):
+            if j < i:
+                vi = yield from h.create_vi()
+                msg = MsgEndpoint(h, vi, eager_size=eager_size,
+                                  wait_mode=wait_mode)
+                yield from msg.setup()
+                yield from h.connect(vi, node_names[j], disc(i, j))
+                peers[j] = msg
+        while len(accepted) < n - 1 - i:
+            yield tb.sim.timeout(5.0)
+        peers.update(accepted)
+        return CommGroup(i, n, peers)
+
+    return [rank_setup(i) for i in range(n)]

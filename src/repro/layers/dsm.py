@@ -1,0 +1,448 @@
+"""Page-based software distributed shared memory over VIA.
+
+The paper lists "software distributed shared memory" among the
+programming models VIA serves (§3.3) and cites the authors' own
+TreadMarks-over-VIA port [7].  This module implements a home-based,
+single-writer / multiple-reader invalidation protocol — the core of any
+such system — entirely on the repo's VIA message layer:
+
+- every page has a **home** node (``page % nnodes``) holding the
+  directory entry (current writer, reader copyset) and, absent a
+  writer, the authoritative copy;
+- a **read miss** fetches the page from its home (which first recalls
+  it from a remote writer, if any);
+- a **write miss** obtains exclusive ownership: the home recalls the
+  current writer, invalidates every reader, then grants;
+- protocol traffic is split over two channel classes so it cannot
+  deadlock: *request* channels (fetch/own — the home may issue
+  sub-requests while serving) and *control* channels (recall /
+  invalidate — pure leaf operations a node's control loop answers
+  without ever blocking on a third party).
+
+Coherence granularity is the page; within a node, a per-page lock keeps
+the application and the control loop from racing between yields.  The
+result is sequentially consistent per page.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from ..sim import Event, Resource
+from ..via.provider import NicHandle
+from .msg import MsgEndpoint
+
+__all__ = ["PageState", "DsmNode", "DsmStats", "connect_mesh"]
+
+Op = Generator[Event, Any, Any]
+
+_REQ = 0xD50
+_REP = 0xD51
+_CTL = 0xD52
+_CTL_ACK = 0xD53
+
+_OP_FETCH = 1      # request channel: read copy
+_OP_OWN = 2        # request channel: exclusive ownership
+_OP_RECALL = 3     # control channel: writer returns + downgrades to READ
+_OP_RECALL_INV = 4 # control channel: writer returns + invalidates
+_OP_INVAL = 5      # control channel: reader drops its copy
+
+_HDR = struct.Struct(">BI")   # op, page
+
+
+class PageState:
+    INVALID = "invalid"
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class DsmStats:
+    fetches: int = 0            # read misses served remotely
+    ownership_transfers: int = 0
+    recalls: int = 0            # pages pulled back from writers
+    invalidations: int = 0
+    local_hits: int = 0
+
+
+@dataclass
+class _Directory:
+    """Home-side record for one page."""
+
+    writer: int | None = None
+    readers: set[int] = field(default_factory=set)
+
+
+class DsmNode:
+    """One participant in a DSM region of ``npages`` pages.
+
+    Construction wires nothing; call :meth:`setup` (a timed generator)
+    once the channel endpoints exist — see :func:`connect_mesh` for the
+    standard wiring.
+    """
+
+    def __init__(self, handle: NicHandle, index: int, nnodes: int,
+                 npages: int, page_size: int = 4096) -> None:
+        if not 0 <= index < nnodes:
+            raise ValueError("node index out of range")
+        if nnodes < 2:
+            raise ValueError("a DSM needs at least two nodes")
+        self.handle = handle
+        self.sim = handle.sim
+        self.index = index
+        self.nnodes = nnodes
+        self.npages = npages
+        self.page_size = page_size
+        self.stats = DsmStats()
+        # local cache of the whole region
+        self._cache = handle.alloc(npages * page_size)
+        self._state = [PageState.INVALID] * npages
+        self._locks = [Resource(self.sim, 1) for _ in range(npages)]
+        # home-side directory for pages this node homes; directory
+        # operations for one page are serialised by a dedicated lock so
+        # concurrent request loops (and the local application) cannot
+        # interleave a page's protocol transitions
+        self._dir: dict[int, _Directory] = {
+            p: _Directory() for p in range(npages) if self.home(p) == index
+        }
+        self._dir_locks: dict[int, Resource] = {
+            p: Resource(self.sim, 1) for p in self._dir
+        }
+        # peer -> endpoints (filled by the mesh wiring)
+        self.req_out: dict[int, MsgEndpoint] = {}
+        self.ctl_out: dict[int, MsgEndpoint] = {}
+        self._ctl_mutex: dict[int, Resource] = {}
+        self._serving = True
+
+    # -- topology ---------------------------------------------------------
+    def home(self, page: int) -> int:
+        return page % self.nnodes
+
+    def attach(self, peer: int, req_out: MsgEndpoint,
+               ctl_out: MsgEndpoint) -> None:
+        self.req_out[peer] = req_out
+        self.ctl_out[peer] = ctl_out
+        self._ctl_mutex[peer] = Resource(self.sim, 1)
+
+    def start_serving(self, peer: int, req_in: MsgEndpoint,
+                      ctl_in: MsgEndpoint) -> None:
+        """Spawn the request/control service loops for one peer."""
+        self.sim.process(self._request_loop(peer, req_in),
+                         name=f"dsm{self.index}-req{peer}")
+        self.sim.process(self._control_loop(peer, ctl_in),
+                         name=f"dsm{self.index}-ctl{peer}")
+
+    # Home pages start resident at the home.
+    def initialise_home_pages(self) -> None:
+        for page in self._dir:
+            self._state[page] = PageState.WRITE
+            self._dir[page].writer = self.index
+
+    # -- public API -----------------------------------------------------------
+    def read(self, offset: int, length: int) -> Op:
+        """Coherent read of ``[offset, offset+length)``."""
+        self._check_range(offset, length)
+        out = bytearray()
+        for page, lo, hi in self._page_spans(offset, length):
+            yield from self._ensure_readable(page)
+            out += self.handle.read(self._cache, hi - lo,
+                                    page * self.page_size + lo)
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> Op:
+        """Coherent write of ``data`` at ``offset``."""
+        self._check_range(offset, len(data))
+        cursor = 0
+        for page, lo, hi in self._page_spans(offset, len(data)):
+            chunk = data[cursor:cursor + (hi - lo)]
+            cursor += hi - lo
+            while True:
+                yield self._locks[page].request()
+                if self._state[page] == PageState.WRITE:
+                    self.handle.write(self._cache, chunk,
+                                      page * self.page_size + lo)
+                    self._locks[page].release()
+                    break
+                self._locks[page].release()
+                yield from self._acquire_ownership(page)
+
+    def page_state(self, page: int) -> str:
+        return self._state[page]
+
+    # -- misc helpers ---------------------------------------------------------
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 \
+                or offset + length > self.npages * self.page_size:
+            raise ValueError("access outside the shared region")
+
+    def _page_spans(self, offset: int, length: int):
+        """Yield (page, start-in-page, end-in-page) covering the range."""
+        end = offset + length
+        page = offset // self.page_size
+        while offset < end:
+            page_end = (page + 1) * self.page_size
+            hi = min(end, page_end)
+            yield page, offset - page * self.page_size, hi - page * self.page_size
+            offset = hi
+            page += 1
+
+    def _page_bytes(self, page: int) -> bytes:
+        return self.handle.read(self._cache, self.page_size,
+                                page * self.page_size)
+
+    def _install(self, page: int, data: bytes, state: str) -> Op:
+        yield self._locks[page].request()
+        self.handle.write(self._cache, data, page * self.page_size)
+        self._state[page] = state
+        self._locks[page].release()
+
+    # -- miss handling ---------------------------------------------------------
+    def _ensure_readable(self, page: int) -> Op:
+        if self._state[page] != PageState.INVALID:
+            self.stats.local_hits += 1
+            return
+        home = self.home(page)
+        if home == self.index:
+            # home read miss: recall from the remote writer
+            yield from self._home_localise(page, want_write=False)
+            return
+        msg = self.req_out[home]
+        yield from msg.send(_REQ, _HDR.pack(_OP_FETCH, page))
+        _tag, data = yield from msg.recv(_REP)
+        self.stats.fetches += 1
+        yield from self._install(page, data, PageState.READ)
+
+    def _acquire_ownership(self, page: int) -> Op:
+        home = self.home(page)
+        if home == self.index:
+            yield from self._home_localise(page, want_write=True)
+            return
+        msg = self.req_out[home]
+        yield from msg.send(_REQ, _HDR.pack(_OP_OWN, page))
+        _tag, data = yield from msg.recv(_REP)
+        self.stats.ownership_transfers += 1
+        yield from self._install(page, data, PageState.WRITE)
+
+    # -- home-side logic ----------------------------------------------------------
+    def _home_localise(self, page: int, want_write: bool) -> Op:
+        """The home itself faults on a page it homes."""
+        yield self._dir_locks[page].request()
+        try:
+            yield from self._home_localise_locked(page, want_write)
+        finally:
+            self._dir_locks[page].release()
+
+    def _home_localise_locked(self, page: int, want_write: bool) -> Op:
+        entry = self._dir[page]
+        if entry.writer is not None and entry.writer != self.index:
+            data = yield from self._ctl_roundtrip(
+                entry.writer, _OP_RECALL_INV if want_write else _OP_RECALL,
+                page)
+            state = PageState.WRITE if want_write else PageState.READ
+            yield from self._install(page, data, state)
+            if want_write:
+                entry.writer = self.index
+                entry.readers.clear()
+            else:
+                entry.readers.add(entry.writer)
+                entry.writer = None
+                self._state[page] = PageState.READ
+            self.stats.recalls += 1
+            return
+        if want_write:
+            for reader in sorted(entry.readers - {self.index}):
+                yield from self._ctl_roundtrip(reader, _OP_INVAL, page)
+                self.stats.invalidations += 1
+            entry.readers.clear()
+            entry.writer = self.index
+            yield self._locks[page].request()
+            self._state[page] = PageState.WRITE
+            self._locks[page].release()
+        else:
+            if self._state[page] == PageState.INVALID:
+                self._state[page] = PageState.READ
+            entry.readers.add(self.index)
+
+    def _serve_request(self, peer: int, op: int, page: int) -> Op:
+        """Home-side handling of FETCH/OWN from ``peer``."""
+        yield self._dir_locks[page].request()
+        try:
+            data = yield from self._serve_request_locked(peer, op, page)
+        finally:
+            self._dir_locks[page].release()
+        return data
+
+    def _serve_request_locked(self, peer: int, op: int, page: int) -> Op:
+        entry = self._dir[page]
+        if op == _OP_FETCH:
+            if entry.writer is not None and entry.writer != peer:
+                if entry.writer == self.index:
+                    yield from self._downgrade_self(page)
+                else:
+                    data = yield from self._ctl_roundtrip(
+                        entry.writer, _OP_RECALL, page)
+                    yield from self._install(page, data, PageState.INVALID)
+                    entry.readers.add(entry.writer)
+                self.stats.recalls += 1
+                entry.writer = None
+            entry.readers.add(peer)
+            return self._page_bytes(page)
+        assert op == _OP_OWN
+        if entry.writer is not None and entry.writer != peer:
+            if entry.writer == self.index:
+                yield from self._surrender_self(page)
+            else:
+                data = yield from self._ctl_roundtrip(
+                    entry.writer, _OP_RECALL_INV, page)
+                yield from self._install(page, data, PageState.INVALID)
+            self.stats.recalls += 1
+            entry.writer = None
+        for reader in sorted(entry.readers - {peer}):
+            if reader == self.index:
+                yield from self._invalidate_self(page)
+            else:
+                yield from self._ctl_roundtrip(reader, _OP_INVAL, page)
+            self.stats.invalidations += 1
+        entry.readers.clear()
+        entry.writer = peer
+        data = self._page_bytes(page)
+        # the home's own copy is stale the moment the grant leaves
+        yield self._locks[page].request()
+        self._state[page] = PageState.INVALID
+        self._locks[page].release()
+        return data
+
+    def _downgrade_self(self, page: int) -> Op:
+        yield self._locks[page].request()
+        self._state[page] = PageState.READ
+        self._locks[page].release()
+        self._dir[page].readers.add(self.index)
+
+    def _surrender_self(self, page: int) -> Op:
+        yield self._locks[page].request()
+        self._state[page] = PageState.INVALID
+        self._locks[page].release()
+
+    def _invalidate_self(self, page: int) -> Op:
+        yield self._locks[page].request()
+        self._state[page] = PageState.INVALID
+        self._locks[page].release()
+
+    # -- wire plumbing ---------------------------------------------------------
+    def _ctl_roundtrip(self, peer: int, op: int, page: int) -> Op:
+        """Issue a leaf control operation and await its ack."""
+        mutex = self._ctl_mutex[peer]
+        msg = self.ctl_out[peer]
+        yield mutex.request()
+        try:
+            yield from msg.send(_CTL, _HDR.pack(op, page))
+            _tag, data = yield from msg.recv(_CTL_ACK)
+        finally:
+            mutex.release()
+        return data
+
+    def _request_loop(self, peer: int, req_in: MsgEndpoint) -> Op:
+        while self._serving:
+            _tag, raw = yield from req_in.recv(_REQ)
+            op, page = _HDR.unpack(raw[:_HDR.size])
+            data = yield from self._serve_request(peer, op, page)
+            yield from req_in.send(_REP, data)
+
+    def _control_loop(self, peer: int, ctl_in: MsgEndpoint) -> Op:
+        while self._serving:
+            _tag, raw = yield from ctl_in.recv(_CTL)
+            op, page = _HDR.unpack(raw[:_HDR.size])
+            if op == _OP_INVAL:
+                yield self._locks[page].request()
+                self._state[page] = PageState.INVALID
+                self._locks[page].release()
+                yield from ctl_in.send(_CTL_ACK, b"")
+                continue
+            # RECALL variants: wait out the grant/recall overtake race —
+            # the grant may still be in flight on the request channel
+            while True:
+                yield self._locks[page].request()
+                if self._state[page] == PageState.WRITE:
+                    break
+                self._locks[page].release()
+                yield self.sim.timeout(1.0)
+            data = self._page_bytes(page)
+            self._state[page] = (PageState.INVALID
+                                 if op == _OP_RECALL_INV else PageState.READ)
+            self._locks[page].release()
+            yield from ctl_in.send(_CTL_ACK, data)
+
+
+# ---------------------------------------------------------------------------
+# standard wiring
+# ---------------------------------------------------------------------------
+
+def connect_mesh(tb, node_names: list[str], npages: int,
+                 page_size: int = 4096, eager_size: int | None = None):
+    """Wire a full DSM mesh; returns one setup generator per node.
+
+    Each ordered pair of nodes gets a *request* channel and a *control*
+    channel (the deadlock-freedom split).  Every returned generator
+    yields its :class:`DsmNode` once all its channels are connected.
+    """
+    n = len(node_names)
+    eager = eager_size or (page_size + 64)
+
+    def disc(kind: int, i: int, j: int) -> int:
+        return 10_000 + kind * 4096 + i * 64 + j
+
+    def node_setup(i: int):
+        h = tb.open(node_names[i], f"dsm{i}")
+        node = DsmNode(h, i, n, npages, page_size)
+        mh = yield from h.register_mem(node._cache)  # pin the region
+        node._cache_mh = mh
+
+        inbound = {}
+
+        from ..via.constants import WaitMode
+
+        def acceptor(kind: int, j: int):
+            vi = yield from h.create_vi()
+            # BLOCK: several processes share each node's CPU; spinning
+            # would starve the service loops (see MsgEndpoint.wait_mode)
+            msg = MsgEndpoint(h, vi, eager_size=eager, pool=8,
+                              wait_mode=WaitMode.BLOCK)
+            yield from msg.setup()
+            req = yield from h.connect_wait(disc(kind, j, i))
+            yield from h.accept(req, vi)
+            inbound[(kind, j)] = msg
+
+        for j in range(n):
+            if j == i:
+                continue
+            tb.spawn(acceptor(0, j), f"acc-req-{i}-{j}")
+            tb.spawn(acceptor(1, j), f"acc-ctl-{i}-{j}")
+
+        outbound = {}
+        for j in range(n):
+            if j == i:
+                continue
+            for kind in (0, 1):
+                vi = yield from h.create_vi()
+                msg = MsgEndpoint(h, vi, eager_size=eager, pool=8,
+                                  wait_mode=WaitMode.BLOCK)
+                yield from msg.setup()
+                yield from h.connect(vi, node_names[j], disc(kind, i, j))
+                outbound[(kind, j)] = msg
+
+        # wait until all inbound channels are accepted
+        while len(inbound) < 2 * (n - 1):
+            yield tb.sim.timeout(5.0)
+
+        for j in range(n):
+            if j == i:
+                continue
+            node.attach(j, req_out=outbound[(0, j)], ctl_out=outbound[(1, j)])
+            node.start_serving(j, req_in=inbound[(0, j)],
+                               ctl_in=inbound[(1, j)])
+        node.initialise_home_pages()
+        return node
+
+    return [node_setup(i) for i in range(n)]

@@ -1,0 +1,139 @@
+"""A one-sided get/put layer (the paper's §3.3 "Get/Put programming
+model").
+
+The local side *exposes* a registered window; the remote side receives
+a :class:`RemoteWindow` token (address + memory handle, shipped over
+the message layer) and then:
+
+- ``put`` — always one-sided: an RDMA write into the window;
+- ``get`` — one-sided RDMA read where the provider supports it,
+  otherwise a request/reply emulation served by the window owner's
+  ``serve`` loop (the fallback real Get/Put libraries used on RDMA-
+  write-only VIA hardware).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from ..sim import Event
+from ..via.descriptor import Descriptor
+from ..via.provider import NicHandle
+from ..via.vi import VI
+from .msg import MsgEndpoint
+
+__all__ = ["RemoteWindow", "GetPut"]
+
+Op = Generator[Event, Any, Any]
+
+_TAG_WINDOW = 0x71
+_TAG_GETREQ = 0x72
+_TAG_GETREP = 0x73
+_TAG_STOP = 0x74
+
+_WIN = struct.Struct(">QII")   # base address, handle id, length
+_REQ = struct.Struct(">II")    # offset, length
+
+
+@dataclass(frozen=True)
+class RemoteWindow:
+    """A peer's exposed region, addressable by offset."""
+
+    base: int
+    handle_id: int
+    length: int
+
+
+class GetPut:
+    """One-sided operations between two connected endpoints."""
+
+    def __init__(self, handle: NicHandle, vi: VI, msg: MsgEndpoint) -> None:
+        self.handle = handle
+        self.vi = vi
+        self.msg = msg
+        self._window = None        # locally exposed (region, mh)
+        self._staging = None
+        self._staging_mh = None
+
+    # -- window management -------------------------------------------------
+    def expose(self, length: int) -> Op:
+        """Register a local window and publish it to the peer."""
+        h = self.handle
+        region = h.alloc(length)
+        mh = yield from h.register_mem(region, enable_rdma_write=True,
+                                       enable_rdma_read=True)
+        self._window = (region, mh)
+        yield from self.msg.send(
+            _TAG_WINDOW, _WIN.pack(region.base, mh.handle_id, length)
+        )
+        return region
+
+    def attach(self) -> Op:
+        """Receive the peer's window token."""
+        _tag, data = yield from self.msg.recv(_TAG_WINDOW)
+        base, handle_id, length = _WIN.unpack(data)
+        return RemoteWindow(base, handle_id, length)
+
+    def _stage(self, size: int) -> Op:
+        h = self.handle
+        if self._staging is None or self._staging.length < size:
+            if self._staging_mh is not None:
+                yield from h.deregister_mem(self._staging_mh)
+            self._staging = h.alloc(max(size, 4096))
+            self._staging_mh = yield from h.register_mem(self._staging)
+        return self._staging, self._staging_mh
+
+    # -- one-sided operations -------------------------------------------------
+    def put(self, window: RemoteWindow, offset: int, data: bytes) -> Op:
+        """RDMA-write ``data`` at ``offset`` into the peer's window."""
+        if offset < 0 or offset + len(data) > window.length:
+            raise ValueError("put outside the remote window")
+        h = self.handle
+        region, mh = yield from self._stage(len(data))
+        yield from h.actor.copy(len(data), "user")
+        h.write(region, data)
+        segs = [h.segment(region, mh, 0, len(data))]
+        desc = Descriptor.rdma_write(segs, window.base + offset,
+                                     window.handle_id)
+        yield from h.post_send(self.vi, desc)
+        yield from h.send_wait(self.vi)
+
+    def get(self, window: RemoteWindow, offset: int, length: int) -> Op:
+        """Read ``length`` bytes at ``offset`` from the peer's window."""
+        if offset < 0 or offset + length > window.length:
+            raise ValueError("get outside the remote window")
+        h = self.handle
+        if self.handle.provider.supports_rdma_read:
+            region, mh = yield from self._stage(length)
+            segs = [h.segment(region, mh, 0, length)]
+            desc = Descriptor.rdma_read(segs, window.base + offset,
+                                        window.handle_id)
+            yield from h.post_send(self.vi, desc)
+            yield from h.send_wait(self.vi)
+            return h.read(region, length)
+        # two-sided emulation: ask the window owner's serve() loop
+        yield from self.msg.send(_TAG_GETREQ, _REQ.pack(offset, length))
+        _tag, data = yield from self.msg.recv(_TAG_GETREP)
+        return data
+
+    # -- servicing (only needed for the two-sided get fallback) ----------
+    def serve(self) -> Op:
+        """Answer the peer's emulated gets until told to stop."""
+        if self._window is None:
+            raise RuntimeError("serve() requires an exposed window")
+        region, _mh = self._window
+        h = self.handle
+        while True:
+            tag, data = yield from self.msg.recv()
+            if tag == _TAG_STOP:
+                return
+            if tag != _TAG_GETREQ:
+                raise RuntimeError(f"unexpected tag {tag:#x} in serve()")
+            offset, length = _REQ.unpack(data)
+            chunk = h.read(region, length, offset)
+            yield from self.msg.send(_TAG_GETREP, chunk)
+
+    def stop_server(self) -> Op:
+        yield from self.msg.send(_TAG_STOP, b"")

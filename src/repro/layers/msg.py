@@ -1,0 +1,375 @@
+"""A tagged message-passing layer over one VIA connection.
+
+This is the kind of "programming model layer" the paper's §3.3 is
+written for: an MPI-flavoured library whose design decisions — eager
+threshold, bounce-buffer pools, registration caching, credit-based flow
+control — are exactly what VIBe's micro-benchmarks (registration cost,
+buffer reuse, CQ overhead) are meant to inform.
+
+Protocol (all control words are real bytes on the wire):
+
+- **eager** (size <= eager threshold): header + payload in one VIA send
+  into a pre-posted receive from a fixed descriptor pool;
+- **rendezvous** (size > threshold): sender ships an RTS header; the
+  receiver, once a matching ``recv`` supplies a destination, registers
+  a rendezvous buffer, answers CTS (address + memory handle), and the
+  sender RDMA-writes the payload with the match id as immediate data —
+  the immediate consumes one pre-posted descriptor and signals FIN;
+- **credits**: each eager-class message consumes one of the peer's
+  pre-posted descriptors; the consumer returns credits in batches once
+  half the pool is used.
+
+A small registration cache (``reg_cache=True``) keeps rendezvous
+buffers registered across messages — the optimisation the paper says
+higher layers should derive from the memory-registration benchmark.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Any, Generator
+
+from ..sim import Event
+from ..via.descriptor import Descriptor
+from ..via.errors import VipError
+from ..via.provider import NicHandle
+from ..via.vi import VI
+
+__all__ = ["MsgEndpoint", "ANY_TAG"]
+
+ANY_TAG: int | None = None
+
+_HDR = struct.Struct(">BIII")  # kind, tag, match_id, size
+_CTS = struct.Struct(">BIIQI")  # kind, tag(unused), match_id, addr, handle
+
+_K_EAGER = 1
+_K_RTS = 2
+_K_CTS = 3
+_K_CREDIT = 4
+
+Op = Generator[Event, Any, Any]
+
+
+class _Rendezvous:
+    __slots__ = ("tag", "match_id", "size", "buffer", "mh", "done")
+
+    def __init__(self, tag: int, match_id: int, size: int) -> None:
+        self.tag = tag
+        self.match_id = match_id
+        self.size = size
+        self.buffer = None
+        self.mh = None
+        self.done = False
+
+
+class MsgEndpoint:
+    """One side of a tagged-message channel over a connected VI."""
+
+    def __init__(self, handle: NicHandle, vi: VI, eager_size: int = 4096,
+                 pool: int = 16, reg_cache: bool = True,
+                 wait_mode: "WaitMode | None" = None) -> None:
+        if eager_size < _CTS.size:
+            raise ValueError(f"eager_size must be >= {_CTS.size}")
+        if pool < 4:
+            raise ValueError("descriptor pool must be >= 4")
+        from ..via.constants import WaitMode
+
+        self.handle = handle
+        self.vi = vi
+        self.eager_size = eager_size
+        self.pool = pool
+        self.reg_cache = reg_cache
+        #: how this endpoint waits for completions.  POLL spin-waits
+        #: (100 % CPU, lowest latency); endpoints shared with other
+        #: processes on the same node (e.g. DSM service loops) must
+        #: BLOCK so the single host CPU stays schedulable.
+        self.wait_mode = wait_mode or WaitMode.POLL
+        self._recv_bufs: list = []          # [(region, mh)]
+        self._send_buf = None               # eager/bounce staging
+        self._send_mh = None
+        #: extra staging buffers for non-blocking sends (isend); sized
+        #: like the paper's sender-pipeline-length knob (§3.2.5)
+        self.send_pool = 4
+        self._staging_free: list = []       # [(region, mh)]
+        self._staging_by_desc: dict[int, tuple] = {}
+        self._outstanding_sends = 0
+        self._rdv_cache: dict[int, tuple] = {}  # rounded size -> (region, mh)
+        self._inbox: deque[tuple[int, bytes]] = deque()
+        self._pending_rts: deque[tuple[int, int, int]] = deque()  # tag, mid, size
+        self._cts_waiting: dict[int, tuple[int, int]] = {}  # mid -> (addr, handle)
+        self._rdv_recv: dict[int, _Rendezvous] = {}
+        self._credits = pool
+        self._pending_credit_return = 0
+        self._next_match = 1
+        self.stats = {"eager": 0, "rendezvous": 0, "credits_sent": 0,
+                      "registrations": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+    def setup(self) -> Op:
+        """Register pools and pre-post the receive descriptors.
+
+        May be called before the VI is connected (receives pre-post in
+        any state), which is also the race-free order.
+        """
+        h = self.handle
+        hdr_room = self.eager_size + _HDR.size
+        for _ in range(self.pool):
+            region = h.alloc(hdr_room)
+            mh = yield from h.register_mem(region)
+            self.stats["registrations"] += 1
+            self._recv_bufs.append((region, mh))
+            yield from self._post(region, mh)
+        self._send_buf = h.alloc(hdr_room)
+        self._send_mh = yield from h.register_mem(self._send_buf)
+        self.stats["registrations"] += 1
+        for _ in range(self.send_pool):
+            region = h.alloc(hdr_room)
+            mh = yield from h.register_mem(region)
+            self.stats["registrations"] += 1
+            self._staging_free.append((region, mh))
+
+    def _post(self, region, mh) -> Op:
+        segs = [self.handle.segment(region, mh)]
+        desc = Descriptor.recv(segs)
+        desc.extra_region = region  # type: ignore[attr-defined]
+        yield from self.handle.post_recv(self.vi, desc)
+
+    def close(self) -> Op:
+        """Deregister everything (the VI itself is owned by the caller)."""
+        h = self.handle
+        for size, (region, mh) in list(self._rdv_cache.items()):
+            yield from h.deregister_mem(mh)
+        self._rdv_cache.clear()
+        if self._send_mh is not None:
+            yield from h.deregister_mem(self._send_mh)
+            self._send_mh = None
+
+    # -- send ------------------------------------------------------------------
+    def send(self, tag: int, data: bytes) -> Op:
+        """Send ``data`` under ``tag`` (blocks until safe to reuse)."""
+        if tag is None or tag < 0:
+            raise ValueError("tag must be a non-negative integer")
+        if len(data) <= self.eager_size:
+            yield from self._send_eager(tag, data)
+        else:
+            yield from self._send_rendezvous(tag, data)
+
+    def _wait_credit(self) -> Op:
+        while self._credits <= 0:
+            yield from self._progress()
+
+    def _send_eager(self, tag: int, data: bytes) -> Op:
+        yield from self._wait_credit()
+        h = self.handle
+        header = _HDR.pack(_K_EAGER, tag, 0, len(data))
+        # the library copies the user's bytes into its staging buffer,
+        # exactly as an eager MPI implementation would
+        yield from h.actor.copy(_HDR.size + len(data), "user")
+        h.write(self._send_buf, header + data)
+        segs = [h.segment(self._send_buf, self._send_mh, 0,
+                          _HDR.size + len(data))]
+        desc = Descriptor.send(segs)
+        self._credits -= 1
+        yield from h.post_send(self.vi, desc)
+        yield from self._wait_send_complete(desc)
+        self.stats["eager"] += 1
+
+    # -- non-blocking sends -----------------------------------------------
+    def isend(self, tag: int, data: bytes) -> Op:
+        """Post an eager send without waiting for its completion.
+
+        Returns once the message is handed to the provider; the staging
+        buffer it occupies is recycled lazily as completions are reaped.
+        Up to ``send_pool`` sends can be in flight — the MPI-layer
+        analogue of the paper's sender-pipeline-length benchmark.  Call
+        :meth:`flush_sends` before tearing the endpoint down.  Payloads
+        above the eager threshold fall back to the synchronous
+        rendezvous path (whose handshake cannot be pipelined here).
+        """
+        if tag is None or tag < 0:
+            raise ValueError("tag must be a non-negative integer")
+        if len(data) > self.eager_size:
+            yield from self._send_rendezvous(tag, data)
+            return
+        yield from self._wait_credit()
+        h = self.handle
+        while not self._staging_free:
+            yield from self._reap_one_send()
+        region, mh = self._staging_free.pop()
+        yield from h.actor.copy(_HDR.size + len(data), "user")
+        h.write(region, _HDR.pack(_K_EAGER, tag, 0, len(data)) + data)
+        segs = [h.segment(region, mh, 0, _HDR.size + len(data))]
+        desc = Descriptor.send(segs)
+        self._staging_by_desc[desc.desc_id] = (region, mh)
+        self._credits -= 1
+        yield from h.post_send(self.vi, desc)
+        self._outstanding_sends += 1
+        self.stats["eager"] += 1
+
+    def _reap_one_send(self) -> Op:
+        """Wait for the oldest in-flight send and recycle its staging."""
+        desc = yield from self.handle.send_wait(self.vi, self.wait_mode)
+        staging = self._staging_by_desc.pop(desc.desc_id, None)
+        if staging is not None:
+            self._staging_free.append(staging)
+            self._outstanding_sends -= 1
+        return desc
+
+    def _wait_send_complete(self, desc: Descriptor) -> Op:
+        """Drain send completions (recycling isend staging) until
+        ``desc`` itself has completed — completions are FIFO, so a
+        synchronous send may first reap older in-flight isends."""
+        while not desc.is_complete:
+            yield from self._reap_one_send()
+
+    def flush_sends(self) -> Op:
+        """Wait until every isend has completed."""
+        while self._outstanding_sends:
+            yield from self._reap_one_send()
+
+    def _send_rendezvous(self, tag: int, data: bytes) -> Op:
+        h = self.handle
+        match_id = self._next_match
+        self._next_match += 1
+        # RTS
+        yield from self._wait_credit()
+        h.write(self._send_buf, _HDR.pack(_K_RTS, tag, match_id, len(data)))
+        segs = [h.segment(self._send_buf, self._send_mh, 0, _HDR.size)]
+        rts = Descriptor.send(segs)
+        self._credits -= 1
+        yield from h.post_send(self.vi, rts)
+        yield from self._wait_send_complete(rts)
+        # wait for CTS
+        while match_id not in self._cts_waiting:
+            yield from self._progress()
+        raddr, rhandle = self._cts_waiting.pop(match_id)
+        # stage + RDMA write with FIN immediate
+        region, mh = yield from self._rdv_buffer(len(data))
+        yield from h.actor.copy(len(data), "user")
+        h.write(region, data)
+        wsegs = [h.segment(region, mh, 0, len(data))]
+        yield from self._wait_credit()          # the FIN consumes a descriptor
+        self._credits -= 1
+        desc = Descriptor.rdma_write(wsegs, raddr, rhandle, immediate=match_id)
+        yield from h.post_send(self.vi, desc)
+        yield from self._wait_send_complete(desc)
+        if not self.reg_cache:
+            yield from h.deregister_mem(mh)
+        self.stats["rendezvous"] += 1
+
+    def _rdv_buffer(self, size: int) -> Op:
+        """A registered rendezvous buffer, cached by rounded size."""
+        h = self.handle
+        bucket = 1 << max(12, (size - 1).bit_length())
+        if self.reg_cache and bucket in self._rdv_cache:
+            return self._rdv_cache[bucket]
+        region = h.alloc(bucket)
+        mh = yield from h.register_mem(region, enable_rdma_write=True)
+        self.stats["registrations"] += 1
+        if self.reg_cache:
+            self._rdv_cache[bucket] = (region, mh)
+        return region, mh
+
+    # -- receive ---------------------------------------------------------------
+    def recv(self, tag: int | None = ANY_TAG) -> Op:
+        """Receive the next message matching ``tag`` (None = any)."""
+        while True:
+            hit = self._match_inbox(tag)
+            if hit is not None:
+                return hit
+            rts = self._match_rts(tag)
+            if rts is not None:
+                result = yield from self._recv_rendezvous(*rts)
+                return result
+            yield from self._progress()
+
+    def _match_inbox(self, tag):
+        for i, (mtag, data) in enumerate(self._inbox):
+            if tag is ANY_TAG or mtag == tag:
+                del self._inbox[i]
+                return (mtag, data)
+        return None
+
+    def _match_rts(self, tag):
+        for i, (mtag, mid, size) in enumerate(self._pending_rts):
+            if tag is ANY_TAG or mtag == tag:
+                del self._pending_rts[i]
+                return (mtag, mid, size)
+        return None
+
+    def _recv_rendezvous(self, tag: int, match_id: int, size: int) -> Op:
+        h = self.handle
+        region, mh = yield from self._rdv_buffer(size)
+        rdv = _Rendezvous(tag, match_id, size)
+        rdv.buffer, rdv.mh = region, mh
+        self._rdv_recv[match_id] = rdv
+        # CTS
+        yield from self._wait_credit()
+        h.write(self._send_buf,
+                _CTS.pack(_K_CTS, 0, match_id, region.base, mh.handle_id))
+        segs = [h.segment(self._send_buf, self._send_mh, 0, _CTS.size)]
+        cts = Descriptor.send(segs)
+        self._credits -= 1
+        yield from h.post_send(self.vi, cts)
+        yield from self._wait_send_complete(cts)
+        # FIN arrives as an immediate-data completion
+        while not rdv.done:
+            yield from self._progress()
+        del self._rdv_recv[match_id]
+        data = h.read(region, size)
+        yield from h.actor.copy(size, "user")
+        if not self.reg_cache:
+            yield from h.deregister_mem(mh)
+        return (tag, data)
+
+    # -- progress engine ----------------------------------------------------
+    def _progress(self) -> Op:
+        """Reap one receive completion and dispatch it."""
+        h = self.handle
+        desc = yield from h.recv_wait(self.vi, self.wait_mode)
+        region = desc.extra_region  # type: ignore[attr-defined]
+        if desc.control.immediate is not None:
+            # rendezvous FIN
+            rdv = self._rdv_recv.get(desc.control.immediate)
+            if rdv is None:
+                raise VipError(
+                    f"FIN for unknown rendezvous {desc.control.immediate}"
+                )
+            rdv.done = True
+        else:
+            raw = h.read(region, desc.control.length)
+            kind = raw[0]
+            if kind == _K_CTS:
+                _k, _t, mid, addr, hid = _CTS.unpack(raw[:_CTS.size])
+                self._cts_waiting[mid] = (addr, hid)
+            else:
+                _k, tag, mid, size = _HDR.unpack(raw[:_HDR.size])
+                if kind == _K_EAGER:
+                    self._inbox.append((tag, raw[_HDR.size:_HDR.size + size]))
+                elif kind == _K_RTS:
+                    self._pending_rts.append((tag, mid, size))
+                elif kind == _K_CREDIT:
+                    self._credits += size
+                else:
+                    raise VipError(f"unknown message kind {kind}")
+        # recycle the descriptor and return credits in batches
+        mh = next(m for r, m in self._recv_bufs if r is region)
+        desc.reset()
+        yield from self._post(region, mh)
+        self._pending_credit_return += 1
+        if (self._pending_credit_return >= self.pool // 2
+                and self._credits > 0):
+            yield from self._send_credits()
+
+    def _send_credits(self) -> Op:
+        h = self.handle
+        n = self._pending_credit_return
+        self._pending_credit_return = 0
+        h.write(self._send_buf, _HDR.pack(_K_CREDIT, 0, 0, n))
+        segs = [h.segment(self._send_buf, self._send_mh, 0, _HDR.size)]
+        desc = Descriptor.send(segs)
+        self._credits -= 1
+        yield from h.post_send(self.vi, desc)
+        yield from self._wait_send_complete(desc)
+        self.stats["credits_sent"] += 1

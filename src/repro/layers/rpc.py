@@ -1,0 +1,91 @@
+"""A synchronous RPC layer over VIA (the paper's client-server model).
+
+The Fig. 7 micro-benchmark approximates exactly this: fixed-size
+requests, variable-size replies, one transaction outstanding per VI.
+The layer adds method dispatch and framing on top of the raw pattern so
+the examples can run realistic request/reply services.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Generator
+
+from ..sim import Event
+from .msg import MsgEndpoint
+
+__all__ = ["RpcServer", "RpcClient", "RpcError"]
+
+Op = Generator[Event, Any, Any]
+
+_TAG_REQ = 0x9001
+_TAG_REP = 0x9002
+_CALL = struct.Struct(">HI")   # method index, payload length
+
+_STATUS_OK = 0
+_STATUS_NO_METHOD = 1
+_STATUS_EXCEPTION = 2
+
+
+class RpcError(Exception):
+    """The server failed to execute the call."""
+
+
+class RpcServer:
+    """Serves registered methods over one connection."""
+
+    def __init__(self, msg: MsgEndpoint) -> None:
+        self.msg = msg
+        self._methods: list[Callable[[bytes], bytes]] = []
+        self._names: dict[str, int] = {}
+        self.calls_served = 0
+
+    def register(self, name: str, fn: Callable[[bytes], bytes]) -> int:
+        """Register a handler; returns its method index."""
+        if name in self._names:
+            raise ValueError(f"method {name!r} already registered")
+        self._names[name] = len(self._methods)
+        self._methods.append(fn)
+        return self._names[name]
+
+    def method_index(self, name: str) -> int:
+        return self._names[name]
+
+    def serve(self, max_calls: int | None = None) -> Op:
+        """Answer calls until ``max_calls`` served (None = forever)."""
+        served = 0
+        while max_calls is None or served < max_calls:
+            _tag, raw = yield from self.msg.recv(_TAG_REQ)
+            index, length = _CALL.unpack(raw[:_CALL.size])
+            payload = raw[_CALL.size:_CALL.size + length]
+            if index >= len(self._methods):
+                reply = bytes([_STATUS_NO_METHOD])
+            else:
+                try:
+                    reply = bytes([_STATUS_OK]) + self._methods[index](payload)
+                except Exception as exc:  # application handler failed
+                    reply = bytes([_STATUS_EXCEPTION]) + str(exc).encode()
+            yield from self.msg.send(_TAG_REP, reply)
+            served += 1
+            self.calls_served += 1
+
+
+class RpcClient:
+    """Issues synchronous calls (one outstanding per client)."""
+
+    def __init__(self, msg: MsgEndpoint) -> None:
+        self.msg = msg
+        self.calls_made = 0
+
+    def call(self, method_index: int, payload: bytes = b"") -> Op:
+        """Invoke a method; returns the reply payload bytes."""
+        raw = _CALL.pack(method_index, len(payload)) + payload
+        yield from self.msg.send(_TAG_REQ, raw)
+        _tag, reply = yield from self.msg.recv(_TAG_REP)
+        self.calls_made += 1
+        status = reply[0]
+        if status == _STATUS_NO_METHOD:
+            raise RpcError(f"no such method index {method_index}")
+        if status == _STATUS_EXCEPTION:
+            raise RpcError(f"remote handler failed: {reply[1:].decode()}")
+        return reply[1:]

@@ -1,0 +1,14 @@
+"""Analysis models: LogP/LogGP extraction and latency breakdowns."""
+
+from .breakdown import Breakdown, latency_breakdown, render_breakdowns
+from .logp import LogGPFit, evaluate_fit, extract, fit_loggp
+
+__all__ = [
+    "Breakdown",
+    "LogGPFit",
+    "evaluate_fit",
+    "extract",
+    "fit_loggp",
+    "latency_breakdown",
+    "render_breakdowns",
+]

@@ -1,0 +1,163 @@
+"""Per-component latency breakdown (paper §3: "identify how much time
+is spent in each of the components in the implementation, and pinpoint
+the bottlenecks").
+
+Runs a single traced message transfer and telescopes its timeline into
+the architectural phases of a VIA send:
+
+====================  =====================================================
+phase                 boundary events
+====================  =====================================================
+post                  ``host/post_send`` → ``host/doorbell``
+staging               ``host/doorbell`` → ``nic/send_queued``
+                      (kernel copy + host translation on staged paths)
+dispatch              ``nic/send_queued`` → ``nic/desc_fetched``
+                      (engine wait, per-VI polling scan, descriptor DMA)
+translation           ``nic/desc_fetched`` → ``nic/tx_translated``
+tx_dma                ``nic/tx_translated`` → last ``nic/frag_out``
+wire                  last ``nic/frag_out`` → last ``nic/frag_in``
+                      (serialisation, switch, propagation, rx engine queue)
+rx_processing         last ``nic/frag_in`` → receiver ``via/completed``
+                      (placement translation + DMA + completion writeback)
+reap                  ``via/completed`` → receiver ``host/reaped``
+rx_kernel             ``host/reaped`` → ``host/reap_done``
+                      (staged paths: per-frame kernel work + copy-out)
+====================  =====================================================
+
+The phases telescope: they sum exactly to the observed one-way latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..providers.registry import ProviderSpec, Testbed
+from ..sim.trace import Tracer
+from ..via.descriptor import Descriptor
+
+__all__ = ["Breakdown", "latency_breakdown", "render_breakdowns"]
+
+PHASES = ("post", "staging", "dispatch", "translation", "tx_dma",
+          "wire", "rx_processing", "reap", "rx_kernel")
+
+
+@dataclass
+class Breakdown:
+    """Phase durations (µs) of one message's one-way journey."""
+
+    provider: str
+    size: int
+    phases: dict[str, float] = field(default_factory=dict)
+    total: float = 0.0
+
+    def bottleneck(self) -> str:
+        return max(self.phases, key=self.phases.get)
+
+    def table(self) -> str:
+        lines = [f"latency breakdown: {self.provider}, {self.size} B "
+                 f"(total {self.total:.2f} us)"]
+        for phase in PHASES:
+            us = self.phases.get(phase, 0.0)
+            share = us / self.total if self.total else 0.0
+            bar = "#" * int(round(share * 40))
+            lines.append(f"  {phase:<14s} {us:8.2f} us  {share:6.1%}  {bar}")
+        return "\n".join(lines)
+
+
+def latency_breakdown(provider: "str | ProviderSpec", size: int = 1024,
+                      seed: int = 0) -> Breakdown:
+    """Trace one send and decompose its one-way latency by phase."""
+    tb = Testbed(provider, seed=seed)
+    tracer = Tracer()
+    out: dict = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(size, 4))
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 3)
+        # warm every cache with one untraced message, then trace the next
+        segs = [h.segment(region, mh, 0, size)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+        while not out.get("warmed"):
+            yield tb.sim.timeout(5.0)
+        tb.sim.tracer = tracer
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(size, 4))
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, size)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(3)
+        yield from h.accept(req, vi)
+        yield from h.recv_wait(vi)
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        out["warmed"] = True
+        yield from h.recv_wait(vi)
+        out["done"] = tb.now
+
+    cproc = tb.spawn(client(), "client")
+    sproc = tb.spawn(server(), "server")
+    tb.run(cproc)
+    tb.run(sproc)
+
+    name = provider if isinstance(provider, str) else provider.name
+    return _parse(tracer, name, size)
+
+
+def _mark(tracer: Tracer, **kwargs) -> float:
+    ev = tracer.last(**kwargs)
+    if ev is None:
+        raise RuntimeError(f"missing trace event: {kwargs}")
+    return ev.t
+
+
+def _parse(tracer: Tracer, provider: str, size: int) -> Breakdown:
+    t_post = _mark(tracer, category="host", label="post_send", node="node0")
+    t_bell = _mark(tracer, category="host", label="doorbell", node="node0")
+    t_queued = _mark(tracer, category="nic", label="send_queued",
+                     node="node0")
+    t_fetched = _mark(tracer, category="nic", label="desc_fetched",
+                      node="node0")
+    t_translated = _mark(tracer, category="nic", label="tx_translated",
+                         node="node0")
+    t_out = _mark(tracer, category="nic", label="frag_out", node="node0")
+    t_in = _mark(tracer, category="nic", label="frag_in", node="node1")
+    t_done = _mark(tracer, category="via", label="completed", node="node1",
+                   queue="recv")
+    t_reaped = _mark(tracer, category="host", label="reaped", node="node1")
+    t_reap_done = _mark(tracer, category="host", label="reap_done",
+                        node="node1")
+
+    bd = Breakdown(provider, size)
+    bd.phases = {
+        "post": t_bell - t_post,
+        "staging": t_queued - t_bell,
+        "dispatch": t_fetched - t_queued,
+        "translation": t_translated - t_fetched,
+        "tx_dma": t_out - t_translated,
+        "wire": t_in - t_out,
+        "rx_processing": t_done - t_in,
+        "reap": t_reaped - t_done,
+        "rx_kernel": t_reap_done - t_reaped,
+    }
+    bd.total = t_reap_done - t_post
+    return bd
+
+
+def render_breakdowns(breakdowns: list[Breakdown]) -> str:
+    """Providers side by side, one row per phase (µs)."""
+    cols = ["phase"] + [f"{b.provider}@{b.size}B" for b in breakdowns]
+    rows = [cols]
+    for phase in PHASES:
+        rows.append([phase] + [f"{b.phases[phase]:.2f}" for b in breakdowns])
+    rows.append(["TOTAL"] + [f"{b.total:.2f}" for b in breakdowns])
+    widths = [max(len(r[i]) for r in rows) for i in range(len(cols))]
+    return "\n".join("  ".join(c.rjust(w) for c, w in zip(r, widths))
+                     for r in rows)

@@ -1,0 +1,44 @@
+"""Simulated VIA provider implementations (M-VIA, Berkeley VIA, cLAN)."""
+
+from .base import SimulatedProvider
+from .bvia import BVIA_CHOICES, BVIA_COSTS
+from .clan import CLAN_CHOICES, CLAN_COSTS
+from .custom import load_spec, spec_to_dict
+from .costs import (
+    CostModel,
+    DataPath,
+    DesignChoices,
+    DispatchKind,
+    DoorbellKind,
+    TableLocation,
+    TranslationAgent,
+    UnexpectedPolicy,
+)
+from .engine import NicEngine
+from .mvia import MVIA_CHOICES, MVIA_COSTS
+from .registry import PROVIDERS, ProviderSpec, Testbed, get_spec
+
+__all__ = [
+    "BVIA_CHOICES",
+    "BVIA_COSTS",
+    "CLAN_CHOICES",
+    "CLAN_COSTS",
+    "CostModel",
+    "DataPath",
+    "DesignChoices",
+    "DispatchKind",
+    "DoorbellKind",
+    "MVIA_CHOICES",
+    "MVIA_COSTS",
+    "NicEngine",
+    "PROVIDERS",
+    "ProviderSpec",
+    "SimulatedProvider",
+    "TableLocation",
+    "Testbed",
+    "TranslationAgent",
+    "UnexpectedPolicy",
+    "get_spec",
+    "load_spec",
+    "spec_to_dict",
+]

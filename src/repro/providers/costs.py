@@ -1,0 +1,168 @@
+"""Design-choice taxonomy and cost models for simulated VIA providers.
+
+The taxonomy follows Banikazemi et al., *Comparison and Evaluation of
+Design Choices for Implementing the Virtual Interface Architecture*
+(CANPC 2000) — the paper's own reference [5] for the design space:
+
+- who performs virtual→physical **translation** (host kernel vs NIC),
+- where the **translation tables** live (host memory vs NIC memory),
+- how the **doorbell** is implemented (MMIO store vs kernel trap),
+- whether the **data path** is zero-copy DMA or staged through kernel
+  buffers,
+- how the NIC **dispatches** posted work (hardware-indexed doorbells vs
+  firmware polling every open VI's queue).
+
+:class:`CostModel` holds every timing constant, in microseconds.  These
+constants are *calibration data*: chosen so the three concrete providers
+land near the paper's measured magnitudes (Table 1, Figs. 1–7).  The
+mechanisms that consume them are in :mod:`repro.providers.engine`; the
+shapes of the benchmark curves come from the mechanisms, not from these
+numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from ..via.constants import Reliability
+
+__all__ = [
+    "TranslationAgent",
+    "TableLocation",
+    "DoorbellKind",
+    "DataPath",
+    "DispatchKind",
+    "UnexpectedPolicy",
+    "DesignChoices",
+    "CostModel",
+]
+
+
+class TranslationAgent(enum.Enum):
+    """Who walks the translation table for each transfer."""
+
+    HOST = "host"
+    NIC = "nic"
+
+
+class TableLocation(enum.Enum):
+    """Where translation entries live (NIC-resident tables never miss)."""
+
+    HOST_MEMORY = "host_memory"
+    NIC_MEMORY = "nic_memory"
+
+
+class DoorbellKind(enum.Enum):
+    MMIO = "mmio"          # user-space store to a mapped NIC page
+    SYSCALL = "syscall"    # kernel trap (software VIA emulation)
+
+
+class DataPath(enum.Enum):
+    ZERO_COPY = "zero_copy"  # NIC DMAs user buffers directly
+    STAGED = "staged"        # host copies through kernel buffers
+
+
+class DispatchKind(enum.Enum):
+    DIRECT = "direct"   # doorbell indexes the work queue directly
+    POLLED = "polled"   # firmware scans every open VI's queue round-robin
+
+
+class UnexpectedPolicy(enum.Enum):
+    """What happens to data arriving with no receive descriptor posted."""
+
+    DROP = "drop"      # discard (unreliable semantics)
+    BUFFER = "buffer"  # stage in kernel buffers, deliver at post time
+    RETRY = "retry"    # NAK; the sender NIC retransmits
+
+
+@dataclass(frozen=True)
+class DesignChoices:
+    """The architectural knobs distinguishing VIA implementations."""
+
+    translation_agent: TranslationAgent
+    table_location: TableLocation
+    doorbell: DoorbellKind
+    data_path: DataPath
+    dispatch: DispatchKind
+    unexpected: UnexpectedPolicy
+    cq_in_hardware: bool
+    supports_rdma_read: bool
+    default_reliability: Reliability
+    nic_tlb_entries: int = 64
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Every provider timing constant, in microseconds (sizes in bytes)."""
+
+    # -- non-data-transfer operations (Table 1) --------------------------
+    vi_create: float
+    vi_destroy: float
+    cq_create: float
+    cq_destroy: float
+    conn_client: float          # client CPU share of connection setup
+    conn_server: float          # server CPU share of connection setup
+    conn_teardown_active: float
+    conn_teardown_passive: float
+
+    # -- memory registration (Figs. 1 & 2) --------------------------------
+    reg_base: float
+    reg_per_page: float
+    dereg_base: float
+    dereg_per_page: float
+
+    # -- host-side data-transfer costs -------------------------------------
+    post_cost: float            # build + enqueue a descriptor
+    doorbell_cost: float        # ring (MMIO store or kernel trap)
+    host_translation_per_page: float  # HOST translation agent only
+    reap_cost: float            # each Done/Wait completion check
+    recv_host_per_frag: float   # host kernel work per fragment (STAGED)
+    blocking_wakeup: float      # charged handler time on BLOCK wakeups
+
+    # -- NIC engine costs -----------------------------------------------------
+    nic_dispatch_per_vi: float  # POLLED dispatch: scan cost per open VI
+    nic_desc_fetch: float       # parse a descriptor (engine time)
+    nic_per_segment: float      # extra parse per data segment beyond first
+    nic_tx_per_frag: float      # engine occupancy per outgoing fragment
+    nic_rx_per_frag: float      # engine occupancy per incoming fragment
+    tlb_hit: float              # NIC translation, entry resident
+    tlb_miss: float             # NIC translation, entry fetched from host
+    completion_write: float     # status writeback to host memory
+    cq_notify: float            # deposit a CQ entry (0 when hardware CQ)
+    ack_tx: float               # generate an acknowledgement
+    ack_rx: float               # absorb an acknowledgement
+
+    #: uncharged interrupt latency preceding a BLOCK wakeup (the latency
+    #: penalty of blocking is blocking_delay + blocking_wakeup; only the
+    #: wakeup part shows up in getrusage)
+    blocking_delay: float = 0.0
+
+    # -- reliability machinery ---------------------------------------------
+    rto: float = 1_000.0        # retransmission timeout
+    max_retries: int = 8
+
+    # -- limits -------------------------------------------------------------
+    max_transfer_size: int = 65536
+    max_segments: int = 16
+    max_outstanding: int = 1024  # per work queue
+    desc_fetch_bytes: int = 64   # DMA size of a descriptor fetch
+    tlb_entry_bytes: int = 32    # DMA size of a table-entry fetch
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A uniformly faster/slower variant (for ablation studies)."""
+        fields = {
+            name: getattr(self, name) * factor
+            for name in (
+                "vi_create", "vi_destroy", "cq_create", "cq_destroy",
+                "conn_client", "conn_server", "conn_teardown_active",
+                "conn_teardown_passive", "reg_base", "reg_per_page",
+                "dereg_base", "dereg_per_page", "post_cost", "doorbell_cost",
+                "host_translation_per_page", "reap_cost",
+                "recv_host_per_frag", "blocking_wakeup",
+                "nic_dispatch_per_vi", "nic_desc_fetch", "nic_per_segment",
+                "nic_tx_per_frag", "nic_rx_per_frag", "tlb_hit", "tlb_miss",
+                "completion_write", "cq_notify", "ack_tx", "ack_rx",
+            )
+        }
+        return replace(self, **fields)

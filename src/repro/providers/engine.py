@@ -1,0 +1,761 @@
+"""The NIC-side protocol engine shared by all simulated providers.
+
+This module implements the data-transfer machinery: descriptor
+dispatch, translation, DMA, fragmentation, wire transmission, receive
+matching/placement, completion writeback, CQ notification, the three
+reliability levels (local completion, delivery ack, reception ack),
+NAK-driven retry, retransmission timers, and RDMA read/write.
+
+Which costs are paid where is governed by the provider's
+:class:`~repro.providers.costs.DesignChoices` — the same engine
+reproduces M-VIA, Berkeley VIA and cLAN behaviour purely through those
+knobs plus the provider's :class:`~repro.providers.costs.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Iterable
+
+from ..hw.link import Packet
+from ..hw.memory import page_span
+from ..sim import Event
+from ..via.constants import (
+    ACK_WIRE_BYTES,
+    CompletionStatus,
+    DescriptorOp,
+    Reliability,
+    ViState,
+)
+from ..via.descriptor import Descriptor
+from ..via.errors import VipProtectionError
+from ..via.vi import VI, WorkQueue
+from .costs import (
+    DataPath,
+    DispatchKind,
+    TableLocation,
+    TranslationAgent,
+    UnexpectedPolicy,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .base import SimulatedProvider
+
+__all__ = [
+    "DataFrag",
+    "RdmaReadReq",
+    "AckPayload",
+    "NicEngine",
+]
+
+Op = Generator[Event, Any, Any]
+
+
+# ---------------------------------------------------------------------------
+# wire payloads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DataFrag:
+    """One fragment of a message, an RDMA write, or an RDMA read response."""
+
+    src_vi: int
+    dst_vi: int
+    seq: int
+    frag: int
+    nfrags: int
+    offset: int          # byte offset of this fragment within the message
+    total_len: int
+    data: bytes
+    op: str              # "send" | "rdma_write" | "read_resp"
+    immediate: int | None = None
+    remote_addr: int | None = None    # rdma_write placement base
+    remote_handle: int | None = None
+    read_id: int | None = None        # read_resp correlation
+
+
+@dataclass(frozen=True)
+class RdmaReadReq:
+    src_vi: int          # initiator VI (for the response)
+    dst_vi: int          # target VI
+    read_id: int
+    remote_addr: int
+    remote_handle: int
+    length: int
+
+
+@dataclass(frozen=True)
+class AckPayload:
+    dst_vi: int          # the *sender's* VI (where the send descriptor waits)
+    seq: int
+    kind: str            # "ack" | "nak_retry" | "nak_prot"
+
+
+@dataclass
+class _SendState:
+    """Sender-side record of an un-acknowledged reliable message."""
+
+    vi: VI
+    desc: Descriptor
+    frags: list[DataFrag]
+    dst_node: str
+    acked: bool = False
+    retries: int = 0
+
+
+@dataclass
+class _RxState:
+    """Receiver-side reassembly cursor for the in-flight message on a VI."""
+
+    seq: int
+    total_len: int
+    nfrags: int
+    desc: Descriptor | None          # bound receive descriptor (None = drop/buffer)
+    buffer: bytearray | None
+    received: int = 0
+    status: CompletionStatus = CompletionStatus.SUCCESS
+    immediate: int | None = None
+    buffering: bool = False          # unexpected message being kernel-buffered
+
+
+@dataclass
+class _BufferedMsg:
+    """A kernel-buffered unexpected message (BUFFER policy)."""
+
+    data: bytes
+    immediate: int | None
+    total_len: int
+
+
+# ---------------------------------------------------------------------------
+# gather/scatter helpers (pure, time-free; DMA time is charged separately)
+# ---------------------------------------------------------------------------
+
+def gather(mem, desc: Descriptor) -> bytes:
+    """Read a descriptor's gather list out of host memory."""
+    parts = [mem.read(seg.address, seg.length) for seg in desc.segments if seg.length]
+    return b"".join(parts)
+
+
+def scatter(mem, desc: Descriptor, data: bytes) -> None:
+    """Write ``data`` across a descriptor's scatter list, in order."""
+    off = 0
+    for seg in desc.segments:
+        if off >= len(data):
+            break
+        chunk = data[off : off + seg.length]
+        mem.write(seg.address, chunk)
+        off += len(chunk)
+
+
+def segment_pages(segments: Iterable, page_size: int) -> list[int]:
+    """All virtual pages touched by a list of data segments."""
+    pages: list[int] = []
+    seen: set[int] = set()
+    for seg in segments:
+        if seg.length == 0:
+            continue
+        for p in page_span(seg.address, seg.length, page_size):
+            if p not in seen:
+                seen.add(p)
+                pages.append(p)
+    return pages
+
+
+def fragment_sizes(total: int, mtu: int) -> list[int]:
+    """Fragment byte counts for a message (always at least one fragment)."""
+    if total == 0:
+        return [0]
+    sizes = []
+    remaining = total
+    while remaining > 0:
+        take = min(mtu, remaining)
+        sizes.append(take)
+        remaining -= take
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class NicEngine:
+    """Protocol engine bound to one provider/node."""
+
+    def __init__(self, provider: "SimulatedProvider") -> None:
+        self.p = provider
+        self.sim = provider.sim
+        self.node = provider.node
+        self.nic = provider.node.nic
+        self.costs = provider.costs
+        self.choices = provider.choices
+        self.nic.rx_handler = self.on_packet
+        self._unacked: dict[tuple[int, int], _SendState] = {}
+        self._pending_reads: dict[int, tuple[VI, Descriptor, bytearray, int]] = {}
+        self._buffered: dict[int, list[_BufferedMsg]] = {}
+        #: vi_id -> seq of a duplicate RDMA write whose fragments we skip
+        self._rdma_skip: dict[int, int] = {}
+        self._next_read_id = 1
+        # observability
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.retransmissions = 0
+        self.naks_sent = 0
+        self.drops = 0
+
+    # -- small helpers -------------------------------------------------------
+    @property
+    def mtu(self) -> int:
+        return self.p.mtu
+
+    def _peer_node(self, vi: VI) -> str:
+        assert vi.peer is not None
+        return vi.peer[0]
+
+    def _translate_pages(self, pages: list[int]) -> Op:
+        """NIC-agent translation: TLB hits/misses with table fetches."""
+        c = self.costs
+        if self.choices.table_location is TableLocation.NIC_MEMORY:
+            # Full table on the NIC: every lookup is a hit by construction.
+            if pages:
+                yield self.sim.timeout(c.tlb_hit * len(pages))
+            return
+        table = self.node.mem.page_table
+        for vpage in pages:
+            frame = self.nic.tlb.lookup(vpage)
+            if frame is None:
+                # fetch the entry from the host-resident table over the bus
+                yield self.sim.timeout(c.tlb_miss)
+                yield from self.nic.dma.transfer(c.tlb_entry_bytes)
+                frame = table.translate(vpage)
+                self.nic.tlb.insert(vpage, frame)
+            else:
+                yield self.sim.timeout(c.tlb_hit)
+
+    def _finish(self, wq: WorkQueue, desc: Descriptor,
+                status: CompletionStatus, length: int) -> Op:
+        """Complete a descriptor: status writeback + CQ deposit + wakeups.
+
+        FIFO order is preserved by :meth:`WorkQueue.finish` — an
+        out-of-order result is parked until everything ahead of it has
+        finished."""
+        c = self.costs
+        yield self.sim.timeout(c.completion_write)
+        if wq.cq is not None and not self.choices.cq_in_hardware:
+            yield self.sim.timeout(c.cq_notify)
+        wq.finish(desc, status, length)
+        self.sim.trace("via", "completed", self.node.name,
+                       desc=desc.desc_id, queue=wq.kind,
+                       status=status.value)
+
+    def _tx_packet(self, dst_node: str, kind: str, size: int, payload) -> None:
+        """Fire-and-forget transmission (its own process, FIFO behind others)."""
+        pkt = Packet(src=self.node.name, dst=dst_node, kind=kind,
+                     size=size, payload=payload)
+        self.sim.process(self.nic.transmit(pkt), name=f"tx-{kind}")
+
+    # =====================================================================
+    # send path
+    # =====================================================================
+
+    def send_message(self, vi: VI, desc: Descriptor) -> Op:
+        """Process one posted send/RDMA descriptor (runs as a process)."""
+        c = self.costs
+        ch = self.choices
+        self.sim.trace("nic", "send_queued", self.node.name,
+                       vi=vi.vi_id, desc=desc.desc_id)
+        yield self.nic.send_engine.request()
+        try:
+            self.sim.trace("nic", "engine_acquired", self.node.name,
+                           vi=vi.vi_id, desc=desc.desc_id)
+            if ch.dispatch is DispatchKind.POLLED:
+                # firmware scans every open VI's queue before finding ours
+                yield self.sim.timeout(c.nic_dispatch_per_vi * self.p.open_vi_count)
+            if ch.data_path is DataPath.ZERO_COPY:
+                yield from self.nic.dma.transfer(c.desc_fetch_bytes)
+            extra_segs = max(0, len(desc.segments) - 1)
+            yield self.sim.timeout(c.nic_desc_fetch + c.nic_per_segment * extra_segs)
+
+            if desc.op is DescriptorOp.RDMA_READ:
+                yield from self._issue_rdma_read(vi, desc)
+                return  # completion arrives with the response
+
+            self.sim.trace("nic", "desc_fetched", self.node.name,
+                           vi=vi.vi_id, desc=desc.desc_id)
+            if (ch.translation_agent is TranslationAgent.NIC
+                    and ch.data_path is DataPath.ZERO_COPY):
+                pages = segment_pages(desc.segments, self.node.mem.page_size)
+                yield from self._translate_pages(pages)
+            self.sim.trace("nic", "tx_translated", self.node.name,
+                           vi=vi.vi_id, desc=desc.desc_id)
+
+            data = gather(self.node.mem, desc)
+            frags = self._build_frags(vi, desc, data)
+            reliable = vi.reliability is not Reliability.UNRELIABLE
+            if reliable:
+                state = _SendState(vi, desc, frags, self._peer_node(vi))
+                self._unacked[(vi.vi_id, frags[0].seq)] = state
+                if self.p.loss_possible:
+                    self.sim.process(self._retransmit_timer(state),
+                                     name=f"rto-vi{vi.vi_id}")
+            for frag in frags:
+                yield from self.nic.dma.transfer(len(frag.data))
+                yield self.sim.timeout(c.nic_tx_per_frag)
+                self.sim.trace("nic", "frag_out", self.node.name,
+                               vi=vi.vi_id, seq=frag.seq, frag=frag.frag)
+                self._tx_packet(self._peer_node(vi), "via-data",
+                                len(frag.data), frag)
+            self.messages_sent += 1
+        finally:
+            self.nic.send_engine.release()
+        if vi.reliability is Reliability.UNRELIABLE:
+            # local completion: data is out of the user buffer
+            yield from self._finish(vi.send_q, desc,
+                                    CompletionStatus.SUCCESS, desc.total_length)
+
+    def _build_frags(self, vi: VI, desc: Descriptor, data: bytes) -> list[DataFrag]:
+        assert vi.peer is not None
+        seq = vi.next_send_seq
+        vi.next_send_seq += 1
+        op = "rdma_write" if desc.op is DescriptorOp.RDMA_WRITE else "send"
+        sizes = fragment_sizes(len(data), self.mtu)
+        frags = []
+        offset = 0
+        for i, size in enumerate(sizes):
+            frags.append(
+                DataFrag(
+                    src_vi=vi.vi_id,
+                    dst_vi=vi.peer[1],
+                    seq=seq,
+                    frag=i,
+                    nfrags=len(sizes),
+                    offset=offset,
+                    total_len=len(data),
+                    data=data[offset : offset + size],
+                    op=op,
+                    immediate=desc.control.immediate,
+                    remote_addr=(desc.address_segment.address
+                                 if desc.address_segment else None),
+                    remote_handle=(desc.address_segment.remote_handle_id
+                                   if desc.address_segment else None),
+                )
+            )
+            offset += size
+        return frags
+
+    def _issue_rdma_read(self, vi: VI, desc: Descriptor) -> Op:
+        assert vi.peer is not None and desc.address_segment is not None
+        read_id = self._next_read_id
+        self._next_read_id += 1
+        length = desc.total_length
+        self._pending_reads[read_id] = (vi, desc, bytearray(length), 0)
+        req = RdmaReadReq(
+            src_vi=vi.vi_id,
+            dst_vi=vi.peer[1],
+            read_id=read_id,
+            remote_addr=desc.address_segment.address,
+            remote_handle=desc.address_segment.remote_handle_id,
+            length=length,
+        )
+        yield self.sim.timeout(self.costs.nic_tx_per_frag)
+        self._tx_packet(vi.peer[0], "via-read", ACK_WIRE_BYTES, req)
+
+    def _retransmit_timer(self, state: _SendState) -> Op:
+        c = self.costs
+        while not state.acked and state.retries < c.max_retries:
+            yield self.sim.timeout(c.rto)
+            if state.acked:
+                return
+            state.retries += 1
+            yield from self._resend(state)
+        if not state.acked:
+            yield from self._transport_failure(state)
+
+    def _transport_failure(self, state: _SendState) -> Op:
+        """Retries exhausted: the connection is broken (VIA semantics).
+
+        The failing descriptor completes with TRANSPORT_ERROR, the VI
+        transitions to the ERROR state, and everything else still posted
+        on it is flushed — a catastrophic error is a connection-level
+        event, not a per-descriptor one."""
+        vi = state.vi
+        self._unacked.pop((vi.vi_id, state.frags[0].seq), None)
+        yield from self._finish(vi.send_q, state.desc,
+                                CompletionStatus.TRANSPORT_ERROR, 0)
+        if vi.state is ViState.CONNECTED:
+            vi.to_state(ViState.ERROR)
+            # drop every other pending reliable message on this VI
+            for key in [k for k in self._unacked if k[0] == vi.vi_id]:
+                self._unacked[key].acked = True  # silence its timer
+                del self._unacked[key]
+            vi.send_q.flush()
+            vi.recv_q.flush()
+
+    def _resend(self, state: _SendState) -> Op:
+        c = self.costs
+        self.retransmissions += 1
+        yield self.nic.send_engine.request()
+        try:
+            for frag in state.frags:
+                yield from self.nic.dma.transfer(len(frag.data))
+                yield self.sim.timeout(c.nic_tx_per_frag)
+                self._tx_packet(state.dst_node, "via-data", len(frag.data), frag)
+        finally:
+            self.nic.send_engine.release()
+
+    # =====================================================================
+    # receive path
+    # =====================================================================
+
+    def on_packet(self, pkt: Packet) -> None:
+        """NIC rx_handler: dispatch by payload type."""
+        pl = pkt.payload
+        if isinstance(pl, DataFrag):
+            self.sim.process(self._rx_data(pl), name="rx-data")
+        elif isinstance(pl, AckPayload):
+            self.sim.process(self._rx_ack(pl), name="rx-ack")
+        elif isinstance(pl, RdmaReadReq):
+            self.sim.process(self._rx_read_req(pl), name="rx-read")
+        else:
+            # connection-management traffic is handled by the provider
+            self.p.handle_control_packet(pl)
+
+    def _rx_data(self, pl: DataFrag) -> Op:
+        c = self.costs
+        yield self.nic.recv_engine.request()
+        try:
+            yield self.sim.timeout(c.nic_rx_per_frag)
+            self.sim.trace("nic", "frag_in", self.node.name,
+                           vi=pl.dst_vi, seq=pl.seq, frag=pl.frag)
+            vi = self.p.vis.get(pl.dst_vi)
+            if vi is None or not vi.is_connected:
+                self.drops += 1
+                return
+            if pl.op == "read_resp":
+                yield from self._rx_read_resp(pl)
+            elif pl.op == "rdma_write":
+                yield from self._rx_rdma_write(vi, pl)
+            else:
+                yield from self._rx_send(vi, pl)
+        finally:
+            self.nic.recv_engine.release()
+
+    # -- ordinary sends ---------------------------------------------------
+    def _rx_send(self, vi: VI, pl: DataFrag) -> Op:
+        c = self.costs
+        st: _RxState | None = vi.rx_state
+        if pl.frag == 0:
+            if self._duplicate(vi, pl):
+                return
+            st = self._bind_rx(vi, pl)
+            vi.rx_state = st
+        if st is None or st.seq != pl.seq:
+            # stale fragment of a dropped/retried message
+            self.drops += 1
+            return
+        # placement (skipped when dropping or when a length error occurred)
+        if st.buffer is not None and st.status is CompletionStatus.SUCCESS:
+            if (self.choices.translation_agent is TranslationAgent.NIC
+                    and self.choices.data_path is DataPath.ZERO_COPY
+                    and st.desc is not None):
+                pages = self._placement_pages(st.desc, pl.offset, len(pl.data))
+                yield from self._translate_pages(pages)
+            yield from self.nic.dma.transfer(len(pl.data))
+            st.buffer[pl.offset : pl.offset + len(pl.data)] = pl.data
+        st.received += 1
+        if st.received < pl.nfrags:
+            return
+        # ---- last fragment: message is complete ----
+        vi.rx_state = None
+        self.messages_received += 1
+        reliable = vi.reliability is not Reliability.UNRELIABLE
+        if reliable and vi.reliability is Reliability.RELIABLE_DELIVERY:
+            yield from self._send_ack(vi, pl.seq, "ack")
+        if st.buffering:
+            self._buffered.setdefault(vi.vi_id, []).append(
+                _BufferedMsg(bytes(st.buffer or b""), st.immediate, st.total_len)
+            )
+            self.p.notify_buffered(vi)
+        elif st.desc is not None:
+            if st.status is CompletionStatus.SUCCESS and st.buffer is not None:
+                scatter(self.node.mem, st.desc, bytes(st.buffer))
+                st.desc.control.immediate = st.immediate
+            length = st.total_len if st.status is CompletionStatus.SUCCESS else 0
+            yield from self._finish(vi.recv_q, st.desc, st.status, length)
+        if reliable and vi.reliability is Reliability.RELIABLE_RECEPTION:
+            yield from self._send_ack(vi, pl.seq, "ack")
+
+    def _duplicate(self, vi: VI, pl: DataFrag) -> bool:
+        """Exactly-once filtering: a retransmission of an already-accepted
+        message must not consume another descriptor.  Re-ack it so the
+        sender (whose ack was evidently lost) can complete."""
+        if pl.seq >= vi.expected_rx_seq:
+            return False
+        if vi.reliability is not Reliability.UNRELIABLE:
+            self.sim.process(self._send_ack(vi, pl.seq, "ack"), name="re-ack")
+        self.drops += 1
+        return True
+
+    def _bind_rx(self, vi: VI, pl: DataFrag) -> _RxState | None:
+        """First fragment of a message: match it to a receive descriptor."""
+        desc = vi.recv_q.claim()
+        if desc is None:
+            return self._unexpected(vi, pl)
+        vi.expected_rx_seq = pl.seq + 1
+        st = _RxState(seq=pl.seq, total_len=pl.total_len, nfrags=pl.nfrags,
+                      desc=desc, buffer=bytearray(pl.total_len),
+                      immediate=pl.immediate)
+        if pl.total_len > desc.total_length:
+            st.status = CompletionStatus.LENGTH_ERROR
+            st.buffer = None
+        return st
+
+    def _unexpected(self, vi: VI, pl: DataFrag) -> _RxState | None:
+        """No receive descriptor posted: DROP, BUFFER, or NAK-retry.
+
+        Only the NAK path leaves ``expected_rx_seq`` alone — the sender
+        will retransmit the same sequence number and it must then be
+        accepted, not filtered as a duplicate."""
+        if vi.reliability is not Reliability.UNRELIABLE:
+            # reliable modes: the sender must retry until a descriptor shows up
+            self.naks_sent += 1
+            self.sim.process(self._nak_later(vi, pl.seq), name="nak")
+            return None
+        vi.expected_rx_seq = pl.seq + 1
+        if self.choices.unexpected is UnexpectedPolicy.BUFFER:
+            return _RxState(seq=pl.seq, total_len=pl.total_len, nfrags=pl.nfrags,
+                            desc=None, buffer=bytearray(pl.total_len),
+                            immediate=pl.immediate, buffering=True)
+        self.drops += 1
+        return _RxState(seq=pl.seq, total_len=pl.total_len, nfrags=pl.nfrags,
+                        desc=None, buffer=None)
+
+    def _nak_later(self, vi: VI, seq: int) -> Op:
+        yield self.sim.timeout(self.costs.ack_tx)
+        yield from self._send_ack_now(vi, seq, "nak_retry")
+
+    def _placement_pages(self, desc: Descriptor, offset: int, length: int) -> list[int]:
+        """Pages touched when placing ``length`` bytes at message ``offset``."""
+        if length == 0:
+            return []
+        pages: list[int] = []
+        seen: set[int] = set()
+        cursor = 0
+        remaining_off = offset
+        remaining_len = length
+        for seg in desc.segments:
+            if remaining_len <= 0:
+                break
+            if remaining_off >= seg.length:
+                remaining_off -= seg.length
+                continue
+            start = seg.address + remaining_off
+            take = min(seg.length - remaining_off, remaining_len)
+            for p in page_span(start, take, self.node.mem.page_size):
+                if p not in seen:
+                    seen.add(p)
+                    pages.append(p)
+            remaining_len -= take
+            remaining_off = 0
+            cursor += take
+        return pages
+
+    # -- RDMA write -----------------------------------------------------------
+    def _rx_rdma_write(self, vi: VI, pl: DataFrag) -> Op:
+        c = self.costs
+        assert pl.remote_addr is not None and pl.remote_handle is not None
+        if pl.frag == 0:
+            if self._duplicate(vi, pl):
+                if pl.nfrags > 1:
+                    self._rdma_skip[vi.vi_id] = pl.seq
+                return
+            self._rdma_skip.pop(vi.vi_id, None)
+            vi.expected_rx_seq = pl.seq + 1
+        elif self._rdma_skip.get(vi.vi_id) == pl.seq:
+            if pl.frag + 1 == pl.nfrags:
+                del self._rdma_skip[vi.vi_id]
+            return
+        try:
+            self.p.registry.check_rdma_target(
+                pl.remote_addr + pl.offset, len(pl.data), pl.remote_handle,
+                write=True,
+            )
+        except VipProtectionError:
+            yield from self._send_ack(vi, pl.seq, "nak_prot")
+            self.drops += 1
+            return
+        if self.choices.translation_agent is TranslationAgent.NIC:
+            base = pl.remote_addr + pl.offset
+            pages = list(page_span(base, max(len(pl.data), 1),
+                                   self.node.mem.page_size))
+            yield from self._translate_pages(pages)
+        yield from self.nic.dma.transfer(len(pl.data))
+        if pl.data:
+            self.node.mem.write(pl.remote_addr + pl.offset, pl.data)
+        if pl.frag + 1 < pl.nfrags:
+            return
+        # last fragment of the RDMA write
+        self.messages_received += 1
+        if vi.reliability is not Reliability.UNRELIABLE:
+            yield from self._send_ack(vi, pl.seq, "ack")
+        if pl.immediate is not None:
+            # immediate-data RDMA write consumes a receive descriptor
+            desc = vi.recv_q.claim()
+            if desc is not None:
+                desc.control.immediate = pl.immediate
+                yield from self._finish(vi.recv_q, desc,
+                                        CompletionStatus.SUCCESS, pl.total_len)
+            elif vi.reliability is Reliability.UNRELIABLE:
+                self.drops += 1
+
+    # -- RDMA read -------------------------------------------------------------
+    def _rx_read_req(self, pl: RdmaReadReq) -> Op:
+        """Target side of an RDMA read: stream the data back."""
+        c = self.costs
+        yield self.nic.recv_engine.request()
+        try:
+            yield self.sim.timeout(c.nic_rx_per_frag)
+            vi = self.p.vis.get(pl.dst_vi)
+            if vi is None or not vi.is_connected:
+                self.drops += 1
+                return
+            try:
+                self.p.registry.check_rdma_target(
+                    pl.remote_addr, pl.length, pl.remote_handle, write=False
+                )
+            except VipProtectionError:
+                yield from self._send_ack_now(vi, pl.read_id, "nak_read")
+                return
+        finally:
+            self.nic.recv_engine.release()
+        self.sim.process(self._stream_read_resp(vi, pl), name="read-resp")
+
+    def _stream_read_resp(self, vi: VI, pl: RdmaReadReq) -> Op:
+        c = self.costs
+        data = self.node.mem.read(pl.remote_addr, pl.length)
+        sizes = fragment_sizes(len(data), self.mtu)
+        yield self.nic.send_engine.request()
+        try:
+            if self.choices.translation_agent is TranslationAgent.NIC:
+                pages = list(page_span(pl.remote_addr, max(pl.length, 1),
+                                       self.node.mem.page_size))
+                yield from self._translate_pages(pages)
+            offset = 0
+            for i, size in enumerate(sizes):
+                frag = DataFrag(
+                    src_vi=pl.dst_vi, dst_vi=pl.src_vi, seq=pl.read_id,
+                    frag=i, nfrags=len(sizes), offset=offset,
+                    total_len=len(data), data=data[offset : offset + size],
+                    op="read_resp", read_id=pl.read_id,
+                )
+                yield from self.nic.dma.transfer(size)
+                yield self.sim.timeout(c.nic_tx_per_frag)
+                self._tx_packet(self._peer_node(vi), "via-data", size, frag)
+                offset += size
+        finally:
+            self.nic.send_engine.release()
+
+    def _rx_read_resp(self, pl: DataFrag) -> Op:
+        assert pl.read_id is not None
+        entry = self._pending_reads.get(pl.read_id)
+        if entry is None:
+            self.drops += 1
+            return
+        vi, desc, buf, received = entry
+        if self.choices.translation_agent is TranslationAgent.NIC:
+            pages = self._placement_pages(desc, pl.offset, len(pl.data))
+            yield from self._translate_pages(pages)
+        yield from self.nic.dma.transfer(len(pl.data))
+        buf[pl.offset : pl.offset + len(pl.data)] = pl.data
+        received += 1
+        if received < pl.nfrags:
+            self._pending_reads[pl.read_id] = (vi, desc, buf, received)
+            return
+        del self._pending_reads[pl.read_id]
+        scatter(self.node.mem, desc, bytes(buf))
+        yield from self._finish(vi.send_q, desc,
+                                CompletionStatus.SUCCESS, pl.total_len)
+
+    # -- acknowledgements ----------------------------------------------------
+    def _send_ack(self, vi: VI, seq: int, kind: str) -> Op:
+        yield self.sim.timeout(self.costs.ack_tx)
+        yield from self._send_ack_now(vi, seq, kind)
+
+    def _send_ack_now(self, vi: VI, seq: int, kind: str) -> Op:
+        assert vi.peer is not None
+        payload = AckPayload(dst_vi=vi.peer[1], seq=seq, kind=kind)
+        self._tx_packet(vi.peer[0], "via-ack", ACK_WIRE_BYTES, payload)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _rx_ack(self, pl: AckPayload) -> Op:
+        c = self.costs
+        yield self.nic.recv_engine.request()
+        try:
+            yield self.sim.timeout(c.ack_rx)
+        finally:
+            self.nic.recv_engine.release()
+        if pl.kind == "nak_read":
+            # protection NAK for an RDMA read request (seq carries read_id)
+            entry = self._pending_reads.pop(pl.seq, None)
+            if entry is not None:
+                vi, desc, _buf, _recv = entry
+                yield from self._finish(vi.send_q, desc,
+                                        CompletionStatus.PROTECTION_ERROR, 0)
+            return
+        state = self._unacked.get((pl.dst_vi, pl.seq))
+        if state is None:
+            return
+        if pl.kind == "ack":
+            state.acked = True
+            del self._unacked[(pl.dst_vi, pl.seq)]
+            yield from self._finish(state.vi.send_q, state.desc,
+                                    CompletionStatus.SUCCESS,
+                                    state.desc.total_length)
+        elif pl.kind == "nak_retry":
+            state.retries += 1
+            if state.retries > c.max_retries:
+                state.acked = True  # stop the timer
+                yield from self._transport_failure(state)
+            else:
+                yield self.sim.timeout(c.rto / 4)  # retry backoff
+                yield from self._resend(state)
+        elif pl.kind == "nak_prot":
+            state.acked = True
+            del self._unacked[(pl.dst_vi, pl.seq)]
+            yield from self._finish(state.vi.send_q, state.desc,
+                                    CompletionStatus.PROTECTION_ERROR, 0)
+
+    # -- BUFFER policy: deliver kernel-buffered messages at post time -----
+    def pop_buffered(self, vi: VI) -> _BufferedMsg | None:
+        msgs = self._buffered.get(vi.vi_id)
+        if msgs:
+            msg = msgs.pop(0)
+            if not msgs:
+                del self._buffered[vi.vi_id]
+            return msg
+        return None
+
+    def has_buffered(self, vi: VI) -> bool:
+        return bool(self._buffered.get(vi.vi_id))
+
+    def deliver_buffered(self, vi: VI) -> Op:
+        """Marry kernel-buffered unexpected messages with posted receives.
+
+        Runs as its own process whenever either side (a buffered arrival
+        or a fresh post) might have created a match; claims descriptors
+        so concurrent deliveries and wire arrivals never collide."""
+        while self.has_buffered(vi):
+            desc = vi.recv_q.claim()
+            if desc is None:
+                return
+            msg = self.pop_buffered(vi)
+            assert msg is not None
+            if msg.total_len > desc.total_length:
+                yield from self._finish(vi.recv_q, desc,
+                                        CompletionStatus.LENGTH_ERROR, 0)
+            else:
+                scatter(self.node.mem, desc, msg.data)
+                desc.control.immediate = msg.immediate
+                yield from self._finish(vi.recv_q, desc,
+                                        CompletionStatus.SUCCESS, msg.total_len)

@@ -1,0 +1,96 @@
+"""An InfiniBand-style provider: the paper's future-work target.
+
+The paper closes with "we also plan to develop a similar micro-benchmark
+suite for the upcoming InfiniBand Architecture"; most VIA concepts map
+one-to-one onto IBA (VIs ↔ queue pairs, completion queues, memory
+registration, doorbells).  This model is a first-generation 1× HCA as
+the 2001 authors would have met it:
+
+- 2.5 Gb/s link (8b/10b coded → 250 MB/s raw, ~235 effective), 2 KB MTU,
+  cut-through switching — but still behind the same 32-bit/33 MHz PCI
+  bus as the other adapters, which becomes the bottleneck;
+- translation tables in HCA memory, hardware CQs, direct doorbells;
+- **reliable connection** service as the default, with hardware
+  link-level acks, and **RDMA read** support (which VIA-era hardware
+  lacked).
+
+Running the unmodified VIBe suite against ``Testbed("iba")`` is the
+forward-portability demonstration.
+"""
+
+from __future__ import annotations
+
+from ..hw.network import NetworkParams
+from ..via.constants import Reliability
+from .costs import (
+    CostModel,
+    DataPath,
+    DesignChoices,
+    DispatchKind,
+    DoorbellKind,
+    TableLocation,
+    TranslationAgent,
+    UnexpectedPolicy,
+)
+
+__all__ = ["IBA_CHOICES", "IBA_COSTS", "IBA_1X"]
+
+IBA_1X = NetworkParams(
+    name="iba-1x",
+    bandwidth=235.0,       # 2.5 Gb/s, 8b/10b, minus framing
+    prop_delay=0.15,
+    mtu=2048,              # IBA's standard MTU
+    header_bytes=12,       # LRH + BTH
+    per_packet_cost=0.1,
+    switch_latency=0.3,
+    store_and_forward=False,
+)
+
+IBA_CHOICES = DesignChoices(
+    translation_agent=TranslationAgent.NIC,
+    table_location=TableLocation.NIC_MEMORY,
+    doorbell=DoorbellKind.MMIO,
+    data_path=DataPath.ZERO_COPY,
+    dispatch=DispatchKind.DIRECT,
+    unexpected=UnexpectedPolicy.RETRY,    # RNR-NAK retry behaviour
+    cq_in_hardware=True,
+    supports_rdma_read=True,
+    default_reliability=Reliability.RELIABLE_DELIVERY,  # RC service
+    nic_tlb_entries=1 << 17,
+)
+
+# Calibration: an early HCA — faster silicon than cLAN's, same PCI bus.
+IBA_COSTS = CostModel(
+    vi_create=2.0,
+    vi_destroy=0.1,
+    cq_create=30.0,
+    cq_destroy=10.0,
+    conn_client=900.0,
+    conn_server=500.0,
+    conn_teardown_active=90.0,
+    conn_teardown_passive=45.0,
+    reg_base=2.5,
+    reg_per_page=2.5,
+    dereg_base=3.0,
+    dereg_per_page=0.0004,
+    post_cost=0.3,
+    doorbell_cost=0.2,
+    host_translation_per_page=0.0,
+    reap_cost=0.25,
+    recv_host_per_frag=0.0,
+    blocking_wakeup=2.0,
+    blocking_delay=6.0,
+    nic_dispatch_per_vi=0.0,
+    nic_desc_fetch=0.7,
+    nic_per_segment=0.2,
+    nic_tx_per_frag=0.5,
+    nic_rx_per_frag=0.8,
+    tlb_hit=0.1,
+    tlb_miss=0.1,
+    completion_write=0.4,
+    cq_notify=0.0,
+    ack_tx=0.2,
+    ack_rx=0.2,
+    max_transfer_size=1 << 20,   # IBA messages up to 2 GB; keep sane
+    max_segments=32,
+)

@@ -1,0 +1,146 @@
+"""Provider registry and testbed construction.
+
+A :class:`Testbed` is the unit every benchmark and example runs
+against: a fresh simulator, a fabric with the provider's native network
+preset, and one provider stack per node.  Everything is assembled from
+a :class:`ProviderSpec`, so ablation studies can clone a spec and flip
+a single design choice (see ``benchmarks/bench_ablation_design.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..hw.network import GIGANET, GIGE, MYRINET, Fabric, HostParams, NetworkParams
+from ..sim import Simulator
+from ..via.nameservice import NameService
+from ..via.provider import NicHandle
+from .base import SimulatedProvider
+from .bvia import BVIA_CHOICES, BVIA_COSTS
+from .clan import CLAN_CHOICES, CLAN_COSTS
+from .costs import CostModel, DesignChoices
+from .iba import IBA_1X, IBA_CHOICES, IBA_COSTS
+from .mvia import MVIA_CHOICES, MVIA_COSTS
+
+__all__ = ["ProviderSpec", "PROVIDERS", "Testbed", "get_spec"]
+
+
+@dataclass(frozen=True)
+class ProviderSpec:
+    """Everything needed to stand up one VIA implementation."""
+
+    name: str
+    network: NetworkParams
+    choices: DesignChoices
+    costs: CostModel
+    host: HostParams = field(default_factory=HostParams)
+
+    def with_choices(self, **kwargs) -> "ProviderSpec":
+        return replace(self, choices=replace(self.choices, **kwargs))
+
+    def with_costs(self, **kwargs) -> "ProviderSpec":
+        return replace(self, costs=replace(self.costs, **kwargs))
+
+    def with_network(self, network: NetworkParams) -> "ProviderSpec":
+        return replace(self, network=network)
+
+
+PROVIDERS: dict[str, ProviderSpec] = {
+    "mvia": ProviderSpec("mvia", GIGE, MVIA_CHOICES, MVIA_COSTS),
+    "bvia": ProviderSpec("bvia", MYRINET, BVIA_CHOICES, BVIA_COSTS),
+    "clan": ProviderSpec("clan", GIGANET, CLAN_CHOICES, CLAN_COSTS),
+    # the paper's future-work target (§5): an InfiniBand-style stack
+    "iba": ProviderSpec("iba", IBA_1X, IBA_CHOICES, IBA_COSTS),
+}
+
+
+def get_spec(name_or_spec: "str | ProviderSpec") -> ProviderSpec:
+    if isinstance(name_or_spec, ProviderSpec):
+        return name_or_spec
+    try:
+        return PROVIDERS[name_or_spec]
+    except KeyError:
+        raise KeyError(
+            f"unknown provider {name_or_spec!r}; "
+            f"known: {sorted(PROVIDERS)}"
+        ) from None
+
+
+class Testbed:
+    """A fresh simulated cluster running one VIA implementation.
+
+    >>> tb = Testbed("clan")
+    >>> h0 = tb.open("node0", "client")
+    >>> h1 = tb.open("node1", "server")
+
+    Applications are simulation processes started with
+    ``tb.spawn(generator)`` and driven by ``tb.run()``.
+    """
+
+    def __init__(
+        self,
+        provider: "str | ProviderSpec",
+        node_names: tuple[str, ...] = ("node0", "node1"),
+        seed: int = 0,
+        loss_rate: float | None = None,
+        mtu: int | None = None,
+        leaf_groups: tuple[tuple[str, ...], ...] | None = None,
+        uplink_bandwidth: float | None = None,
+    ) -> None:
+        spec = get_spec(provider)
+        network = spec.network
+        if loss_rate is not None:
+            network = network.with_loss(loss_rate)
+        if mtu is not None:
+            network = network.with_mtu(mtu)
+        self.spec = spec
+        self.sim = Simulator()
+        if leaf_groups is not None:
+            from ..hw.tiered import TieredFabric
+
+            node_names = tuple(n for g in leaf_groups for n in g)
+            self.fabric = TieredFabric(self.sim, network, leaf_groups,
+                                       host=spec.host,
+                                       uplink_bandwidth=uplink_bandwidth,
+                                       seed=seed)
+        else:
+            self.fabric = Fabric(self.sim, network, node_names,
+                                 host=spec.host, seed=seed)
+        self.nameservice = NameService()
+        self.providers: dict[str, SimulatedProvider] = {}
+        effective_mtu = min(network.mtu, spec.costs.max_transfer_size)
+        for name in node_names:
+            self.providers[name] = SimulatedProvider(
+                node=self.fabric.node(name),
+                nameservice=self.nameservice,
+                choices=spec.choices,
+                costs=spec.costs,
+                mtu=effective_mtu,
+                loss_possible=network.loss_rate > 0.0,
+                name=spec.name,
+            )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return self.fabric.node_names
+
+    def provider(self, node_name: str) -> SimulatedProvider:
+        return self.providers[node_name]
+
+    def open(self, node_name: str, actor_name: str) -> NicHandle:
+        """VipOpenNic on a node: the application's session handle."""
+        return self.providers[node_name].open(actor_name)
+
+    def spawn(self, generator, name: str | None = None):
+        return self.sim.process(generator, name=name)
+
+    def run(self, until=None):
+        return self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

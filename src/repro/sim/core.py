@@ -1,0 +1,403 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-based discrete-event engine in the
+style of SimPy, purpose-built for the VIBe hardware/protocol models.
+
+Time is a ``float`` number of *microseconds* (the natural unit of the
+paper's measurements).  Determinism is guaranteed by ordering the event
+heap on ``(time, priority, sequence)`` — two events scheduled for the
+same instant fire in schedule order unless an explicit priority says
+otherwise.
+
+Processes are plain Python generators that ``yield`` :class:`Event`
+objects; the value the event was triggered with becomes the value of the
+``yield`` expression.  A process is itself an :class:`Event` that
+triggers when the generator returns, so processes can wait on each
+other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "PENDING",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the simulation kernel."""
+
+
+class _PendingType:
+    """Sentinel for 'event has no value yet'."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+PENDING = _PendingType()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or
+    :meth:`fail` schedules it to fire; callbacks run when the simulator
+    pops it off the heap.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully done)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = 0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-time."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._scheduled = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0, priority: int = 0) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event has the exception raised at its
+        ``yield``.  If nothing is waiting by the time it fires, the
+        exception propagates out of :meth:`Simulator.run` (unless
+        :meth:`defuse` was called).
+        """
+        if self._scheduled:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._scheduled = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if nobody waits on it."""
+        self._defused = True
+
+    # -- internal ------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self._scheduled else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._scheduled = True
+        self._value = value
+        sim._schedule(self, delay, 0)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the generator at time now.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(None, priority=0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self._scheduled:
+            raise SimulationError(f"{self.name} has already finished")
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._target = None
+        kick = Event(self.sim)
+        kick.callbacks.append(self._resume_interrupt)
+        kick.succeed(cause, priority=-1)
+
+    # -- internal ------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        self._step(lambda: self._generator.throw(Interrupt(event.value)))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(lambda: self._generator.send(event._value if event._value is not PENDING else None))
+        else:
+            event._defused = True
+            exc = event._value
+            self._step(lambda: self._generator.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        self.sim.active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.sim.active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim.active_process = None
+            self.fail(exc)
+            return
+        self.sim.active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from a different Simulator")
+        if target.callbacks is None:
+            # Already processed: resume immediately (same timestamp).
+            kick = Event(self.sim)
+            kick.callbacks.append(self._resume)
+            if target._ok:
+                kick.succeed(target._value)
+            else:
+                target._defused = True
+                kick.fail(target._value)
+                kick._defused = True  # the process will receive it
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'done' if self._scheduled else 'alive'}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("all events in a condition must share a Simulator")
+        self._count = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _results(self) -> dict[Event, Any]:
+        # only events whose callbacks have run count as "fired" — a
+        # Timeout is born triggered (value preset) but has not occurred
+        return {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of its events triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Triggers when all of its events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, priority, seq, event)``."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.active_process: Process | None = None
+        #: optional structured event log (see repro.sim.trace.Tracer)
+        self.tracer = None
+
+    def trace(self, category: str, label: str, node: str = "", **info) -> None:
+        """Emit a trace event if a tracer is attached (cheap when not)."""
+        if self.tracer is not None:
+            self.tracer.emit(self._now, category, label, node, **info)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- factory helpers -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        return Process(self, generator, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulated-time deadline, an :class:`Event`
+        (commonly a :class:`Process`), or ``None`` to exhaust all events.
+        When ``until`` is an event its value is returned.
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                if not stop._ok and not stop._defused:
+                    raise stop._value
+                return stop._value
+            sentinel: list[bool] = []
+            stop.callbacks.append(lambda ev: sentinel.append(True))
+            while self._heap:
+                self.step()
+                if sentinel:
+                    if not stop._ok and not stop._defused:
+                        stop._defused = True
+                        raise stop._value
+                    return stop._value
+            raise SimulationError(
+                f"event queue drained before {stop!r} triggered (deadlock?)"
+            )
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f}us queued={len(self._heap)}>"

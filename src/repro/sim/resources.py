@@ -1,0 +1,173 @@
+"""Shared-resource primitives built on the event kernel.
+
+These model contention points in the simulated hardware: a NIC
+processing engine is a :class:`Resource` with capacity 1, a packet queue
+between the NIC and the wire is a :class:`Store`, a doorbell is a
+:class:`Signal`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "Signal", "ResourceRequest"]
+
+
+class ResourceRequest(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (no-op once granted)."""
+        if not self.triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+
+class Resource:
+    """A FIFO multi-server resource (``capacity`` concurrent holders)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque[ResourceRequest] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> ResourceRequest:
+        """Return an event that fires when a slot is granted."""
+        req = ResourceRequest(self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed(self)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self) -> None:
+        """Free a slot; grants the oldest queued request, if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._queue:
+            nxt = self._queue.popleft()
+            nxt.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def acquire(self, hold: float) -> Generator[Event, Any, None]:
+        """Convenience process fragment: request, hold for ``hold``, release."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(hold)
+        finally:
+            self.release()
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue with blocking get/put."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[Any, ...]:
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Return an event whose value is the next item."""
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                putter, item = self._putters.popleft()
+                self._items.append(item)
+                putter.succeed(None)
+        elif self._putters:
+            # capacity == 0 cannot happen (capacity > 0 enforced); this
+            # branch services a putter blocked behind an empty queue.
+            putter, item = self._putters.popleft()
+            putter.succeed(None)
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any | None:
+        """Non-blocking get; None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        if self._putters:
+            putter, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            putter.succeed(None)
+        return item
+
+
+class Signal:
+    """A broadcast condition: ``wait()`` events all fire on ``fire()``.
+
+    Unlike :class:`Event`, a Signal can fire repeatedly; each ``fire``
+    releases everything currently waiting.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._waiters: list[Event] = []
+        self.fire_count = 0
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Release all current waiters; returns how many were released."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)

@@ -1,0 +1,88 @@
+"""Measurement helpers: busy-time accounting and time-weighted stats."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BusyTracker", "TimeWeighted", "Counter"]
+
+
+class BusyTracker:
+    """Accumulates non-overlapping busy intervals on a simulated clock.
+
+    Used by the CPU model for rusage accounting and by NIC engines for
+    utilisation reporting.  Intervals are charged explicitly (the caller
+    knows when it is busy), which keeps the accounting exact even when
+    spin-waits are computed analytically rather than simulated tick by
+    tick.
+    """
+
+    def __init__(self) -> None:
+        self._busy = 0.0
+        self._marks: dict[str, float] = {}
+
+    @property
+    def total(self) -> float:
+        return self._busy
+
+    def charge(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative busy charge: {duration}")
+        self._busy += duration
+
+    def snapshot(self, label: str = "default") -> None:
+        """Remember the current total under ``label`` for later deltas."""
+        self._marks[label] = self._busy
+
+    def since(self, label: str = "default") -> float:
+        """Busy time accumulated since :meth:`snapshot` of ``label``."""
+        return self._busy - self._marks.get(label, 0.0)
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant quantity."""
+
+    def __init__(self, now: float = 0.0, value: float = 0.0) -> None:
+        self._last_t = now
+        self._value = value
+        self._area = 0.0
+        self._t0 = now
+        self._max = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def update(self, now: float, value: float) -> None:
+        if now < self._last_t:
+            raise ValueError("time went backwards")
+        self._area += self._value * (now - self._last_t)
+        self._last_t = now
+        self._value = value
+        self._max = max(self._max, value)
+
+    def mean(self, now: float) -> float:
+        span = now - self._t0
+        if span <= 0:
+            return self._value
+        return (self._area + self._value * (now - self._last_t)) / span
+
+
+@dataclass
+class Counter:
+    """A named bundle of monotonically increasing counters."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def reset(self) -> None:
+        self.counts.clear()

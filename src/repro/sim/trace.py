@@ -1,0 +1,104 @@
+"""Structured event tracing for the simulation.
+
+A :class:`Tracer` collects timestamped, categorised records from the
+hardware models and protocol engines — packet serialisations,
+descriptor lifecycles, NIC engine phases, completions.  Tracing is off
+by default (a ``None`` tracer costs one attribute check); attach one to
+a simulator to capture a timeline:
+
+    tb = Testbed("clan")
+    tb.sim.tracer = Tracer()
+    ... run ...
+    for ev in tb.sim.tracer.select(category="wire"):
+        print(ev)
+
+The latency-breakdown analysis (:mod:`repro.models.breakdown`) is built
+on these records — the paper's stated use of VIBe for "pinpoint[ing]
+the bottlenecks" inside an implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline record."""
+
+    t: float
+    category: str      # "host" | "nic" | "wire" | "via" | ...
+    label: str         # e.g. "post_send", "frag_dma", "completed"
+    node: str = ""
+    info: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extras = " ".join(f"{k}={v}" for k, v in self.info.items())
+        return (f"[{self.t:12.3f}us] {self.node:>8s} "
+                f"{self.category}/{self.label} {extras}")
+
+
+class Tracer:
+    """An append-only event log with simple querying."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def emit(self, t: float, category: str, label: str, node: str = "",
+             **info: Any) -> None:
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(t, category, label, node, info))
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(self, category: str | None = None, label: str | None = None,
+               node: str | None = None, since: float | None = None,
+               **info_filters: Any) -> list[TraceEvent]:
+        """Events matching every given criterion, in time order."""
+        out = []
+        for ev in self.events:
+            if category is not None and ev.category != category:
+                continue
+            if label is not None and ev.label != label:
+                continue
+            if node is not None and ev.node != node:
+                continue
+            if since is not None and ev.t < since:
+                continue
+            if any(ev.info.get(k) != v for k, v in info_filters.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def first(self, **kwargs) -> TraceEvent | None:
+        hits = self.select(**kwargs)
+        return hits[0] if hits else None
+
+    def last(self, **kwargs) -> TraceEvent | None:
+        hits = self.select(**kwargs)
+        return hits[-1] if hits else None
+
+    def timeline(self, events: Iterable[TraceEvent] | None = None) -> str:
+        """Render events (default: all) as an aligned text timeline."""
+        rows = list(events if events is not None else self.events)
+        if not rows:
+            return "(empty trace)"
+        lines = []
+        t0 = rows[0].t
+        for ev in rows:
+            extras = " ".join(f"{k}={v}" for k, v in ev.info.items())
+            lines.append(f"+{ev.t - t0:10.3f}us  {ev.node:<10s} "
+                         f"{ev.category + '/' + ev.label:<28s} {extras}")
+        return "\n".join(lines)

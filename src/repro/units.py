@@ -1,0 +1,81 @@
+"""Unit conventions and helpers.
+
+The whole package uses a single convention:
+
+- **time** — microseconds (``float``), matching the paper's reported
+  numbers (Table 1 and all figures are in µs).
+- **size** — bytes (``int``).
+- **bandwidth** — bytes per microsecond, i.e. MB/s (1 byte/µs = 1 MB/s
+  with MB = 10**6 B, the convention the paper's figures use).
+
+Helpers here convert to/from human-friendly units and generate the
+message-size sweeps the paper's figures use on their x-axes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "US_PER_MS",
+    "US_PER_S",
+    "KiB",
+    "MiB",
+    "mbps_to_bytes_per_us",
+    "bytes_per_us_to_mbps",
+    "fmt_time_us",
+    "fmt_size",
+    "paper_size_sweep",
+    "pow2_sweep",
+]
+
+US_PER_MS = 1_000.0
+US_PER_S = 1_000_000.0
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def mbps_to_bytes_per_us(megabytes_per_second: float) -> float:
+    """MB/s (decimal megabytes) -> bytes/µs (numerically identical)."""
+    return float(megabytes_per_second)
+
+
+def bytes_per_us_to_mbps(bytes_per_us: float) -> float:
+    """bytes/µs -> MB/s (decimal megabytes; numerically identical)."""
+    return float(bytes_per_us)
+
+
+def fmt_time_us(us: float) -> str:
+    """Render a µs quantity with a sensible unit."""
+    if us >= US_PER_S:
+        return f"{us / US_PER_S:.3f} s"
+    if us >= US_PER_MS:
+        return f"{us / US_PER_MS:.3f} ms"
+    return f"{us:.2f} us"
+
+
+def fmt_size(nbytes: int) -> str:
+    if nbytes >= MiB:
+        return f"{nbytes / MiB:g} MiB"
+    if nbytes >= KiB:
+        return f"{nbytes / KiB:g} KiB"
+    return f"{nbytes} B"
+
+
+def paper_size_sweep() -> list[int]:
+    """The x-axis the paper's figures use: 4 B ... 28672 B.
+
+    Figures 1, 2 and 7 tick at 4, 16, 64, 256, 1024, 4096, 12288,
+    20480, 28672 bytes (powers of four up to a page, then 8 KiB steps).
+    """
+    return [4, 16, 64, 256, 1024, 4096, 12288, 20480, 28672]
+
+
+def pow2_sweep(lo: int, hi: int) -> list[int]:
+    """Powers of two from ``lo`` to ``hi`` inclusive."""
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"bad sweep bounds: {lo}..{hi}")
+    out = []
+    size = lo
+    while size <= hi:
+        out.append(size)
+        size *= 2
+    return out

@@ -1,0 +1,94 @@
+"""VIA connection management (spec §2.1).
+
+VIA is connection oriented: a client VI dials ``(remote host,
+discriminator)``; a server VI waits on the discriminator and accepts or
+rejects.  This module is the per-node matchmaking state; the wire
+handshake itself is driven by the provider engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+from ..sim import Event, Simulator
+from .constants import Reliability
+from .errors import VipConnectionError
+
+__all__ = ["ConnRequest", "ConnectionManager"]
+
+_conn_ids = itertools.count(1)
+
+
+@dataclass
+class ConnRequest:
+    """An incoming connection attempt parked at the server."""
+
+    conn_id: int
+    client_node: str
+    client_vi_id: int
+    discriminator: int
+    reliability: Reliability
+
+
+class ConnectionManager:
+    """Per-node discriminator matchmaking."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        # connect_wait() callers parked per discriminator
+        self._waiters: dict[int, deque[Event]] = {}
+        # requests that arrived before anyone waited
+        self._pending: dict[int, deque[ConnRequest]] = {}
+        # client side: conn_id -> event fired with (server_node, server_vi_id)
+        # or failed with VipConnectionError
+        self._outstanding: dict[int, Event] = {}
+
+    # -- client side ---------------------------------------------------------
+    def new_request_id(self) -> int:
+        return next(_conn_ids)
+
+    def track(self, conn_id: int) -> Event:
+        ev = Event(self.sim)
+        self._outstanding[conn_id] = ev
+        return ev
+
+    def resolve(self, conn_id: int, server_node: str, server_vi_id: int) -> None:
+        ev = self._outstanding.pop(conn_id, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed((server_node, server_vi_id))
+
+    def reject(self, conn_id: int, reason: str) -> None:
+        ev = self._outstanding.pop(conn_id, None)
+        if ev is not None and not ev.triggered:
+            ev.fail(VipConnectionError(reason))
+            ev.defuse()  # a late rejection may find nobody waiting
+
+    def forget(self, conn_id: int) -> None:
+        """Stop tracking an abandoned request (timeout cleanup)."""
+        self._outstanding.pop(conn_id, None)
+
+    # -- server side ---------------------------------------------------------
+    def deliver(self, request: ConnRequest) -> None:
+        """An incoming conn_req packet landed on this node."""
+        disc = request.discriminator
+        waiters = self._waiters.get(disc)
+        if waiters:
+            waiters.popleft().succeed(request)
+            if not waiters:
+                del self._waiters[disc]
+        else:
+            self._pending.setdefault(disc, deque()).append(request)
+
+    def wait_for(self, discriminator: int) -> Event:
+        """Event whose value is the next ConnRequest on ``discriminator``."""
+        ev = Event(self.sim)
+        pending = self._pending.get(discriminator)
+        if pending:
+            ev.succeed(pending.popleft())
+            if not pending:
+                del self._pending[discriminator]
+        else:
+            self._waiters.setdefault(discriminator, deque()).append(ev)
+        return ev

@@ -1,0 +1,78 @@
+"""VIA enumerations and defaults (VIA spec 1.0 vocabulary)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Reliability",
+    "ViState",
+    "DescriptorOp",
+    "CompletionStatus",
+    "WaitMode",
+    "DEFAULT_MAX_SEGMENTS",
+    "DESCRIPTOR_WIRE_BYTES",
+    "ACK_WIRE_BYTES",
+    "CONTROL_WIRE_BYTES",
+]
+
+
+class Reliability(enum.Enum):
+    """VIA's three reliability levels (spec §2.4).
+
+    - UNRELIABLE: delivery not guaranteed; sends complete locally.
+    - RELIABLE_DELIVERY: data arrived at the destination *NIC*; sends
+      complete on NIC-level acknowledgement.
+    - RELIABLE_RECEPTION: data placed in the destination *memory*;
+      sends complete on placement acknowledgement.
+    """
+
+    UNRELIABLE = "unreliable"
+    RELIABLE_DELIVERY = "reliable_delivery"
+    RELIABLE_RECEPTION = "reliable_reception"
+
+
+class ViState(enum.Enum):
+    """Connection state machine of a VI endpoint."""
+
+    IDLE = "idle"
+    CONNECT_PENDING = "connect_pending"
+    CONNECTED = "connected"
+    DISCONNECTED = "disconnected"
+    ERROR = "error"
+    DESTROYED = "destroyed"
+
+
+class DescriptorOp(enum.Enum):
+    SEND = "send"
+    RECEIVE = "receive"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+
+
+class CompletionStatus(enum.Enum):
+    """Control-segment status field values."""
+
+    PENDING = "pending"
+    SUCCESS = "success"
+    LENGTH_ERROR = "length_error"          # message larger than recv descriptor
+    PROTECTION_ERROR = "protection_error"  # RDMA target check failed
+    TRANSPORT_ERROR = "transport_error"    # retries exhausted / conn lost
+    FLUSHED = "flushed"                    # queue drained at disconnect/destroy
+
+
+class WaitMode(enum.Enum):
+    """How completions are discovered (paper §3.2.1 polling vs blocking)."""
+
+    POLL = "poll"
+    BLOCK = "block"
+
+
+#: VIA descriptors allow up to 252 data segments; providers usually cap
+#: far lower.  Our default matches common provider limits.
+DEFAULT_MAX_SEGMENTS = 16
+
+#: Wire footprint of control structures (bytes) — used for packet sizing.
+DESCRIPTOR_WIRE_BYTES = 64
+ACK_WIRE_BYTES = 16
+CONTROL_WIRE_BYTES = 48

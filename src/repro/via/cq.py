@@ -1,0 +1,78 @@
+"""Completion queues (spec §2.2): merged completion notification.
+
+A CQ can be associated with any number of work queues; each completion
+on an associated queue deposits an entry ``(work_queue, descriptor)``.
+When a work queue is bound to a CQ, its completions are discovered
+*through the CQ* (``cq_done``/``cq_wait``) — direct ``send_done`` /
+``recv_done`` on that queue is a state error.  (The VIA spec technically
+allows a two-step CQDone-then-RecvDone dance; we collapse it to one
+step, which changes no timing the benchmarks can observe and is noted in
+DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..sim import Signal, Simulator
+from .errors import VipErrorResource, VipStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .descriptor import Descriptor
+    from .vi import WorkQueue
+
+__all__ = ["CompletionQueue"]
+
+_cq_ids = itertools.count(1)
+
+
+class CompletionQueue:
+    """A queue of completion entries fed by associated work queues."""
+
+    def __init__(self, sim: Simulator, depth: int = 1024) -> None:
+        if depth < 1:
+            raise VipErrorResource("CQ depth must be >= 1")
+        self.sim = sim
+        self.cq_id = next(_cq_ids)
+        self.depth = depth
+        self.entries: deque[tuple["WorkQueue", "Descriptor"]] = deque()
+        self.signal = Signal(sim)
+        self.attached = 0
+        self.destroyed = False
+        self.total_notifications = 0
+
+    def _check_live(self) -> None:
+        if self.destroyed:
+            raise VipStateError(f"CQ {self.cq_id} has been destroyed")
+
+    def notify(self, wq: "WorkQueue", desc: "Descriptor") -> None:
+        """Deposit a completion entry (called by the provider engine)."""
+        self._check_live()
+        if len(self.entries) >= self.depth:
+            raise VipErrorResource(
+                f"CQ {self.cq_id} overflow (depth {self.depth})"
+            )
+        self.entries.append((wq, desc))
+        self.total_notifications += 1
+        self.signal.fire()
+
+    def try_pop(self) -> tuple["WorkQueue", "Descriptor"] | None:
+        """Non-blocking poll for the next entry."""
+        self._check_live()
+        if self.entries:
+            return self.entries.popleft()
+        return None
+
+    def destroy(self) -> None:
+        self._check_live()
+        if self.attached:
+            raise VipStateError(
+                f"CQ {self.cq_id} still has {self.attached} work queues attached"
+            )
+        if self.entries:
+            raise VipStateError(
+                f"CQ {self.cq_id} destroyed with {len(self.entries)} unreaped entries"
+            )
+        self.destroyed = True

@@ -1,0 +1,59 @@
+"""VIA error model.
+
+The VI Provider Library (VIPL) reports ``VIP_*`` status codes; we map
+the ones the benchmarks and layers need onto an exception hierarchy.
+Descriptor-level completion errors are *not* exceptions — per the VIA
+spec they are reported in the descriptor's control-segment status field
+(see ``repro.via.descriptor.CompletionStatus``); exceptions are for
+API-level misuse and environmental failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "VipError",
+    "VipInvalidParameter",
+    "VipErrorResource",
+    "VipStateError",
+    "VipProtectionError",
+    "VipDescriptorError",
+    "VipTimeout",
+    "VipConnectionError",
+    "VipNotSupported",
+]
+
+
+class VipError(Exception):
+    """Base of all VIA provider errors (VIP_ERROR analog)."""
+
+
+class VipInvalidParameter(VipError):
+    """VIP_INVALID_PARAMETER: malformed argument."""
+
+
+class VipErrorResource(VipError):
+    """VIP_ERROR_RESOURCE: out of VIs, CQ slots, pinnable memory, ..."""
+
+
+class VipStateError(VipError):
+    """VIP_ERROR_STATE: operation illegal in the object's current state."""
+
+
+class VipProtectionError(VipError):
+    """VIP_ERROR_MEMORY: bad memory handle, tag mismatch, out of range."""
+
+
+class VipDescriptorError(VipError):
+    """VIP_ERROR_DESC: descriptor malformed or posted twice."""
+
+
+class VipTimeout(VipError):
+    """VIP_TIMEOUT: a bounded wait expired."""
+
+
+class VipConnectionError(VipError):
+    """VIP_ERROR_CONN: peer rejected, disconnected, or unreachable."""
+
+
+class VipNotSupported(VipError):
+    """VIP_ERROR_NOT_SUPPORTED: optional feature absent in this provider."""

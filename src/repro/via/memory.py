@@ -1,0 +1,137 @@
+"""VIA memory registration semantics.
+
+``VipRegisterMem`` pins the pages of a user buffer and returns a
+*memory handle*; every data segment must name a handle covering its
+range, and RDMA targets are checked against the handle's enable bits
+and protection tag (spec §2.3).  The *cost* of registration is provider
+policy (measured by the paper's Fig. 1/2); the *semantics* here are
+provider-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..hw.memory import MemorySystem
+from .errors import VipProtectionError, VipStateError
+
+__all__ = ["MemoryHandle", "MemoryRegistry"]
+
+_handle_ids = itertools.count(1)
+_tag_ids = itertools.count(1)
+
+
+def new_protection_tag() -> int:
+    """Allocate a fresh protection tag (VipCreatePtag analog)."""
+    return next(_tag_ids)
+
+
+@dataclass
+class MemoryHandle:
+    """Result of registering a memory region."""
+
+    handle_id: int
+    address: int
+    length: int
+    tag: int
+    pages: list[int] = field(repr=False)
+    enable_rdma_write: bool = True
+    enable_rdma_read: bool = False
+    active: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.address + self.length
+
+    def covers(self, address: int, length: int) -> bool:
+        return self.address <= address and address + length <= self.end
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+class MemoryRegistry:
+    """Per-node table of registered regions, backed by real pinning."""
+
+    def __init__(self, mem: MemorySystem) -> None:
+        self.mem = mem
+        self._handles: dict[int, MemoryHandle] = {}
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def register(
+        self,
+        address: int,
+        length: int,
+        tag: int,
+        enable_rdma_write: bool = True,
+        enable_rdma_read: bool = False,
+    ) -> MemoryHandle:
+        """Pin the pages and record the handle (semantics only, no cost)."""
+        if length <= 0:
+            raise VipProtectionError(f"registration length must be positive, got {length}")
+        pages = self.mem.pin(address, length)  # raises on bad range
+        handle = MemoryHandle(
+            handle_id=next(_handle_ids),
+            address=address,
+            length=length,
+            tag=tag,
+            pages=pages,
+            enable_rdma_write=enable_rdma_write,
+            enable_rdma_read=enable_rdma_read,
+        )
+        self._handles[handle.handle_id] = handle
+        return handle
+
+    def deregister(self, handle: MemoryHandle) -> None:
+        if not handle.active or handle.handle_id not in self._handles:
+            raise VipStateError(f"handle {handle.handle_id} is not registered")
+        self.mem.unpin(handle.pages)
+        handle.active = False
+        del self._handles[handle.handle_id]
+
+    def lookup(self, handle_id: int) -> MemoryHandle:
+        handle = self._handles.get(handle_id)
+        if handle is None:
+            raise VipProtectionError(f"unknown memory handle {handle_id}")
+        return handle
+
+    def check_local(self, address: int, length: int, handle: MemoryHandle,
+                    tag: int) -> None:
+        """Validate a data segment against its handle (post-time check)."""
+        if not handle.active:
+            raise VipProtectionError(
+                f"handle {handle.handle_id} has been deregistered"
+            )
+        if handle.tag != tag:
+            raise VipProtectionError(
+                f"protection tag mismatch: handle has {handle.tag}, VI has {tag}"
+            )
+        if not handle.covers(address, length):
+            raise VipProtectionError(
+                f"segment [{address:#x}, +{length}) outside handle "
+                f"[{handle.address:#x}, +{handle.length})"
+            )
+
+    def check_rdma_target(
+        self, address: int, length: int, handle_id: int, write: bool
+    ) -> MemoryHandle:
+        """Validate an incoming RDMA against the target node's handles.
+
+        Returns the handle on success; raises VipProtectionError which the
+        NIC engine converts to a PROTECTION_ERROR completion/NAK.
+        """
+        handle = self.lookup(handle_id)
+        if not handle.covers(address, length):
+            raise VipProtectionError(
+                f"RDMA target [{address:#x}, +{length}) outside handle "
+                f"{handle_id}"
+            )
+        if write and not handle.enable_rdma_write:
+            raise VipProtectionError(f"handle {handle_id}: RDMA write disabled")
+        if not write and not handle.enable_rdma_read:
+            raise VipProtectionError(f"handle {handle_id}: RDMA read disabled")
+        return handle

@@ -1,0 +1,36 @@
+"""VIA name service (``VipNSGetHostByName`` analog).
+
+Maps human host names to fabric node addresses.  Trivial by design, but
+part of the API surface so higher layers (and the benchmarks) never
+touch fabric internals.
+"""
+
+from __future__ import annotations
+
+from .errors import VipConnectionError
+
+__all__ = ["NameService"]
+
+
+class NameService:
+    """A per-testbed host-name directory."""
+
+    def __init__(self) -> None:
+        self._hosts: dict[str, str] = {}
+
+    def register(self, hostname: str, node_name: str) -> None:
+        if hostname in self._hosts and self._hosts[hostname] != node_name:
+            raise VipConnectionError(
+                f"hostname {hostname!r} already registered to "
+                f"{self._hosts[hostname]!r}"
+            )
+        self._hosts[hostname] = node_name
+
+    def resolve(self, hostname: str) -> str:
+        try:
+            return self._hosts[hostname]
+        except KeyError:
+            raise VipConnectionError(f"unknown host {hostname!r}") from None
+
+    def hosts(self) -> tuple[str, ...]:
+        return tuple(self._hosts)

@@ -1,0 +1,121 @@
+"""VIBe: the Virtual Interface Architecture micro-benchmark suite.
+
+The paper's contribution, reimplemented over the simulated providers.
+Three categories (paper §3): non-data-transfer, data-transfer, and
+programming-model micro-benchmarks.
+"""
+
+from .addrtrans import DEFAULT_REUSE_LEVELS, reuse_bandwidth, reuse_latency
+from .async_bench import DEFAULT_DELAYS, async_latency
+from .base_transfer import base_bandwidth, base_latency
+from .clientserver import DEFAULT_REQUEST_SIZES, client_server
+from .cq_bench import cq_bandwidth, cq_latency, cq_overhead
+from .concurrency import concurrent_streams
+from .dynamic import connection_churn, tail_latency_under_load
+from .harness import (
+    Endpoint,
+    TransferConfig,
+    reuse_schedule,
+    run_bandwidth,
+    run_latency,
+    split_segments,
+)
+from .metrics import BenchResult, Measurement, merge_tables
+from .mtu import DEFAULT_MTUS, mtu_bandwidth, mtu_latency
+from .multiclient import DEFAULT_CLIENT_COUNTS, multiclient_throughput
+from .multivi import DEFAULT_VI_COUNTS, multivi_bandwidth, multivi_latency
+from .progmodel_collectives import collective_latency
+from .progmodel_dsm import dsm_fault_latency, dsm_pingpong_sharing
+from .progmodel_getput import getput_latency
+from .progmodel_stream import stream_throughput
+from .progmodel_msg import (
+    eager_threshold_sweep,
+    msg_layer_bandwidth,
+    msg_layer_latency,
+)
+from .nondata import NONDATA_OPS, memreg_sweep, nondata_costs
+from .plotting import ascii_plot
+from .pipeline import DEFAULT_WINDOWS, pipeline_bandwidth
+from .rdma_bench import rdma_capable, rdma_read_latency, rdma_write_latency
+from .reliability import (
+    loss_goodput,
+    reliability_bandwidth,
+    reliability_latency,
+)
+from .report import render_figure, render_memreg, render_table1
+from .reportgen import generate_report
+from .repository import ResultRepository, result_from_dict, result_to_dict
+from .rusage import cpu_utilization, getrusage
+from .segments import DEFAULT_SEGMENT_COUNTS, segments_bandwidth, segments_latency
+from .suite import DEFAULT_PROVIDERS, SUITE, run_all, run_benchmark
+
+__all__ = [
+    "BenchResult",
+    "DEFAULT_CLIENT_COUNTS",
+    "DEFAULT_DELAYS",
+    "DEFAULT_MTUS",
+    "DEFAULT_PROVIDERS",
+    "DEFAULT_REQUEST_SIZES",
+    "DEFAULT_REUSE_LEVELS",
+    "DEFAULT_SEGMENT_COUNTS",
+    "DEFAULT_VI_COUNTS",
+    "DEFAULT_WINDOWS",
+    "Endpoint",
+    "Measurement",
+    "NONDATA_OPS",
+    "SUITE",
+    "TransferConfig",
+    "ascii_plot",
+    "async_latency",
+    "base_bandwidth",
+    "base_latency",
+    "client_server",
+    "collective_latency",
+    "concurrent_streams",
+    "connection_churn",
+    "cpu_utilization",
+    "cq_bandwidth",
+    "cq_latency",
+    "cq_overhead",
+    "dsm_fault_latency",
+    "dsm_pingpong_sharing",
+    "eager_threshold_sweep",
+    "generate_report",
+    "getput_latency",
+    "getrusage",
+    "loss_goodput",
+    "memreg_sweep",
+    "merge_tables",
+    "msg_layer_bandwidth",
+    "msg_layer_latency",
+    "mtu_bandwidth",
+    "mtu_latency",
+    "multiclient_throughput",
+    "multivi_bandwidth",
+    "multivi_latency",
+    "nondata_costs",
+    "pipeline_bandwidth",
+    "rdma_capable",
+    "rdma_read_latency",
+    "rdma_write_latency",
+    "reliability_bandwidth",
+    "reliability_latency",
+    "render_figure",
+    "render_memreg",
+    "render_table1",
+    "ResultRepository",
+    "result_from_dict",
+    "result_to_dict",
+    "reuse_bandwidth",
+    "reuse_latency",
+    "reuse_schedule",
+    "run_all",
+    "run_bandwidth",
+    "run_benchmark",
+    "run_latency",
+    "segments_bandwidth",
+    "segments_latency",
+    "split_segments",
+    "stream_throughput",
+    "tail_latency_under_load",
+]

@@ -1,0 +1,48 @@
+"""Category 2 base micro-benchmarks: Lat, Bw, Cpu (paper §3.2.1).
+
+The base configuration: 100 % buffer reuse, one data segment, no
+completion queue, one VI connection, no notify mechanism.  Polling and
+blocking variants (Figs. 3 & 4).
+"""
+
+from __future__ import annotations
+
+from ..providers.registry import ProviderSpec
+from ..units import paper_size_sweep
+from ..via.constants import WaitMode
+from .harness import TransferConfig, run_bandwidth, run_latency
+from .metrics import BenchResult
+
+__all__ = ["base_latency", "base_bandwidth"]
+
+
+def _name(provider) -> str:
+    return provider if isinstance(provider, str) else provider.name
+
+
+def base_latency(provider: "str | ProviderSpec",
+                 sizes: list[int] | None = None,
+                 mode: WaitMode = WaitMode.POLL,
+                 **overrides) -> BenchResult:
+    """Lat/Cpu: ping-pong latency and CPU utilisation vs message size."""
+    sizes = sizes or paper_size_sweep()
+    points = []
+    for size in sizes:
+        cfg = TransferConfig(size=size, mode=mode, **overrides)
+        points.append(run_latency(provider, cfg))
+    return BenchResult("base_latency", _name(provider), points,
+                       {"mode": mode.value, **overrides})
+
+
+def base_bandwidth(provider: "str | ProviderSpec",
+                   sizes: list[int] | None = None,
+                   mode: WaitMode = WaitMode.POLL,
+                   **overrides) -> BenchResult:
+    """Bw: streaming bandwidth vs message size."""
+    sizes = sizes or paper_size_sweep()
+    points = []
+    for size in sizes:
+        cfg = TransferConfig(size=size, mode=mode, **overrides)
+        points.append(run_bandwidth(provider, cfg))
+    return BenchResult("base_bandwidth", _name(provider), points,
+                       {"mode": mode.value, **overrides})

@@ -1,0 +1,119 @@
+"""Result containers and formatting for VIBe measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Measurement", "BenchResult", "merge_tables"]
+
+
+@dataclass
+class Measurement:
+    """One point of a micro-benchmark sweep."""
+
+    param: Any                       # x value (message size, #VIs, ...)
+    latency_us: float | None = None
+    bandwidth_mbs: float | None = None
+    cpu_send: float | None = None    # utilisation fraction [0, 1]
+    cpu_recv: float | None = None
+    tps: float | None = None         # transactions per second (Fig. 7)
+    extra: dict = field(default_factory=dict)
+
+    FIELDS = ("latency_us", "bandwidth_mbs", "cpu_send", "cpu_recv", "tps")
+
+    def get(self, name: str) -> Any:
+        if name in self.FIELDS:
+            return getattr(self, name)
+        return self.extra.get(name)
+
+
+@dataclass
+class BenchResult:
+    """A complete sweep of one micro-benchmark on one provider."""
+
+    benchmark: str
+    provider: str
+    points: list[Measurement]
+    params: dict = field(default_factory=dict)
+
+    def series(self, metric: str) -> list[tuple[Any, Any]]:
+        return [(p.param, p.get(metric)) for p in self.points]
+
+    def point(self, param: Any) -> Measurement:
+        for p in self.points:
+            if p.param == param:
+                return p
+        raise KeyError(f"no point with param={param!r}")
+
+    @property
+    def metrics(self) -> list[str]:
+        present = []
+        for name in Measurement.FIELDS:
+            if any(p.get(name) is not None for p in self.points):
+                present.append(name)
+        for p in self.points:
+            for name in p.extra:
+                if name not in present:
+                    present.append(name)
+        return present
+
+    def table(self) -> str:
+        """Render the sweep as a fixed-width text table."""
+        metrics = self.metrics
+        header = [f"{self.benchmark} [{self.provider}]"]
+        if self.params:
+            header.append("  " + ", ".join(f"{k}={v}" for k, v in self.params.items()))
+        cols = ["param"] + metrics
+        rows = [cols]
+        for p in self.points:
+            row = [str(p.param)]
+            for name in metrics:
+                value = p.get(name)
+                row.append(_fmt(value))
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(cols))]
+        lines = header + [
+            "  ".join(cell.rjust(w) for cell, w in zip(r, widths)) for r in rows
+        ]
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def merge_tables(results: Iterable[BenchResult], metric: str,
+                 title: str | None = None) -> str:
+    """Side-by-side comparison of one metric across providers
+    (the shape of the paper's multi-series figures)."""
+    results = list(results)
+    if not results:
+        return "(no results)"
+    params = [p.param for p in results[0].points]
+    cols = ["param"] + [r.provider for r in results]
+    rows = [cols]
+    for param in params:
+        row = [str(param)]
+        for r in results:
+            try:
+                row.append(_fmt(r.point(param).get(metric)))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(cols))]
+    name = title or f"{results[0].benchmark}: {metric}"
+    lines = [name] + [
+        "  ".join(cell.rjust(w) for cell, w in zip(r, widths)) for r in rows
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""ASCII rendering of benchmark series (terminal "figures").
+
+The paper's evaluation is figures; this renders a multi-series sweep as
+a character plot so ``vibe figure N --plot`` produces something
+figure-shaped without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .metrics import BenchResult
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    """Map value into [0, 1] linearly or logarithmically."""
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0.5
+    return (value - lo) / (hi - lo)
+
+
+def ascii_plot(results: Iterable[BenchResult], metric: str,
+               title: str | None = None, width: int = 64, height: int = 18,
+               log_x: bool = True, log_y: bool = False) -> str:
+    """Render one metric of several BenchResults as a character plot.
+
+    The x axis is each point's ``param`` (message size etc.); one marker
+    per series.  Log-x is the default because the paper's sweeps are
+    logarithmic in message size.
+    """
+    results = list(results)
+    series = []
+    for res in results:
+        pts = [(p.param, p.get(metric)) for p in res.points
+               if isinstance(p.param, (int, float)) and p.get(metric)
+               is not None]
+        if pts:
+            series.append((res.provider, pts))
+    if not series:
+        return "(nothing to plot)"
+
+    xs = [x for _n, pts in series for x, _y in pts]
+    ys = [y for _n, pts in series for _x, y in pts]
+    if log_x and min(xs) <= 0:
+        log_x = False
+    if log_y and min(ys) <= 0:
+        log_y = False
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if not log_y:
+        y_lo = min(0.0, y_lo)
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (_name, pts) in enumerate(series):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = round(_scale(x, x_lo, x_hi, log_x) * (width - 1))
+            row = round(_scale(y, y_lo, y_hi, log_y) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    def fmt(v: float) -> str:
+        if v >= 10000:
+            return f"{v:.3g}"
+        if v == int(v):
+            return str(int(v))
+        return f"{v:.2f}"
+
+    y_label_width = max(len(fmt(y_hi)), len(fmt(y_lo)))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = fmt(y_hi).rjust(y_label_width)
+        elif i == height - 1:
+            label = fmt(y_lo).rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_label_width + " +" + "-" * width)
+    x_axis = (fmt(x_lo) + (" (log)" if log_x else "")).ljust(width - len(fmt(x_hi))) + fmt(x_hi)
+    lines.append(" " * (y_label_width + 2) + x_axis)
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}"
+                        for i, (name, _pts) in enumerate(series))
+    lines.append(" " * (y_label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Paper-style rendering of VIBe results (Table 1 and the figures)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .metrics import BenchResult, merge_tables
+from .nondata import NONDATA_OPS
+
+__all__ = ["render_table1", "render_figure", "render_memreg"]
+
+_OP_LABELS = {
+    "create_vi": "Creating VI",
+    "destroy_vi": "Destroying VI",
+    "establish_connection": "Establishing Connection",
+    "teardown_connection": "Tearing Down Connection",
+    "create_cq": "Creating CQ",
+    "destroy_cq": "Destroying CQ",
+}
+
+
+def render_table1(results: dict[str, BenchResult]) -> str:
+    """The paper's Table 1: non-data-transfer costs across providers.
+
+    ``results`` maps provider name -> the ``nondata`` BenchResult.
+    """
+    providers = list(results)
+    rows = [["Operation"] + [p.upper() for p in providers]]
+    for op in NONDATA_OPS:
+        row = [_OP_LABELS[op]]
+        for p in providers:
+            cost = results[p].point(op).extra["cost_us"]
+            row.append(f"{cost:.2f}" if cost < 10 else f"{cost:.0f}")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    lines = ["Table 1. Non-data transfer micro-benchmarks (us)"]
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_memreg(results: dict[str, BenchResult], which: str = "register_us",
+                  title: str | None = None) -> str:
+    """Figs. 1/2: memory (de)registration cost across providers."""
+    series = list(results.values())
+    label = title or ("Fig. 1: memory registration cost (us)"
+                      if which == "register_us"
+                      else "Fig. 2: memory deregistration cost (us)")
+    return merge_tables(series, which, title=label)
+
+
+def render_figure(results: Iterable[BenchResult], metric: str,
+                  title: str) -> str:
+    """Generic multi-provider series (the shape of Figs. 3-7)."""
+    return merge_tables(results, metric, title=title)

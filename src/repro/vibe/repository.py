@@ -1,0 +1,152 @@
+"""A repository of VIBe results (paper §5: "We plan to create a
+repository of VIBe results for different VIA platforms and distribute
+them").
+
+Serialises :class:`~repro.vibe.metrics.BenchResult` objects to JSON,
+organises them by platform under a directory tree, and produces
+cross-platform comparison reports — so results measured on one machine
+(or one simulated stack) can be published and diffed against another.
+
+Layout::
+
+    <root>/<platform>/<benchmark>.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from .metrics import BenchResult, Measurement, merge_tables
+
+__all__ = ["ResultRepository", "result_to_dict", "result_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: BenchResult) -> dict:
+    return {
+        "format": _FORMAT_VERSION,
+        "benchmark": result.benchmark,
+        "provider": result.provider,
+        "params": result.params,
+        "points": [
+            {
+                "param": p.param,
+                "latency_us": p.latency_us,
+                "bandwidth_mbs": p.bandwidth_mbs,
+                "cpu_send": p.cpu_send,
+                "cpu_recv": p.cpu_recv,
+                "tps": p.tps,
+                "extra": p.extra,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> BenchResult:
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {data.get('format')!r}"
+        )
+    points = [
+        Measurement(
+            param=p["param"],
+            latency_us=p.get("latency_us"),
+            bandwidth_mbs=p.get("bandwidth_mbs"),
+            cpu_send=p.get("cpu_send"),
+            cpu_recv=p.get("cpu_recv"),
+            tps=p.get("tps"),
+            extra=p.get("extra", {}),
+        )
+        for p in data["points"]
+    ]
+    return BenchResult(data["benchmark"], data["provider"], points,
+                       data.get("params", {}))
+
+
+class ResultRepository:
+    """A directory tree of stored benchmark results."""
+
+    def __init__(self, root: "str | pathlib.Path") -> None:
+        self.root = pathlib.Path(root)
+
+    # -- storing -----------------------------------------------------------
+    def save(self, platform: str, result: BenchResult) -> pathlib.Path:
+        """Store one result under ``platform`` (e.g. 'clan-sim')."""
+        directory = self.root / _safe(platform)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{_safe(result.benchmark)}.json"
+        path.write_text(json.dumps(result_to_dict(result), indent=2,
+                                   default=str))
+        return path
+
+    def save_all(self, platform: str,
+                 results: Iterable[BenchResult]) -> list[pathlib.Path]:
+        return [self.save(platform, r) for r in results]
+
+    # -- loading ------------------------------------------------------------
+    def load(self, platform: str, benchmark: str) -> BenchResult:
+        path = self.root / _safe(platform) / f"{_safe(benchmark)}.json"
+        if not path.exists():
+            raise FileNotFoundError(
+                f"no stored result for {benchmark!r} on {platform!r}"
+            )
+        return result_from_dict(json.loads(path.read_text()))
+
+    def platforms(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def benchmarks(self, platform: str) -> list[str]:
+        directory = self.root / _safe(platform)
+        if not directory.exists():
+            return []
+        return sorted(p.stem for p in directory.glob("*.json"))
+
+    # -- comparison ------------------------------------------------------------
+    def compare(self, benchmark: str, metric: str,
+                platforms: list[str] | None = None) -> str:
+        """Side-by-side report of one metric across stored platforms."""
+        platforms = platforms or self.platforms()
+        results = []
+        for platform in platforms:
+            try:
+                result = self.load(platform, benchmark)
+            except FileNotFoundError:
+                continue
+            # label rows by platform, not by the provider they ran on
+            results.append(BenchResult(result.benchmark, platform,
+                                       result.points, result.params))
+        if not results:
+            return f"(no stored results for {benchmark!r})"
+        return merge_tables(results, metric,
+                            title=f"{benchmark}: {metric} across platforms")
+
+    def diff(self, benchmark: str, metric: str, base: str,
+             other: str) -> list[tuple]:
+        """Per-point relative change of ``other`` vs ``base``.
+
+        Returns ``[(param, base_value, other_value, relative_change)]``.
+        """
+        a = self.load(base, benchmark)
+        b = self.load(other, benchmark)
+        out = []
+        for pa in a.points:
+            va = pa.get(metric)
+            try:
+                vb = b.point(pa.param).get(metric)
+            except KeyError:
+                continue
+            if va in (None, 0) or vb is None:
+                continue
+            out.append((pa.param, va, vb, (vb - va) / va))
+        return out
+
+
+def _safe(name: str) -> str:
+    """File-system-safe component name."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)

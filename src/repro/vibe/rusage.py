@@ -1,0 +1,21 @@
+"""getrusage analog (paper §3.2: "CPU utilization is measured by using
+the getrusage function")."""
+
+from __future__ import annotations
+
+from ..hw.cpu import Rusage
+from ..via.provider import NicHandle
+
+__all__ = ["getrusage", "cpu_utilization", "Rusage"]
+
+
+def getrusage(handle: NicHandle) -> Rusage:
+    """Snapshot the accumulated user/system time of a session's actor."""
+    return handle.actor.snapshot()
+
+
+def cpu_utilization(before: Rusage, after: Rusage, wall_us: float) -> float:
+    """Fraction of wall time spent on-CPU between two snapshots."""
+    if wall_us <= 0:
+        raise ValueError("wall time must be positive")
+    return (after - before).total / wall_us

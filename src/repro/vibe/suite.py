@@ -1,0 +1,117 @@
+"""The VIBe suite registry: every micro-benchmark, runnable by name.
+
+Mirrors the paper's taxonomy:
+
+- category 1 (non-data transfer): ``nondata``, ``memreg``;
+- category 2 (data transfer): ``base_latency``, ``base_bandwidth`` (and
+  their blocking variants), ``reuse_latency``, ``reuse_bandwidth``,
+  ``cq_latency``, ``cq_overhead``, ``multivi_latency``,
+  ``multivi_bandwidth``, ``segments_latency``, ``async_latency``,
+  ``rdma_write_latency``, ``pipeline_bandwidth``, ``mtu_bandwidth``,
+  ``reliability_latency``;
+- category 3 (programming models): ``client_server``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..via.constants import WaitMode
+from . import (
+    addrtrans,
+    async_bench,
+    base_transfer,
+    clientserver,
+    cq_bench,
+    mtu,
+    multiclient,
+    multivi,
+    nondata,
+    pipeline,
+    progmodel_collectives,
+    progmodel_dsm,
+    progmodel_getput,
+    progmodel_msg,
+    progmodel_stream,
+    rdma_bench,
+    reliability,
+    segments,
+)
+from . import concurrency, dynamic
+from .metrics import BenchResult
+
+__all__ = ["SUITE", "run_benchmark", "run_all", "DEFAULT_PROVIDERS"]
+
+DEFAULT_PROVIDERS = ("mvia", "bvia", "clan")
+
+#: name -> callable(provider, **kwargs) returning BenchResult or a list
+SUITE: dict[str, Callable] = {
+    # category 1
+    "nondata": nondata.nondata_costs,
+    "memreg": nondata.memreg_sweep,
+    # category 2
+    "base_latency": base_transfer.base_latency,
+    "base_bandwidth": base_transfer.base_bandwidth,
+    "base_latency_blocking": lambda p, **kw: base_transfer.base_latency(
+        p, mode=WaitMode.BLOCK, **kw),
+    "base_bandwidth_blocking": lambda p, **kw: base_transfer.base_bandwidth(
+        p, mode=WaitMode.BLOCK, **kw),
+    "reuse_latency": addrtrans.reuse_latency,
+    "reuse_bandwidth": addrtrans.reuse_bandwidth,
+    "cq_latency": cq_bench.cq_latency,
+    "cq_bandwidth": cq_bench.cq_bandwidth,
+    "cq_overhead": cq_bench.cq_overhead,
+    "multivi_latency": multivi.multivi_latency,
+    "multivi_bandwidth": multivi.multivi_bandwidth,
+    "segments_latency": segments.segments_latency,
+    "segments_bandwidth": segments.segments_bandwidth,
+    "async_latency": async_bench.async_latency,
+    "rdma_write_latency": rdma_bench.rdma_write_latency,
+    "rdma_read_latency": rdma_bench.rdma_read_latency,
+    "pipeline_bandwidth": pipeline.pipeline_bandwidth,
+    "mtu_latency": mtu.mtu_latency,
+    "mtu_bandwidth": mtu.mtu_bandwidth,
+    "reliability_latency": reliability.reliability_latency,
+    "reliability_bandwidth": reliability.reliability_bandwidth,
+    "loss_goodput": reliability.loss_goodput,
+    # category 3
+    "client_server": clientserver.client_server,
+    "multiclient_throughput": multiclient.multiclient_throughput,
+    "msg_layer_latency": progmodel_msg.msg_layer_latency,
+    "msg_layer_bandwidth": progmodel_msg.msg_layer_bandwidth,
+    "eager_threshold": progmodel_msg.eager_threshold_sweep,
+    "getput_latency": progmodel_getput.getput_latency,
+    "dsm_fault_latency": progmodel_dsm.dsm_fault_latency,
+    "collective_latency": progmodel_collectives.collective_latency,
+    "connection_churn": dynamic.connection_churn,
+    "tail_latency": dynamic.tail_latency_under_load,
+    "stream_throughput": progmodel_stream.stream_throughput,
+    "concurrent_streams": concurrency.concurrent_streams,
+}
+
+
+def run_benchmark(name: str, provider: str, **kwargs):
+    """Run one named micro-benchmark on one provider."""
+    try:
+        fn = SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(SUITE)}"
+        ) from None
+    return fn(provider, **kwargs)
+
+
+def run_all(providers=DEFAULT_PROVIDERS,
+            benchmarks: list[str] | None = None,
+            **kwargs) -> dict[str, dict[str, "BenchResult | list[BenchResult]"]]:
+    """Run (a subset of) the suite on each provider.
+
+    Returns ``{benchmark: {provider: result}}``.
+    """
+    names = benchmarks or list(SUITE)
+    out: dict[str, dict] = {}
+    for name in names:
+        out[name] = {}
+        for provider in providers:
+            out[name][provider] = run_benchmark(name, provider, **kwargs)
+    return out

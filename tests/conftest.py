@@ -1,0 +1,71 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import Descriptor
+
+
+def run_proc(sim, gen, name="test"):
+    """Run one process to completion and return its value."""
+    proc = sim.process(gen, name=name)
+    return sim.run(proc)
+
+
+def run_pair(tb: Testbed, client_gen, server_gen):
+    """Run a client/server pair to completion; returns (client, server)
+    process return values."""
+    cproc = tb.spawn(client_gen, "client")
+    sproc = tb.spawn(server_gen, "server")
+    cval = tb.run(cproc)
+    sval = tb.run(sproc)
+    return cval, sval
+
+
+def connected_endpoints(tb: Testbed, disc: int = 9, reliability=None,
+                        bufsize: int = 4096):
+    """Generator factories producing ``(handle, vi, region, mh)`` on each
+    node with an established connection and a registered buffer."""
+
+    def client_setup():
+        h = tb.open(tb.node_names[0], "client")
+        vi = yield from h.create_vi(reliability=reliability)
+        region = h.alloc(bufsize)
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, tb.node_names[1], disc)
+        return h, vi, region, mh
+
+    def server_setup():
+        h = tb.open(tb.node_names[1], "server")
+        vi = yield from h.create_vi(reliability=reliability)
+        region = h.alloc(bufsize)
+        mh = yield from h.register_mem(region)
+        req = yield from h.connect_wait(disc)
+        yield from h.accept(req, vi)
+        return h, vi, region, mh
+
+    return client_setup, server_setup
+
+
+def simple_send(h, vi, region, mh, data: bytes):
+    """Post-send ``data`` from the start of ``region`` and wait."""
+    h.write(region, data)
+    segs = [h.segment(region, mh, 0, len(data))]
+    yield from h.post_send(vi, Descriptor.send(segs))
+    desc = yield from h.send_wait(vi)
+    return desc
+
+
+def simple_recv(h, vi, region, mh, length: int):
+    """Post-recv into ``region`` and wait; returns (desc, bytes)."""
+    segs = [h.segment(region, mh, 0, length)]
+    yield from h.post_recv(vi, Descriptor.recv(segs))
+    desc = yield from h.recv_wait(vi)
+    return desc, h.read(region, desc.control.length)
+
+
+@pytest.fixture(params=["mvia", "bvia", "clan"])
+def provider_name(request):
+    return request.param

@@ -1,0 +1,63 @@
+"""Tests for the vibe command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_names_all_benchmarks(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "base_latency" in out
+    assert "client_server" in out
+    assert "nondata" in out
+
+
+def test_table1_output(capsys):
+    main(["--providers", "clan", "table1"])
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Establishing Connection" in out
+    assert "CLAN" in out
+
+
+def test_figure_3(capsys):
+    main(["--providers", "mvia,clan", "figure", "3", "--sizes", "4,1024"])
+    out = capsys.readouterr().out
+    assert "latency" in out and "bandwidth" in out
+    assert "mvia" in out and "clan" in out
+
+
+def test_figure_5_bvia_only(capsys):
+    main(["figure", "5", "--sizes", "256"])
+    out = capsys.readouterr().out
+    assert "buffer reuse" in out
+    assert "bvia@0%" in out
+
+
+def test_figure_unknown_number():
+    with pytest.raises(SystemExit):
+        main(["figure", "12"])
+
+
+def test_run_single_benchmark(capsys):
+    main(["run", "memreg", "--provider", "bvia"])
+    out = capsys.readouterr().out
+    assert "memreg [bvia]" in out
+    assert "register_us" in out
+
+
+def test_run_benchmark_returning_list(capsys):
+    main(["run", "reuse_latency", "--provider", "bvia"])
+    out = capsys.readouterr().out
+    assert "reuse_latency" in out
+
+
+def test_run_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "not-a-benchmark"])

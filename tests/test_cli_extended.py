@@ -1,0 +1,63 @@
+"""Tests for the extended CLI commands (breakdown, trace, save, compare)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_breakdown_single(capsys):
+    main(["breakdown", "--provider", "clan", "--size", "64"])
+    out = capsys.readouterr().out
+    assert "latency breakdown: clan" in out
+    assert "bottleneck:" in out
+
+
+def test_breakdown_compare(capsys):
+    main(["--providers", "mvia,clan", "breakdown", "--compare",
+          "--size", "16"])
+    out = capsys.readouterr().out
+    assert "mvia@16B" in out and "clan@16B" in out
+    assert "TOTAL" in out
+
+
+def test_trace_timeline(capsys):
+    main(["trace", "--provider", "bvia", "--size", "32"])
+    out = capsys.readouterr().out
+    assert "host/post_send" in out
+    assert "nic/frag_out" in out
+    assert "wire/serialized" in out
+    assert "via/completed" in out
+
+
+def test_save_and_compare_roundtrip(tmp_path, capsys):
+    repo = str(tmp_path / "repo")
+    main(["save", "--repo", repo, "--platform", "clan-sim",
+          "--provider", "clan", "nondata"])
+    main(["save", "--repo", repo, "--platform", "bvia-sim",
+          "--provider", "bvia", "nondata"])
+    capsys.readouterr()
+    main(["compare", "--repo", repo, "nondata", "cost_us"])
+    out = capsys.readouterr().out
+    assert "clan-sim" in out and "bvia-sim" in out
+    assert "establish_connection" in out
+
+
+def test_save_default_benchmark_set(tmp_path, capsys):
+    repo = str(tmp_path / "repo")
+    main(["save", "--repo", repo, "--platform", "p", "--provider", "clan",
+          "memreg"])
+    out = capsys.readouterr().out
+    assert "saved" in out
+    assert (tmp_path / "repo" / "p" / "memreg.json").exists()
+
+
+def test_compare_selected_platforms(tmp_path, capsys):
+    repo = str(tmp_path / "repo")
+    for platform, provider in (("a", "clan"), ("b", "mvia")):
+        main(["save", "--repo", repo, "--platform", platform,
+              "--provider", provider, "memreg"])
+    capsys.readouterr()
+    main(["compare", "--repo", repo, "--platforms", "a", "memreg",
+          "register_us"])
+    out = capsys.readouterr().out
+    assert "a" in out and "b" not in out.replace("benchmarks", "")

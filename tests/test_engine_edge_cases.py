@@ -1,0 +1,316 @@
+"""Engine and provider edge cases the main suites don't reach."""
+
+import pytest
+
+from repro.providers import Testbed, get_spec
+from repro.via import (
+    CompletionStatus,
+    Descriptor,
+    Reliability,
+    VipProtectionError,
+    VipStateError,
+    VipTimeout,
+)
+from repro.via.constants import WaitMode
+
+from conftest import connected_endpoints, run_pair, run_proc, simple_recv, simple_send
+
+
+def test_protection_tags_isolate_handles_on_one_node():
+    """Memory registered under one NicHandle's protection tag cannot be
+    used by a VI created under another handle (VIA ptag semantics)."""
+    tb = Testbed("clan")
+    h1 = tb.open("node0", "app1")
+    h2 = tb.open("node0", "app2")
+
+    def body():
+        vi = yield from h1.create_vi()
+        region = h2.alloc(64)
+        mh = yield from h2.register_mem(region)   # h2's ptag
+        seg = h1.segment(region, mh, 0, 8)
+        with pytest.raises(VipProtectionError, match="tag"):
+            yield from h1.post_recv(vi, Descriptor.recv([seg]))
+
+    run_proc(tb.sim, body())
+
+
+def test_cq_on_send_queue(provider_name):
+    """Send completions can also be discovered through a CQ."""
+    tb = Testbed(provider_name)
+    result = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        cq = yield from h.create_cq()
+        vi = yield from h.create_vi(send_cq=cq)
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 9)
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        wq, desc = yield from h.cq_wait(cq)
+        result["kind"] = wq.kind
+        result["status"] = desc.status
+        # direct send_wait on a CQ-bound queue is a state error
+        yield from h.post_send(vi, Descriptor.send(segs))
+        with pytest.raises(VipStateError, match="bound to a CQ"):
+            yield from h.send_wait(vi, timeout=10_000.0)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(9)
+        yield from h.accept(req, vi)
+        yield from h.recv_wait(vi)
+        yield from h.recv_wait(vi)
+
+    run_pair(tb, client(), server())
+    assert result["kind"] == "send"
+    assert result["status"] is CompletionStatus.SUCCESS
+
+
+def test_one_cq_merges_send_and_recv(provider_name):
+    tb = Testbed(provider_name)
+    kinds = []
+
+    def client():
+        h = tb.open("node0", "client")
+        cq = yield from h.create_cq()
+        vi = yield from h.create_vi(send_cq=cq, recv_cq=cq)
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.connect(vi, "node1", 9)
+        yield from h.post_send(vi, Descriptor.send(segs))
+        for _ in range(2):
+            wq, _desc = yield from h.cq_wait(cq)
+            kinds.append(wq.kind)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(9)
+        yield from h.accept(req, vi)
+        yield from h.recv_wait(vi)
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+
+    run_pair(tb, client(), server())
+    assert sorted(kinds) == ["recv", "send"]
+
+
+def test_wait_timeout_fires(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        t0 = tb.now
+        with pytest.raises(VipTimeout):
+            yield from h.recv_wait(vi, WaitMode.POLL, timeout=500.0)
+        assert tb.now - t0 >= 500.0 - 1e-6
+        with pytest.raises(VipTimeout):
+            yield from h.recv_wait(vi, WaitMode.BLOCK, timeout=500.0)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+
+    run_pair(tb, client(), server())
+
+
+def test_wait_timeout_beaten_by_completion(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        desc = yield from h.recv_wait(vi, timeout=1_000_000.0)
+        result["status"] = desc.status
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield from simple_send(h, vi, region, mh, b"beat-it!")
+
+    run_pair(tb, client(), server())
+    assert result["status"] is CompletionStatus.SUCCESS
+
+
+def test_zero_length_rdma_write_with_immediate(provider_name):
+    tb = Testbed(provider_name)
+    result = {}
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        while "target" not in result:
+            yield tb.sim.timeout(1.0)
+        raddr, rhid = result["target"]
+        desc = Descriptor.rdma_write([h.segment(region, mh, 0, 0)],
+                                     raddr, rhid, immediate=77)
+        yield from h.post_send(vi, desc)
+        yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield from h.post_recv(vi, Descriptor.recv([]))
+        result["target"] = (region.base, mh.handle_id)
+        desc = yield from h.recv_wait(vi)
+        result["imm"] = desc.control.immediate
+
+    run_pair(tb, client(), server())
+    assert result["imm"] == 77
+
+
+def test_messages_on_two_vis_interleave(provider_name):
+    """Two VI pairs between the same nodes carry independent streams."""
+    tb = Testbed(provider_name)
+    result = {"a": [], "b": []}
+
+    def client():
+        h = tb.open("node0", "client")
+        via = yield from h.create_vi()
+        vib = yield from h.create_vi()
+        region = h.alloc(128)
+        mh = yield from h.register_mem(region)
+        yield from h.connect(via, "node1", 21)
+        yield from h.connect(vib, "node1", 22)
+        for i in range(4):
+            vi = via if i % 2 == 0 else vib
+            h.write(region, bytes([i]) * 4, 0)
+            segs = [h.segment(region, mh, 0, 4)]
+            yield from h.post_send(vi, Descriptor.send(segs))
+            yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "server")
+        via = yield from h.create_vi()
+        vib = yield from h.create_vi()
+        region = h.alloc(128)
+        mh = yield from h.register_mem(region)
+        for vi, off in ((via, 0), (vib, 64)):
+            for _ in range(2):
+                segs = [h.segment(region, mh, off, 4)]
+                yield from h.post_recv(vi, Descriptor.recv(segs))
+        for disc, vi in ((21, via), (22, vib)):
+            req = yield from h.connect_wait(disc)
+            yield from h.accept(req, vi)
+        for _ in range(2):
+            yield from h.recv_wait(via)
+            result["a"].append(h.read(region, 1, 0)[0])
+            yield from h.recv_wait(vib)
+            result["b"].append(h.read(region, 1, 64)[0])
+
+    run_pair(tb, client(), server())
+    assert result["a"] == [0, 2]
+    assert result["b"] == [1, 3]
+
+
+def test_disconnect_with_inflight_messages_flushes_cleanly(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        segs = [h.segment(region, mh, 0, 8)]
+        # leave receives posted, then disconnect
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.disconnect(vi)
+        flushed = []
+        for _ in range(2):
+            d = yield from h.recv_done(vi)
+            flushed.append(d.status)
+        assert flushed == [CompletionStatus.FLUSHED] * 2
+        yield from h.destroy_vi(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        while vi.is_connected:
+            yield tb.sim.timeout(5.0)
+
+    run_pair(tb, client(), server())
+
+
+def test_immediate_data_with_payload(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        h.write(region, b"payload+imm")
+        segs = [h.segment(region, mh, 0, 11)]
+        yield from h.post_send(vi, Descriptor.send(segs, immediate=42))
+        yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        desc, data = yield from simple_recv(h, vi, region, mh, 64)
+        result["imm"] = desc.control.immediate
+        result["data"] = data
+
+    run_pair(tb, client(), server())
+    assert result["imm"] == 42
+    assert result["data"] == b"payload+imm"
+
+
+def test_reliable_reception_ack_after_placement():
+    """Reliable-reception acks follow placement: the sender's completion
+    time exceeds reliable-delivery's for multi-fragment messages."""
+    times = {}
+    for level in (Reliability.RELIABLE_DELIVERY,
+                  Reliability.RELIABLE_RECEPTION):
+        tb = Testbed("mvia")  # 1500 B MTU -> many fragments
+        cs, ss = connected_endpoints(tb, reliability=level, bufsize=16384)
+        out = {}
+
+        def client():
+            h, vi, region, mh = yield from cs()
+            t0 = tb.now
+            yield from simple_send(h, vi, region, mh, b"q" * 16000)
+            out["t"] = tb.now - t0
+
+        def server():
+            h, vi, region, mh = yield from ss()
+            yield from simple_recv(h, vi, region, mh, 16384)
+
+        run_pair(tb, client(), server())
+        times[level] = out["t"]
+    assert times[Reliability.RELIABLE_RECEPTION] \
+        > times[Reliability.RELIABLE_DELIVERY]
+
+
+def test_stale_packet_to_destroyed_vi_is_dropped():
+    """Traffic for an unknown VI id must be counted and discarded, not
+    crash the engine."""
+    tb = Testbed("clan")
+    from repro.providers.engine import DataFrag
+    from repro.hw.link import Packet
+
+    prov = tb.provider("node1")
+
+    def body():
+        pkt = Packet(src="node0", dst="node1", kind="via-data", size=4,
+                     payload=DataFrag(src_vi=1, dst_vi=424242, seq=0,
+                                      frag=0, nfrags=1, offset=0,
+                                      total_len=4, data=b"ghost"[:4],
+                                      op="send"))
+        yield from tb.provider("node0").node.nic.transmit(pkt)
+        yield tb.sim.timeout(100.0)
+
+    run_proc(tb.sim, body())
+    tb.run()
+    assert prov.engine.drops == 1

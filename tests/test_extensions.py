@@ -1,0 +1,135 @@
+"""Tests for the future-work extensions: the IBA provider, the
+multi-client scalability benchmark, and the programming-model benches."""
+
+import pytest
+
+from repro.providers import PROVIDERS, Testbed
+from repro.vibe import (
+    TransferConfig,
+    base_latency,
+    dsm_fault_latency,
+    dsm_pingpong_sharing,
+    eager_threshold_sweep,
+    getput_latency,
+    msg_layer_bandwidth,
+    msg_layer_latency,
+    multiclient_throughput,
+    run_latency,
+)
+
+
+# ---- IBA provider -----------------------------------------------------------
+
+def test_iba_registered():
+    assert "iba" in PROVIDERS
+    spec = PROVIDERS["iba"]
+    assert spec.choices.supports_rdma_read
+    assert spec.network.mtu == 2048
+
+
+def test_iba_fastest_latency():
+    sizes = [4, 4096]
+    iba = base_latency("iba", sizes)
+    clan = base_latency("clan", sizes)
+    for s in sizes:
+        assert iba.point(s).latency_us < clan.point(s).latency_us
+
+
+def test_iba_pci_bound_bandwidth():
+    """A first-generation HCA saturates the 32-bit PCI bus, not its
+    2.5 Gb/s link."""
+    from repro.vibe import base_bandwidth
+
+    bw = base_bandwidth("iba", [28672]).point(28672).bandwidth_mbs
+    assert 110 < bw < 132  # below the PCI ceiling, above the VIA stacks
+
+
+def test_iba_runs_whole_via_suite_unmodified():
+    """Forward portability: the unmodified VIBe machinery runs on IBA."""
+    m = run_latency("iba", TransferConfig(size=1024, iters=6))
+    assert m.latency_us > 0 and m.cpu_send == pytest.approx(1.0)
+    from repro.vibe import nondata_costs
+
+    res = nondata_costs("iba", repeats=2)
+    assert res.point("create_vi").extra["cost_us"] < 5
+
+
+# ---- multi-client scalability ------------------------------------------------
+
+def test_multiclient_aggregates_scale_until_server_saturates():
+    res = multiclient_throughput("clan", client_counts=(1, 4),
+                                 transactions=8)
+    assert res.point(4).tps > res.point(1).tps
+    assert res.point(4).extra["tps_per_client"] \
+        < res.point(1).extra["tps_per_client"]
+
+
+def test_multiclient_bvia_pays_per_vi_tax():
+    """Every added client is another open VI for the firmware to poll.
+    Flipping only the dispatch knob isolates the tax: a direct-dispatch
+    BVIA serves 8 clients measurably faster than the polled baseline."""
+    from repro.providers import get_spec
+    from repro.providers.costs import DispatchKind
+
+    polled = multiclient_throughput("bvia", client_counts=(8,),
+                                    transactions=6)
+    direct = multiclient_throughput(
+        get_spec("bvia").with_choices(dispatch=DispatchKind.DIRECT),
+        client_counts=(8,), transactions=6)
+    assert direct.point(8).tps > polled.point(8).tps * 1.1
+
+
+# ---- message-layer benchmarks ----------------------------------------------------
+
+def test_msg_layer_latency_above_raw_via(provider_name):
+    raw = run_latency(provider_name, TransferConfig(size=1024)).latency_us
+    layered = msg_layer_latency(provider_name, [1024], iters=8)
+    assert layered.point(1024).latency_us > raw
+
+
+def test_msg_layer_bandwidth_positive():
+    res = msg_layer_bandwidth("clan", [4096], count=30)
+    assert 0 < res.point(4096).bandwidth_mbs < 130
+
+
+def test_eager_threshold_crossover_annotated():
+    res = eager_threshold_sweep("bvia", size=8192,
+                                thresholds=(1024, 16384), iters=6)
+    protos = {p.param: p.extra["protocol"] for p in res.points}
+    assert protos == {1024: "rendezvous", 16384: "eager"}
+
+
+# ---- get/put benchmarks ------------------------------------------------------------
+
+def test_getput_emulated_get_costs_more_than_put():
+    res = getput_latency("bvia", sizes=[1024], iters=6)
+    point = res.point(1024)
+    assert point.extra["get_us"] > point.extra["put_us"]
+
+
+def test_getput_rdma_read_get_cheaper_than_emulation():
+    emulated = getput_latency("clan", sizes=[1024], iters=6)
+    onesided = getput_latency("iba", sizes=[1024], iters=6)
+    assert onesided.point(1024).extra["get_us"] \
+        < emulated.point(1024).extra["get_us"]
+
+
+# ---- DSM benchmarks -----------------------------------------------------------------
+
+def test_dsm_fault_latency_orders_providers():
+    fast = dsm_fault_latency("iba", page_sizes=(4096,), faults=5)
+    slow = dsm_fault_latency("mvia", page_sizes=(4096,), faults=5)
+    assert fast.point(4096).extra["read_miss_us"] \
+        < slow.point(4096).extra["read_miss_us"]
+
+
+def test_dsm_fault_latency_grows_with_page_size():
+    res = dsm_fault_latency("clan", page_sizes=(1024, 16384), faults=5)
+    assert res.point(16384).extra["read_miss_us"] \
+        > res.point(1024).extra["read_miss_us"]
+
+
+def test_dsm_pingpong_counts_migrations():
+    m = dsm_pingpong_sharing("clan", rounds=5)
+    assert m.latency_us > 0
+    assert m.extra["ownership_moves"] >= 2 * 5 - 2

@@ -1,0 +1,164 @@
+"""Unit tests for the host CPU / rusage model."""
+
+import pytest
+
+from repro.hw.cpu import HostCPU, Rusage
+from repro.sim import Simulator
+
+from conftest import run_proc
+
+
+def test_busy_charges_user_time():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    actor = cpu.actor("a")
+
+    def body():
+        yield from actor.busy(5.0)
+        yield from actor.busy(2.0, "sys")
+
+    run_proc(sim, body())
+    assert actor.rusage.utime == 5.0
+    assert actor.rusage.stime == 2.0
+    assert actor.rusage.total == 7.0
+    assert sim.now == 7.0
+
+
+def test_busy_zero_is_free():
+    sim = Simulator()
+    actor = HostCPU(sim).actor("a")
+
+    def body():
+        yield from actor.busy(0.0)
+
+    run_proc(sim, body())
+    assert sim.now == 0.0 and actor.rusage.total == 0.0
+
+
+def test_busy_rejects_negative_and_bad_kind():
+    sim = Simulator()
+    actor = HostCPU(sim).actor("a")
+    with pytest.raises(ValueError):
+        actor.charge(-1.0)
+    with pytest.raises(ValueError):
+        actor.charge(1.0, "weird")
+
+    def body():
+        yield from actor.busy(-1.0)
+
+    with pytest.raises(ValueError):
+        run_proc(sim, body())
+
+
+def test_copy_cost_scales_with_bytes():
+    sim = Simulator()
+    cpu = HostCPU(sim, mem_copy_bw=100.0)
+    actor = cpu.actor("a")
+    assert cpu.copy_cost(1000) == pytest.approx(10.0)
+
+    def body():
+        yield from actor.copy(500)
+
+    run_proc(sim, body())
+    assert sim.now == pytest.approx(5.0)
+    assert actor.rusage.stime == pytest.approx(5.0)
+
+
+def test_spin_wait_charges_wall_time():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    actor = cpu.actor("a")
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(8.0)
+        ev.succeed("v")
+
+    def body():
+        value = yield from actor.spin_wait(ev)
+        return value
+
+    sim.process(trigger())
+    assert run_proc(sim, body()) == "v"
+    assert actor.rusage.utime == pytest.approx(8.0)
+
+
+def test_block_wait_is_idle_plus_wakeup():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    actor = cpu.actor("a")
+    ev = sim.event()
+
+    def trigger():
+        yield sim.timeout(8.0)
+        ev.succeed(None)
+
+    def body():
+        yield from actor.block_wait(ev, wakeup_cost=3.0, delay=2.0)
+
+    sim.process(trigger())
+    run_proc(sim, body())
+    assert sim.now == pytest.approx(13.0)   # 8 wait + 2 delay + 3 handler
+    assert actor.rusage.stime == pytest.approx(3.0)
+    assert actor.rusage.utime == 0.0
+
+
+def test_two_actors_contend_for_one_cpu():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    a, b = cpu.actor("a"), cpu.actor("b")
+    done = []
+
+    def body(actor, name):
+        yield from actor.busy(4.0)
+        done.append((name, sim.now))
+
+    sim.process(body(a, "a"))
+    sim.process(body(b, "b"))
+    sim.run()
+    assert done == [("a", 4.0), ("b", 8.0)]
+
+
+def test_spinner_holds_cpu_against_other_actor():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    a, b = cpu.actor("spin"), cpu.actor("work")
+    ev = sim.event()
+    done = []
+
+    def spinner():
+        yield from a.spin_wait(ev)
+        done.append(("spin", sim.now))
+
+    def trigger():
+        yield sim.timeout(5.0)
+        ev.succeed(None)
+
+    def worker():
+        yield sim.timeout(1.0)       # arrives while spinner holds the CPU
+        yield from b.busy(2.0)
+        done.append(("work", sim.now))
+
+    sim.process(spinner())
+    sim.process(trigger())
+    sim.process(worker())
+    sim.run()
+    assert done == [("spin", 5.0), ("work", 7.0)]
+
+
+def test_actor_identity_and_snapshot():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    assert cpu.actor("x") is cpu.actor("x")
+    actor = cpu.actor("x")
+    actor.charge(4.0)
+    snap = actor.snapshot()
+    actor.charge(1.0)
+    delta = actor.rusage - snap
+    assert delta.utime == 1.0
+    assert isinstance(snap, Rusage)
+
+
+def test_bad_copy_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        HostCPU(Simulator(), mem_copy_bw=0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for fabric presets, switch forwarding, and topology."""
+
+import pytest
+
+from repro.hw import GIGANET, GIGE, MYRINET, Fabric, Packet
+from repro.sim import Simulator
+
+from conftest import run_proc
+
+
+def deliver_one(params, size=1000):
+    sim = Simulator()
+    fab = Fabric(sim, params)
+    got = []
+    fab.node("node1").nic.rx_handler = lambda p: got.append(sim.now)
+
+    def body():
+        yield from fab.node("node0").nic.transmit(
+            Packet("node0", "node1", "data", size)
+        )
+
+    run_proc(sim, body())
+    sim.run()
+    return got[0]
+
+
+def test_presets_have_expected_relative_latency():
+    t_myri = deliver_one(MYRINET)
+    t_gige = deliver_one(GIGE)
+    t_clan = deliver_one(GIGANET)
+    # store-and-forward Ethernet pays double serialisation + switch
+    assert t_gige > t_myri
+    assert t_gige > t_clan
+
+
+def test_gige_store_and_forward_doubles_serialisation():
+    t = deliver_one(GIGE, size=1500)
+    ser = (1500 + GIGE.header_bytes) / GIGE.bandwidth + GIGE.per_packet_cost
+    # two serialisations (uplink + downlink) plus fixed delays
+    fixed = 2 * GIGE.prop_delay + GIGE.switch_latency
+    assert t == pytest.approx(2 * ser + fixed, rel=0.01)
+
+
+def test_cut_through_single_serialisation():
+    t = deliver_one(MYRINET, size=16000)
+    ser = (16000 + MYRINET.header_bytes) / MYRINET.bandwidth \
+        + MYRINET.per_packet_cost
+    fixed = 2 * MYRINET.prop_delay + MYRINET.switch_latency
+    assert t == pytest.approx(ser + fixed, rel=0.02)
+
+
+def test_switch_rejects_unknown_destination():
+    sim = Simulator()
+    fab = Fabric(sim, MYRINET)
+
+    def body():
+        yield from fab.node("node0").nic.transmit(
+            Packet("node0", "nowhere", "data", 10)
+        )
+
+    with pytest.raises(KeyError):
+        run_proc(sim, body())
+        sim.run()
+
+
+def test_three_node_fabric():
+    sim = Simulator()
+    fab = Fabric(sim, GIGANET, node_names=("a", "b", "c"))
+    got = {"b": [], "c": []}
+    fab.node("b").nic.rx_handler = lambda p: got["b"].append(p.payload)
+    fab.node("c").nic.rx_handler = lambda p: got["c"].append(p.payload)
+
+    def body():
+        yield from fab.node("a").nic.transmit(Packet("a", "b", "d", 1, "to-b"))
+        yield from fab.node("a").nic.transmit(Packet("a", "c", "d", 1, "to-c"))
+
+    run_proc(sim, body())
+    sim.run()
+    assert got == {"b": ["to-b"], "c": ["to-c"]}
+
+
+def test_duplicate_node_names_rejected():
+    with pytest.raises(ValueError):
+        Fabric(Simulator(), MYRINET, node_names=("x", "x"))
+
+
+def test_with_loss_and_mtu_builders():
+    lossy = GIGE.with_loss(0.1)
+    assert lossy.loss_rate == 0.1 and GIGE.loss_rate == 0.0
+    small = MYRINET.with_mtu(512)
+    assert small.mtu == 512 and MYRINET.mtu == 32768
+    with pytest.raises(ValueError):
+        MYRINET.with_mtu(10)
+
+
+def test_nodes_get_host_params():
+    from repro.hw import HostParams
+
+    sim = Simulator()
+    host = HostParams(mem_copy_bw=50.0, tlb_entries=8)
+    fab = Fabric(sim, MYRINET, host=host)
+    node = fab.node("node0")
+    assert node.cpu.mem_copy_bw == 50.0
+    assert node.nic.tlb.entries == 8

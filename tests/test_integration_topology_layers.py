@@ -1,0 +1,108 @@
+"""Cross-cutting integration: programming-model layers on tiered
+fabrics — the full stack from DES kernel to DSM, across a spine."""
+
+import pytest
+
+from repro.layers import MsgEndpoint, RpcClient, RpcServer, connect_group
+from repro.layers.dsm import connect_mesh
+from repro.providers import Testbed
+
+GROUPS = (("a0", "a1"), ("b0", "b1"))
+
+
+def test_dsm_spans_leaves():
+    """A DSM mesh across two leaf switches stays coherent."""
+    names = ["a0", "a1", "b0", "b1"]
+    tb = Testbed("clan", leaf_groups=GROUPS)
+    setups = connect_mesh(tb, names, npages=4)
+    shared = {}
+
+    def writer(i):
+        node = yield from setups[i]
+        yield from node.write(i * 4096, f"node-{i}".encode())
+        shared[f"w{i}"] = True
+
+    def reader():
+        node = yield from setups[3]
+        yield from node.write(3 * 4096, b"node-3")
+        shared["w3"] = True
+        while not all(f"w{i}" in shared for i in range(4)):
+            yield tb.sim.timeout(50.0)
+        out = []
+        for i in range(4):
+            data = yield from node.read(i * 4096, 6)
+            out.append(data)
+        shared["all"] = out
+
+    procs = [tb.spawn(writer(i)) for i in range(3)]
+    procs.append(tb.spawn(reader()))
+    for p in procs:
+        tb.run(p)
+    assert shared["all"] == [b"node-0", b"node-1", b"node-2", b"node-3"]
+
+
+def test_collectives_span_leaves():
+    import struct
+
+    names = ["a0", "a1", "b0", "b1"]
+    tb = Testbed("iba", leaf_groups=GROUPS)
+    setups = connect_group(tb, names)
+    out = {}
+
+    def add(x, y):
+        return struct.pack(">Q", struct.unpack(">Q", x)[0]
+                           + struct.unpack(">Q", y)[0])
+
+    def app(i):
+        g = yield from setups[i]
+        total = yield from g.allreduce(struct.pack(">Q", 10 + i), add)
+        data = yield from g.bcast(b"spanning" if g.rank == 2 else None,
+                                  root=2)
+        out[i] = (struct.unpack(">Q", total)[0], data)
+
+    procs = [tb.spawn(app(i)) for i in range(4)]
+    for p in procs:
+        tb.run(p)
+    for i in range(4):
+        assert out[i] == (10 + 11 + 12 + 13, b"spanning")
+
+
+def test_rpc_across_the_spine():
+    tb = Testbed("mvia", leaf_groups=GROUPS)
+    out = {}
+
+    def client():
+        h = tb.open("a0", "client")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        yield from h.connect(vi, "b1", 5)
+        rpc = RpcClient(msg)
+        out["echo"] = yield from rpc.call(0, b"over-the-top")
+
+    def server():
+        h = tb.open("b1", "server")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        rpc = RpcServer(msg)
+        rpc.register("echo", lambda b: b)
+        yield from rpc.serve(max_calls=1)
+
+    cp = tb.spawn(client())
+    sp = tb.spawn(server())
+    tb.run(cp)
+    tb.run(sp)
+    assert out["echo"] == b"over-the-top"
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+
+    main(["--providers", "clan", "report", "--out",
+          str(tmp_path / "rep"), "--quick"])
+    out = capsys.readouterr().out
+    assert "report written" in out
+    assert (tmp_path / "rep" / "REPORT.md").exists()

@@ -1,0 +1,210 @@
+"""Tests for the page-based DSM layer."""
+
+import pytest
+
+from repro.layers.dsm import DsmNode, PageState, connect_mesh
+from repro.providers import Testbed
+
+PAGE = 4096
+
+
+def run_dsm(provider, nnodes, npages, apps, page_size=PAGE):
+    """Wire a mesh and run one app generator factory per node.
+
+    ``apps[i]`` is called with (node, shared_dict) and must be a
+    generator.  Returns the shared dict.
+    """
+    names = [f"n{i}" for i in range(nnodes)]
+    tb = Testbed(provider, node_names=tuple(names))
+    setups = connect_mesh(tb, names, npages=npages, page_size=page_size)
+    shared: dict = {"tb": tb}
+    procs = []
+
+    def runner(i):
+        node = yield from setups[i]
+        shared[f"node{i}"] = node
+        yield from apps[i](node, shared)
+
+    for i in range(nnodes):
+        procs.append(tb.spawn(runner(i), f"dsm-app{i}"))
+    for p in procs:
+        tb.run(p)
+    return shared
+
+
+def test_basic_write_then_remote_read(provider_name):
+    def writer(node, shared):
+        yield from node.write(10, b"hello-dsm")
+        shared["written"] = True
+
+    def reader(node, shared):
+        tb = shared["tb"]
+        while "written" not in shared:
+            yield tb.sim.timeout(10.0)
+        data = yield from node.read(10, 9)
+        shared["read"] = data
+
+    shared = run_dsm(provider_name, 2, 2, [writer, reader])
+    assert shared["read"] == b"hello-dsm"
+
+
+def test_write_to_remote_home_page():
+    def writer(node, shared):
+        # page 1 is homed at node 1; node 0 writes it
+        yield from node.write(PAGE + 5, b"remote-home")
+        shared["written"] = True
+
+    def home(node, shared):
+        tb = shared["tb"]
+        while "written" not in shared:
+            yield tb.sim.timeout(10.0)
+        data = yield from node.read(PAGE + 5, 11)
+        shared["read"] = data
+        assert node.stats.recalls >= 1  # home recalled its own page back
+
+    shared = run_dsm("clan", 2, 2, [writer, home])
+    assert shared["read"] == b"remote-home"
+
+
+def test_cross_page_write_and_read():
+    payload = bytes(i % 256 for i in range(3 * PAGE))
+
+    def writer(node, shared):
+        yield from node.write(100, payload)  # spans 4 pages
+        shared["written"] = True
+
+    def reader(node, shared):
+        tb = shared["tb"]
+        while "written" not in shared:
+            yield tb.sim.timeout(10.0)
+        data = yield from node.read(100, len(payload))
+        shared["read"] = data
+
+    shared = run_dsm("clan", 2, 4, [writer, reader])
+    assert shared["read"] == payload
+
+
+def test_invalidation_on_ownership_change():
+    def first(node, shared):
+        tb = shared["tb"]
+        yield from node.write(0, b"v1")
+        shared["phase"] = 1
+        while shared.get("phase") != 2:
+            yield tb.sim.timeout(10.0)
+        data = yield from node.read(0, 2)     # must see v2, not v1
+        shared["reread"] = data
+        shared["state_after"] = node.page_state(0)
+
+    def second(node, shared):
+        tb = shared["tb"]
+        while shared.get("phase") != 1:
+            yield tb.sim.timeout(10.0)
+        old = yield from node.read(0, 2)
+        assert old == b"v1"
+        yield from node.write(0, b"v2")
+        shared["phase"] = 2
+
+    shared = run_dsm("clan", 2, 1, [first, second])
+    assert shared["reread"] == b"v2"
+
+
+def test_read_sharing_multiple_readers():
+    def writer(node, shared):
+        tb = shared["tb"]
+        yield from node.write(0, b"shared-data")
+        shared["written"] = True
+        while len([k for k in shared if k.startswith("read-")]) < 2:
+            yield tb.sim.timeout(10.0)
+
+    def make_reader(idx):
+        def reader(node, shared):
+            tb = shared["tb"]
+            while "written" not in shared:
+                yield tb.sim.timeout(10.0)
+            data = yield from node.read(0, 11)
+            # second read is a local hit: the copy is cached
+            data2 = yield from node.read(0, 11)
+            shared[f"read-{idx}"] = (data, data2, node.stats.local_hits)
+        return reader
+
+    shared = run_dsm("clan", 3, 1, [writer, make_reader(1), make_reader(2)])
+    for idx in (1, 2):
+        data, data2, hits = shared[f"read-{idx}"]
+        assert data == data2 == b"shared-data"
+        assert hits >= 1
+
+
+def test_alternating_writers_converge():
+    rounds = 5
+
+    def make_app(i):
+        def app(node, shared):
+            tb = shared["tb"]
+            for r in range(rounds):
+                while shared.get("turn", 0) != 2 * r + i:
+                    yield tb.sim.timeout(5.0)
+                current = yield from node.read(0, 4)
+                count = int.from_bytes(current, "big")
+                yield from node.write(0, (count + 1).to_bytes(4, "big"))
+                shared["turn"] = shared.get("turn", 0) + 1
+            shared[f"done{i}"] = node.stats
+        return app
+
+    shared = run_dsm("clan", 2, 1, [make_app(0), make_app(1)])
+
+    def check(node, shared):
+        final = yield from node.read(0, 4)
+        shared["final"] = int.from_bytes(final, "big")
+
+    tb = shared["tb"]
+    proc = tb.spawn(check(shared["node0"], shared))
+    tb.run(proc)
+    assert shared["final"] == 2 * rounds
+    # ownership really migrated back and forth
+    assert shared["done1"].ownership_transfers >= rounds - 1
+
+
+def test_page_states_transition():
+    def writer(node, shared):
+        tb = shared["tb"]
+        yield from node.write(PAGE, b"x")      # page 1, homed at n1
+        assert node.page_state(1) == PageState.WRITE
+        shared["written"] = True
+        while "peer-read" not in shared:
+            yield tb.sim.timeout(10.0)
+        # the peer's read recalled us down to READ
+        assert node.page_state(1) == PageState.READ
+
+    def reader(node, shared):
+        tb = shared["tb"]
+        while "written" not in shared:
+            yield tb.sim.timeout(10.0)
+        yield from node.read(PAGE, 1)
+        shared["peer-read"] = True
+
+    run_dsm("clan", 2, 2, [writer, reader])
+
+
+def test_out_of_range_access_rejected():
+    def app(node, shared):
+        with pytest.raises(ValueError):
+            yield from node.read(2 * PAGE - 1, 2)  # npages == 2 => ok range
+        with pytest.raises(ValueError):
+            yield from node.read(-1, 1)
+        with pytest.raises(ValueError):
+            yield from node.write(2 * PAGE, b"x")
+
+    def idle(node, shared):
+        return
+        yield  # pragma: no cover
+
+    run_dsm("clan", 2, 2, [app, idle])
+
+
+def test_dsm_node_validation():
+    tb = Testbed("clan")
+    h = tb.open("node0", "a")
+    with pytest.raises(ValueError):
+        DsmNode(h, 5, 2, 4)
+    with pytest.raises(ValueError):
+        DsmNode(h, 0, 1, 4)

@@ -1,0 +1,156 @@
+"""Tests for non-blocking sends (isend) on the message layer."""
+
+import pytest
+
+from repro.layers import MsgEndpoint
+from repro.providers import Testbed
+from repro.via.constants import WaitMode
+
+from conftest import run_pair
+
+from test_layers_msg import make_pair
+
+
+def test_isend_delivers_in_order():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb)
+    n = 20
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        for i in range(n):
+            yield from msg.isend(1, bytes([i]) * 16)
+        yield from msg.flush_sends()
+        assert msg._outstanding_sends == 0
+
+    def server():
+        msg = yield from ss()
+        got = []
+        for _ in range(n):
+            _tag, data = yield from msg.recv(1)
+            got.append(data[0])
+        out["got"] = got
+
+    run_pair(tb, client(), server())
+    assert out["got"] == list(range(n))
+
+
+def test_isend_pipelines_faster_than_send():
+    """The whole point: overlapping sends with the wire beats one
+    message per completion."""
+    def stream(use_isend):
+        tb = Testbed("clan")
+        cs, ss = make_pair(tb, eager_size=4096)
+        out = {}
+        n, size = 40, 4096
+
+        def client():
+            msg = yield from cs()
+            yield from msg.recv(9)         # server ready
+            t0 = tb.now
+            payload = b"z" * size
+            for _ in range(n):
+                if use_isend:
+                    yield from msg.isend(1, payload)
+                else:
+                    yield from msg.send(1, payload)
+            yield from msg.flush_sends()
+            yield from msg.recv(9)         # server done
+            out["bw"] = n * size / (tb.now - t0)
+
+        def server():
+            msg = yield from ss()
+            yield from msg.send(9, b"go")
+            for _ in range(n):
+                yield from msg.recv(1)
+            yield from msg.send(9, b"done")
+
+        cproc = tb.spawn(client())
+        tb.spawn(server())
+        tb.run(cproc)
+        return out["bw"]
+
+    sync_bw = stream(False)
+    async_bw = stream(True)
+    assert async_bw > sync_bw * 1.3
+
+
+def test_isend_staging_buffers_recycled():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        # far more isends than the staging pool
+        for i in range(3 * msg.send_pool):
+            yield from msg.isend(2, bytes([i]))
+        yield from msg.flush_sends()
+        out["free"] = len(msg._staging_free)
+        out["pool"] = msg.send_pool
+
+    def server():
+        msg = yield from ss()
+        for _ in range(3 * 4):
+            yield from msg.recv(2)
+
+    run_pair(tb, client(), server())
+    assert out["free"] == out["pool"]
+
+
+def test_isend_mixed_with_sync_send_keeps_accounting():
+    tb = Testbed("mvia")
+    cs, ss = make_pair(tb)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.isend(1, b"a")
+        yield from msg.isend(1, b"b")
+        yield from msg.send(1, b"c")       # sync: reaps the isends first
+        assert msg._outstanding_sends == 0
+        yield from msg.flush_sends()
+
+    def server():
+        msg = yield from ss()
+        got = []
+        for _ in range(3):
+            _tag, d = yield from msg.recv(1)
+            got.append(d)
+        out["got"] = got
+
+    run_pair(tb, client(), server())
+    assert out["got"] == [b"a", b"b", b"c"]
+
+
+def test_isend_large_payload_falls_back_to_rendezvous():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb, eager_size=256)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.isend(4, b"L" * 5000)
+        assert msg.stats["rendezvous"] == 1
+
+    def server():
+        msg = yield from ss()
+        _tag, data = yield from msg.recv(4)
+        out["len"] = len(data)
+
+    run_pair(tb, client(), server())
+    assert out["len"] == 5000
+
+
+def test_isend_validates_tag():
+    tb = Testbed("clan")
+    h = tb.open("node0", "a")
+
+    def body():
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        with pytest.raises(ValueError):
+            yield from msg.isend(-5, b"x")
+
+    tb.run(tb.spawn(body()))

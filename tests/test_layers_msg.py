@@ -1,0 +1,243 @@
+"""Tests for the tagged message layer (eager / rendezvous / credits)."""
+
+import pytest
+
+from repro.layers import ANY_TAG, MsgEndpoint
+from repro.providers import Testbed
+
+from conftest import run_pair
+
+
+def make_pair(tb, eager_size=1024, pool=8, reliability=None, reg_cache=True):
+    def client_setup():
+        h = tb.open(tb.node_names[0], "client")
+        vi = yield from h.create_vi(reliability=reliability)
+        msg = MsgEndpoint(h, vi, eager_size=eager_size, pool=pool,
+                          reg_cache=reg_cache)
+        yield from msg.setup()
+        yield from h.connect(vi, tb.node_names[1], 5)
+        return msg
+
+    def server_setup():
+        h = tb.open(tb.node_names[1], "server")
+        vi = yield from h.create_vi(reliability=reliability)
+        msg = MsgEndpoint(h, vi, eager_size=eager_size, pool=pool,
+                          reg_cache=reg_cache)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        return msg
+
+    return client_setup, server_setup
+
+
+def test_eager_roundtrip(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = make_pair(tb)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.send(7, b"eager-path")
+        assert msg.stats["eager"] == 1 and msg.stats["rendezvous"] == 0
+
+    def server():
+        msg = yield from ss()
+        tag, data = yield from msg.recv(7)
+        out["msg"] = (tag, data)
+
+    run_pair(tb, client(), server())
+    assert out["msg"] == (7, b"eager-path")
+
+
+def test_rendezvous_roundtrip(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = make_pair(tb, eager_size=512)
+    payload = bytes(i % 256 for i in range(20000))
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.send(9, payload)
+        assert msg.stats["rendezvous"] == 1
+
+    def server():
+        msg = yield from ss()
+        tag, data = yield from msg.recv(9)
+        out["data"] = data
+
+    run_pair(tb, client(), server())
+    assert out["data"] == payload
+
+
+def test_tag_matching_out_of_order():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.send(1, b"first")
+        yield from msg.send(2, b"second")
+
+    def server():
+        msg = yield from ss()
+        tag2, d2 = yield from msg.recv(2)   # skip over tag 1
+        tag1, d1 = yield from msg.recv(1)
+        out["order"] = [(tag2, d2), (tag1, d1)]
+
+    run_pair(tb, client(), server())
+    assert out["order"] == [(2, b"second"), (1, b"first")]
+
+
+def test_any_tag_receives_in_arrival_order():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb)
+    out = {"msgs": []}
+
+    def client():
+        msg = yield from cs()
+        for i in range(3):
+            yield from msg.send(10 + i, bytes([i]))
+
+    def server():
+        msg = yield from ss()
+        for _ in range(3):
+            tag, data = yield from msg.recv(ANY_TAG)
+            out["msgs"].append((tag, data))
+
+    run_pair(tb, client(), server())
+    assert out["msgs"] == [(10, b"\x00"), (11, b"\x01"), (12, b"\x02")]
+
+
+def test_many_messages_exercise_credit_return():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb, pool=4)
+    n = 40
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        for i in range(n):
+            yield from msg.send(1, bytes([i % 256]) * 32)
+        out["credits_stats"] = msg.stats
+
+    def server():
+        msg = yield from ss()
+        got = []
+        for _ in range(n):
+            _tag, data = yield from msg.recv(1)
+            got.append(data[0])
+        out["got"] = got
+        out["server_stats"] = msg.stats
+
+    run_pair(tb, client(), server())
+    assert out["got"] == [i % 256 for i in range(n)]
+    # with a pool of 4 and 40 sends the receiver must have returned credits
+    assert out["server_stats"]["credits_sent"] > 0
+
+
+def test_bidirectional_traffic():
+    tb = Testbed("mvia")
+    cs, ss = make_pair(tb)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.send(1, b"ping")
+        tag, data = yield from msg.recv(2)
+        out["client_got"] = data
+
+    def server():
+        msg = yield from ss()
+        tag, data = yield from msg.recv(1)
+        yield from msg.send(2, data[::-1])
+
+    run_pair(tb, client(), server())
+    assert out["client_got"] == b"gnip"
+
+
+def test_reg_cache_avoids_reregistration():
+    tb = Testbed("bvia")
+    cs, ss = make_pair(tb, eager_size=256, reg_cache=True)
+    payload = b"R" * 8000
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        for _ in range(5):
+            yield from msg.send(3, payload)
+        out["regs"] = msg.stats["registrations"]
+        out["pool"] = msg.pool
+
+    def server():
+        msg = yield from ss()
+        for _ in range(5):
+            yield from msg.recv(3)
+
+    run_pair(tb, client(), server())
+    # recv pool + sync staging + isend staging pool + ONE cached
+    # rendezvous buffer
+    assert out["regs"] == out["pool"] + 1 + 4 + 1
+
+
+def test_no_reg_cache_registers_every_time():
+    tb = Testbed("bvia")
+    cs, ss = make_pair(tb, eager_size=256, reg_cache=False)
+    payload = b"R" * 8000
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        for _ in range(3):
+            yield from msg.send(3, payload)
+        out["regs"] = msg.stats["registrations"]
+        out["pool"] = msg.pool
+
+    def server():
+        msg = yield from ss()
+        for _ in range(3):
+            yield from msg.recv(3)
+
+    run_pair(tb, client(), server())
+    assert out["regs"] == out["pool"] + 1 + 4 + 3
+
+
+def test_validation():
+    tb = Testbed("clan")
+    h = tb.open("node0", "a")
+
+    def body():
+        vi = yield from h.create_vi()
+        with pytest.raises(ValueError):
+            MsgEndpoint(h, vi, eager_size=4)
+        with pytest.raises(ValueError):
+            MsgEndpoint(h, vi, pool=2)
+        msg = MsgEndpoint(h, vi)
+        with pytest.raises(ValueError):
+            yield from msg.send(-1, b"x")
+
+    tb.run(tb.spawn(body()))
+
+
+def test_mixed_eager_and_rendezvous_keep_per_tag_order():
+    tb = Testbed("clan")
+    cs, ss = make_pair(tb, eager_size=128)
+    out = {}
+
+    def client():
+        msg = yield from cs()
+        yield from msg.send(5, b"small-1")
+        yield from msg.send(5, b"L" * 5000)
+        yield from msg.send(5, b"small-2")
+
+    def server():
+        msg = yield from ss()
+        got = []
+        for _ in range(3):
+            _tag, data = yield from msg.recv(5)
+            got.append(data[:7])
+        out["got"] = got
+
+    run_pair(tb, client(), server())
+    assert out["got"] == [b"small-1", b"LLLLLLL", b"small-2"]

@@ -1,0 +1,240 @@
+"""Tests for the RPC and get/put layers."""
+
+import pytest
+
+from repro.layers import GetPut, MsgEndpoint, RpcClient, RpcError, RpcServer
+from repro.providers import Testbed, get_spec
+
+from conftest import run_pair
+
+
+def endpoints(tb):
+    def client_setup():
+        h = tb.open(tb.node_names[0], "client")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        yield from h.connect(vi, tb.node_names[1], 5)
+        return h, vi, msg
+
+    def server_setup():
+        h = tb.open(tb.node_names[1], "server")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        return h, vi, msg
+
+    return client_setup, server_setup
+
+
+# ---- RPC -------------------------------------------------------------------
+
+def test_rpc_call_roundtrip(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = endpoints(tb)
+    out = {}
+
+    def client():
+        _h, _vi, msg = yield from cs()
+        rpc = RpcClient(msg)
+        out["upper"] = yield from rpc.call(0, b"hello")
+        out["sum"] = yield from rpc.call(1, bytes([1, 2, 3]))
+        assert rpc.calls_made == 2
+
+    def server():
+        _h, _vi, msg = yield from ss()
+        rpc = RpcServer(msg)
+        rpc.register("upper", lambda b: b.upper())
+        rpc.register("sum", lambda b: bytes([sum(b)]))
+        yield from rpc.serve(max_calls=2)
+        out["served"] = rpc.calls_served
+
+    run_pair(tb, client(), server())
+    assert out["upper"] == b"HELLO"
+    assert out["sum"] == bytes([6])
+    assert out["served"] == 2
+
+
+def test_rpc_unknown_method():
+    tb = Testbed("clan")
+    cs, ss = endpoints(tb)
+
+    def client():
+        _h, _vi, msg = yield from cs()
+        rpc = RpcClient(msg)
+        with pytest.raises(RpcError, match="no such method"):
+            yield from rpc.call(42, b"")
+
+    def server():
+        _h, _vi, msg = yield from ss()
+        rpc = RpcServer(msg)
+        yield from rpc.serve(max_calls=1)
+
+    run_pair(tb, client(), server())
+
+
+def test_rpc_handler_exception_propagates():
+    tb = Testbed("clan")
+    cs, ss = endpoints(tb)
+
+    def client():
+        _h, _vi, msg = yield from cs()
+        rpc = RpcClient(msg)
+        with pytest.raises(RpcError, match="deliberate"):
+            yield from rpc.call(0, b"")
+
+    def server():
+        _h, _vi, msg = yield from ss()
+        rpc = RpcServer(msg)
+
+        def boom(_b):
+            raise ValueError("deliberate")
+
+        rpc.register("boom", boom)
+        yield from rpc.serve(max_calls=1)
+
+    run_pair(tb, client(), server())
+
+
+def test_rpc_duplicate_registration():
+    tb = Testbed("clan")
+    msg = object.__new__(MsgEndpoint)  # no wire use in this test
+    rpc = RpcServer(msg)
+    rpc.register("a", lambda b: b)
+    with pytest.raises(ValueError):
+        rpc.register("a", lambda b: b)
+    assert rpc.method_index("a") == 0
+
+
+def test_rpc_large_payloads_go_rendezvous():
+    tb = Testbed("bvia")
+    cs, ss = endpoints(tb)
+    big = bytes(i % 256 for i in range(12000))
+    out = {}
+
+    def client():
+        _h, _vi, msg = yield from cs()
+        rpc = RpcClient(msg)
+        out["echo"] = yield from rpc.call(0, big)
+
+    def server():
+        _h, _vi, msg = yield from ss()
+        rpc = RpcServer(msg)
+        rpc.register("echo", lambda b: b)
+        yield from rpc.serve(max_calls=1)
+
+    run_pair(tb, client(), server())
+    assert out["echo"] == big
+
+
+# ---- Get/Put ------------------------------------------------------------------
+
+def test_put_is_one_sided(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = endpoints(tb)
+    out = {}
+
+    def owner():
+        h, vi, msg = yield from ss()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.expose(4096)
+        # wait passively; no receive descriptors for the put itself
+        while h.read(win, 4, 64) != b"PUT!":
+            yield tb.sim.timeout(10.0)
+        out["data"] = h.read(win, 4, 64)
+
+    def peer():
+        h, vi, msg = yield from cs()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.attach()
+        yield from gp.put(win, 64, b"PUT!")
+
+    run_pair(tb, peer(), owner())
+    assert out["data"] == b"PUT!"
+
+
+def test_emulated_get_without_rdma_read():
+    tb = Testbed("bvia")  # no RDMA read -> request/reply fallback
+    cs, ss = endpoints(tb)
+    out = {}
+
+    def owner():
+        h, vi, msg = yield from ss()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.expose(4096)
+        h.write(win, b"window-content", 10)
+        yield from gp.serve()
+
+    def peer():
+        h, vi, msg = yield from cs()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.attach()
+        out["got"] = yield from gp.get(win, 10, 14)
+        yield from gp.stop_server()
+
+    run_pair(tb, peer(), owner())
+    assert out["got"] == b"window-content"
+
+
+def test_true_one_sided_get_with_rdma_read():
+    spec = get_spec("clan").with_choices(supports_rdma_read=True)
+    tb = Testbed(spec)
+    cs, ss = endpoints(tb)
+    out = {}
+
+    def owner():
+        h, vi, msg = yield from ss()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.expose(4096)
+        h.write(win, b"silent-read", 0)
+        while "got" not in out:
+            yield tb.sim.timeout(10.0)
+
+    def peer():
+        h, vi, msg = yield from cs()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.attach()
+        out["got"] = yield from gp.get(win, 0, 11)
+
+    run_pair(tb, peer(), owner())
+    assert out["got"] == b"silent-read"
+
+
+def test_put_get_bounds_checked():
+    tb = Testbed("clan")
+    cs, ss = endpoints(tb)
+
+    def owner():
+        h, vi, msg = yield from ss()
+        gp = GetPut(h, vi, msg)
+        yield from gp.expose(128)
+        yield tb.sim.timeout(50_000.0)
+
+    def peer():
+        h, vi, msg = yield from cs()
+        gp = GetPut(h, vi, msg)
+        win = yield from gp.attach()
+        with pytest.raises(ValueError):
+            yield from gp.put(win, 120, b"too-long!")
+        with pytest.raises(ValueError):
+            yield from gp.get(win, -1, 4)
+
+    cproc = tb.spawn(peer(), "peer")
+    tb.spawn(owner(), "owner")
+    tb.run(cproc)
+
+
+def test_serve_requires_exposed_window():
+    tb = Testbed("clan")
+    h = tb.open("node0", "a")
+
+    def body():
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        gp = GetPut(h, vi, msg)
+        with pytest.raises(RuntimeError):
+            yield from gp.serve()
+
+    tb.run(tb.spawn(body()))

@@ -1,0 +1,125 @@
+"""Tests for the byte-stream layer."""
+
+import pytest
+
+from repro.layers import MsgEndpoint, ViaStream
+from repro.providers import Testbed
+
+from conftest import run_pair
+
+
+def stream_pair(tb, chunk=2048):
+    def client_setup():
+        h = tb.open(tb.node_names[0], "client")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        yield from h.connect(vi, tb.node_names[1], 5)
+        return ViaStream(msg, chunk=chunk)
+
+    def server_setup():
+        h = tb.open(tb.node_names[1], "server")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        return ViaStream(msg, chunk=chunk)
+
+    return client_setup, server_setup
+
+
+def test_stream_roundtrip(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = stream_pair(tb)
+    payload = bytes(i % 256 for i in range(30000))
+    out = {}
+
+    def client():
+        st = yield from cs()
+        yield from st.write(payload)
+        assert st.bytes_sent == len(payload)
+
+    def server():
+        st = yield from ss()
+        out["data"] = yield from st.read(len(payload))
+        assert st.bytes_received == len(payload)
+
+    run_pair(tb, client(), server())
+    assert out["data"] == payload
+
+
+def test_read_smaller_than_chunks_buffers_remainder():
+    tb = Testbed("clan")
+    cs, ss = stream_pair(tb, chunk=100)
+    out = {}
+
+    def client():
+        st = yield from cs()
+        yield from st.write(b"A" * 250)
+
+    def server():
+        st = yield from ss()
+        first = yield from st.read(30)
+        second = yield from st.read(220)
+        out["parts"] = (first, second, st.buffered)
+
+    run_pair(tb, client(), server())
+    first, second, buffered = out["parts"]
+    assert first == b"A" * 30
+    assert second == b"A" * 220
+    assert buffered == 0
+
+
+def test_interleaved_reads_and_writes():
+    tb = Testbed("mvia")
+    cs, ss = stream_pair(tb)
+    out = {}
+
+    def client():
+        st = yield from cs()
+        for i in range(5):
+            yield from st.write(bytes([i]) * 10)
+            ack = yield from st.read(1)
+            assert ack == bytes([i])
+
+    def server():
+        st = yield from ss()
+        for i in range(5):
+            data = yield from st.read(10)
+            assert data == bytes([i]) * 10
+            yield from st.write(bytes([i]))
+        out["ok"] = True
+
+    run_pair(tb, client(), server())
+    assert out["ok"]
+
+
+def test_read_zero_and_negative():
+    tb = Testbed("clan")
+    cs, ss = stream_pair(tb)
+
+    def client():
+        st = yield from cs()
+        got = yield from st.read(0)
+        assert got == b""
+        with pytest.raises(ValueError):
+            yield from st.read(-1)
+
+    def server():
+        _st = yield from ss()
+
+    run_pair(tb, client(), server())
+
+
+def test_bad_chunk():
+    tb = Testbed("clan")
+    h = tb.open("node0", "a")
+
+    def body():
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi)
+        with pytest.raises(ValueError):
+            ViaStream(msg, chunk=0)
+
+    tb.run(tb.spawn(body()))

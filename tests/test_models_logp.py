@@ -1,0 +1,72 @@
+"""Tests for LogGP extraction and the insufficiency demonstration."""
+
+import pytest
+
+from repro.models import LogGPFit, evaluate_fit, extract, fit_loggp
+from repro.vibe import base_bandwidth, base_latency, multivi_latency
+from repro.vibe.metrics import BenchResult, Measurement
+
+
+def synthetic(intercept=10.0, G=0.01, g=5.0):
+    sizes = [4, 256, 1024, 4096, 16384]
+    lat = BenchResult("base_latency", "synth", [
+        Measurement(param=s, latency_us=intercept + G * s) for s in sizes
+    ])
+    bw = BenchResult("base_bandwidth", "synth", [
+        Measurement(param=s, bandwidth_mbs=s / (g + G * s)) for s in sizes
+    ])
+    return lat, bw
+
+
+def test_fit_recovers_synthetic_parameters():
+    lat, bw = synthetic(intercept=12.0, G=0.02, g=6.0)
+    fit = fit_loggp(lat, bw)
+    assert fit.L + 2 * fit.o == pytest.approx(12.0, abs=1e-6)
+    assert fit.G == pytest.approx(0.02, abs=1e-6)
+    assert fit.g == pytest.approx(6.0, abs=1e-3)
+    assert fit.residual_us == pytest.approx(0.0, abs=1e-6)
+
+
+def test_explicit_overhead_split():
+    lat, bw = synthetic(intercept=12.0)
+    fit = fit_loggp(lat, bw, overhead_us=3.0)
+    assert fit.o == 3.0
+    assert fit.L == pytest.approx(6.0, abs=1e-6)
+
+
+def test_predictions():
+    fit = LogGPFit("x", L=8.0, o=1.0, g=4.0, G=0.01, residual_us=0.0)
+    assert fit.predict_latency(0) == pytest.approx(10.0)
+    assert fit.predict_latency(1000) == pytest.approx(20.0)
+    assert fit.predict_bandwidth(4000) == pytest.approx(4000 / 44.0)
+    assert fit.asymptotic_bandwidth == pytest.approx(100.0)
+
+
+def test_extract_fits_base_curves_well(provider_name):
+    fit = extract(provider_name, sizes=[4, 1024, 4096, 12288])
+    lat = base_latency(provider_name, [4, 1024, 4096, 12288])
+    ev = evaluate_fit(fit, lat)
+    # the model it was fit on: small relative error
+    assert ev["mean_relative_error"] < 0.25
+    assert fit.G > 0 and fit.g > 0
+
+
+def test_loggp_cannot_explain_multivi_effect():
+    """The paper's §1 argument: LogP has no parameter for the number of
+    open VIs, so it badly mispredicts the BVIA multi-VI sweep."""
+    fit = extract("bvia", sizes=[4, 1024, 4096, 12288])
+    mv = multivi_latency("bvia", size=4, vi_counts=(16, 32))
+    # all points share message size 4, so LogGP predicts one number;
+    # measured latencies diverge far beyond the base-fit error
+    predicted = fit.predict_latency(4)
+    measured = [p.latency_us for p in mv.points]
+    assert max(measured) - min(measured) > 20.0
+    assert max(abs(m - predicted) / m for m in measured) > 0.3
+
+
+def test_evaluate_fit_reports_points():
+    lat, bw = synthetic()
+    fit = fit_loggp(lat, bw)
+    ev = evaluate_fit(fit, lat)
+    assert len(ev["points"]) == len(lat.points)
+    assert ev["mean_relative_error"] == pytest.approx(0.0, abs=1e-9)

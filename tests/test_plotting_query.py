@@ -1,0 +1,111 @@
+"""Tests for ASCII plotting and the VipQuery* APIs."""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import Descriptor, Reliability, ViState
+from repro.vibe import ascii_plot
+from repro.vibe.metrics import BenchResult, Measurement
+
+from conftest import connected_endpoints, run_pair, run_proc
+
+
+# ---- ascii_plot ------------------------------------------------------------
+
+def series(name, pts):
+    return BenchResult("b", name, [Measurement(param=x, latency_us=y)
+                                   for x, y in pts])
+
+
+def test_plot_renders_markers_and_legend():
+    a = series("alpha", [(4, 10.0), (1024, 50.0)])
+    b = series("beta", [(4, 20.0), (1024, 90.0)])
+    text = ascii_plot([a, b], "latency_us", "T")
+    assert text.splitlines()[0] == "T"
+    assert "o alpha" in text and "x beta" in text
+    assert "(log)" in text
+    assert text.count("o") >= 2  # two alpha points plotted
+
+
+def test_plot_linear_x_when_nonpositive():
+    a = series("a", [(0, 5.0), (10, 10.0)])
+    text = ascii_plot([a], "latency_us", log_x=True)
+    assert "(log)" not in text
+
+
+def test_plot_empty():
+    assert ascii_plot([], "latency_us") == "(nothing to plot)"
+    empty = BenchResult("b", "none", [Measurement(param="label")])
+    assert ascii_plot([empty], "latency_us") == "(nothing to plot)"
+
+
+def test_plot_constant_series_centres():
+    a = series("flat", [(1, 5.0), (100, 5.0)])
+    text = ascii_plot([a], "latency_us", height=9)
+    assert "o" in text
+
+
+def test_plot_cli_flag(capsys):
+    from repro.cli import main
+
+    main(["--providers", "clan", "figure", "3", "--sizes", "4,4096",
+          "--plot"])
+    out = capsys.readouterr().out
+    assert "o clan" in out
+    assert "|" in out
+
+
+# ---- VipQueryNic / VipQueryVi ------------------------------------------------
+
+def test_query_nic_reports_capabilities(provider_name):
+    tb = Testbed(provider_name)
+    attrs = tb.open("node0", "a").query_nic()
+    assert attrs.name == provider_name
+    assert attrs.max_transfer_size > 0
+    assert attrs.supports_rdma_write
+    assert len(attrs.reliability_levels) == 3
+    spec_read = tb.provider("node0").supports_rdma_read
+    assert attrs.supports_rdma_read == spec_read
+
+
+def test_query_vi_tracks_lifecycle():
+    tb = Testbed("clan")
+    cs, ss = connected_endpoints(tb)
+    snapshots = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        snapshots["connected"] = h.query_vi(vi)
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        snapshots["posted"] = h.query_vi(vi)
+        yield from h.send_wait(vi)
+        snapshots["done"] = h.query_vi(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.recv_wait(vi)
+
+    run_pair(tb, client(), server())
+    assert snapshots["connected"].state is ViState.CONNECTED
+    assert snapshots["connected"].peer is not None
+    assert snapshots["posted"].send_posted == 1
+    assert snapshots["done"].send_posted == 0
+    assert snapshots["done"].send_completed == 1
+    assert snapshots["done"].reliability is Reliability.RELIABLE_DELIVERY
+
+
+def test_query_vi_idle():
+    tb = Testbed("mvia")
+    h = tb.open("node0", "a")
+
+    def body():
+        vi = yield from h.create_vi()
+        attrs = h.query_vi(vi)
+        assert attrs.state is ViState.IDLE
+        assert attrs.peer is None
+        assert attrs.send_posted == attrs.recv_posted == 0
+
+    run_proc(tb.sim, body())

@@ -1,0 +1,115 @@
+"""Property-based tests for engine helpers and end-to-end integrity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.providers import Testbed
+from repro.providers.engine import fragment_sizes, gather, scatter
+from repro.hw.memory import MemorySystem
+from repro.via import DataSegment, Descriptor
+from repro.via.memory import MemoryRegistry
+
+from conftest import run_pair, simple_recv, simple_send
+
+
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.integers(min_value=64, max_value=65536))
+def test_fragment_sizes_partition_total(total, mtu):
+    sizes = fragment_sizes(total, mtu)
+    assert sum(sizes) == total or (total == 0 and sizes == [0])
+    assert len(sizes) >= 1
+    assert all(0 <= s <= mtu for s in sizes)
+    if total > 0:
+        assert all(s > 0 for s in sizes)
+        assert len(sizes) == -(-total // mtu)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=300), min_size=1,
+                max_size=6),
+       st.binary(min_size=0, max_size=2000))
+@settings(max_examples=60, deadline=None)
+def test_gather_scatter_roundtrip(seg_lengths, payload):
+    mem = MemorySystem()
+    registry = MemoryRegistry(mem)
+    total = sum(seg_lengths)
+    payload = payload[:total]
+    src = mem.alloc(max(total, 1))
+    dst = mem.alloc(max(total, 1))
+    mh_src = registry.register(src.base, max(total, 1), tag=1)
+    mh_dst = registry.register(dst.base, max(total, 1), tag=1)
+    mem.write(src.base, payload)
+
+    def segs(region, mh):
+        out, off = [], 0
+        for ln in seg_lengths:
+            out.append(DataSegment(region.base + off, ln, mh))
+            off += ln
+        return tuple(out)
+
+    send = Descriptor.send(segs(src, mh_src))
+    data = gather(mem, send)
+    assert data == payload + b"\x00" * (total - len(payload))
+    recv = Descriptor.recv(segs(dst, mh_dst))
+    scatter(mem, recv, data)
+    assert mem.read(dst.base, total) == data
+
+
+@st.composite
+def message_spec(draw):
+    size = draw(st.integers(min_value=0, max_value=20000))
+    nsegs = draw(st.integers(min_value=1, max_value=4))
+    provider = draw(st.sampled_from(["mvia", "bvia", "clan"]))
+    return size, nsegs, provider
+
+
+@given(message_spec(), st.binary(min_size=1, max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_end_to_end_integrity_random_sizes_and_segments(spec, seed_bytes):
+    """Any message, any provider, any segmentation: bytes arrive intact
+    and exactly once."""
+    size, nsegs, provider = spec
+    pattern = (seed_bytes * (size // len(seed_bytes) + 1))[:size]
+    tb = Testbed(provider)
+    from repro.vibe import split_segments
+
+    out = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(size, 4))
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 3)
+        h.write(region, pattern)
+        segs = split_segments(h, region, mh, size, min(nsegs, max(size, 1)))
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        region = h.alloc(max(size, 4))
+        mh = yield from h.register_mem(region)
+        segs = split_segments(h, region, mh, size, 1)
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(3)
+        yield from h.accept(req, vi)
+        desc = yield from h.recv_wait(vi)
+        out["len"] = desc.control.length
+        out["data"] = h.read(region, size)
+
+    run_pair(tb, client(), server())
+    assert out["len"] == size
+    assert out["data"] == pattern
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_reuse_schedule_counts(iters, frac):
+    from repro.vibe import reuse_schedule
+
+    sched = reuse_schedule(iters, frac, 16)
+    assert len(sched) == iters
+    assert all(0 <= i < 16 for i in sched)
+    # the number of reuse hits tracks the fraction within rounding
+    assert abs(sched.count(0) - frac * iters) <= 1 or frac in (0.0, 1.0)

@@ -1,0 +1,68 @@
+"""Property-based tests for memory / registration invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import PAGE_SIZE, MemorySystem, page_span
+from repro.via.memory import MemoryRegistry
+
+
+@given(st.integers(min_value=0, max_value=1 << 30),
+       st.integers(min_value=0, max_value=1 << 20))
+def test_page_span_covers_range_exactly(addr, length):
+    pages = list(page_span(addr, length))
+    assert pages == sorted(set(pages))
+    # first page contains addr; last page contains the final byte
+    assert pages[0] == addr // PAGE_SIZE
+    last_byte = addr + max(length, 1) - 1
+    assert pages[-1] == last_byte // PAGE_SIZE
+    # contiguous
+    assert pages == list(range(pages[0], pages[-1] + 1))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10 * PAGE_SIZE),
+                min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_register_deregister_restores_zero_pins(lengths):
+    mem = MemorySystem()
+    registry = MemoryRegistry(mem)
+    handles = []
+    for i, length in enumerate(lengths):
+        region = mem.alloc(length)
+        handles.append(registry.register(region.base, length, tag=1))
+    assert mem.pinned_pages == len(
+        {p for h in handles for p in h.pages}
+    )
+    for h in handles:
+        registry.deregister(h)
+    assert mem.pinned_pages == 0
+    assert len(registry) == 0
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_interleaved_register_deregister_never_negative(data):
+    mem = MemorySystem()
+    registry = MemoryRegistry(mem)
+    live = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=30))):
+        if live and data.draw(st.booleans()):
+            registry.deregister(live.pop(data.draw(
+                st.integers(min_value=0, max_value=len(live) - 1))))
+        else:
+            length = data.draw(st.integers(min_value=1,
+                                           max_value=4 * PAGE_SIZE))
+            region = mem.alloc(length)
+            live.append(registry.register(region.base, length, tag=1))
+        assert mem.pinned_pages >= 0
+        expected = len({p for h in live for p in h.pages})
+        assert mem.pinned_pages == expected
+
+
+@given(st.binary(min_size=0, max_size=2000),
+       st.integers(min_value=0, max_value=500))
+def test_write_read_roundtrip_any_bytes(data, offset):
+    mem = MemorySystem()
+    region = mem.alloc(3000)
+    mem.write(region.base + offset, data)
+    assert mem.read(region.base + offset, len(data)) == data

@@ -1,0 +1,107 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1,
+                max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).callbacks.append(lambda e: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1,
+                max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_capacity_one_resource_serialises_total_time(holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def worker(hold):
+        yield from res.acquire(hold)
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    assert sim.now == sum(holds)
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                max_size=24))
+@settings(max_examples=30, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    peak = [0]
+
+    def worker(hold):
+        yield res.request()
+        peak[0] = max(peak[0], res.in_use)
+        try:
+            yield sim.timeout(hold)
+        finally:
+            res.release()
+
+    for hold in holds:
+        sim.process(worker(hold))
+    sim.run()
+    assert peak[0] <= capacity
+    # and work-conserving: finishes no later than serial execution
+    assert sim.now <= sum(holds) + 1e-9
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_for_any_items(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == items
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.lists(st.integers(), min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_store_bounded_capacity_never_overflows(capacity, items):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    max_len = [0]
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            max_len[0] = max(max_len[0], len(store))
+
+    def consumer():
+        for _ in items:
+            yield sim.timeout(1.0)
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert max_len[0] <= capacity

@@ -1,0 +1,97 @@
+"""Property-based tests for the stream layer and collectives depth."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layers import MsgEndpoint, ViaStream
+from repro.providers import Testbed
+
+from conftest import run_pair
+
+
+@st.composite
+def stream_scenario(draw):
+    total = draw(st.integers(min_value=1, max_value=12000))
+    chunk = draw(st.sampled_from([64, 500, 1000, 4000]))
+    # receiver read sizes partition the total arbitrarily
+    reads = []
+    remaining = total
+    while remaining > 0:
+        n = draw(st.integers(min_value=1, max_value=remaining))
+        reads.append(n)
+        remaining -= n
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return total, chunk, reads, seed
+
+
+@given(stream_scenario())
+@settings(max_examples=25, deadline=None)
+def test_stream_any_write_read_split(scenario):
+    """Any chunking on the writer side and any read sizes on the reader
+    side reassemble the exact byte sequence."""
+    total, chunk, reads, seed = scenario
+    payload = bytes((seed + i) % 256 for i in range(total))
+    tb = Testbed("clan")
+    got = []
+
+    def sender():
+        h = tb.open("node0", "s")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=1024)
+        yield from msg.setup()
+        yield from h.connect(vi, "node1", 5)
+        stream = ViaStream(msg, chunk=chunk)
+        yield from stream.write(payload)
+
+    def receiver():
+        h = tb.open("node1", "r")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=1024)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        stream = ViaStream(msg, chunk=chunk)
+        for n in reads:
+            piece = yield from stream.read(n)
+            got.append(piece)
+
+    run_pair(tb, sender(), receiver())
+    assert b"".join(got) == payload
+    assert [len(g) for g in got] == reads
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2),
+                          st.integers(min_value=0, max_value=200)),
+                min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_isend_arbitrary_sequences_preserve_order(seq):
+    """Any isend sequence delivers exactly once, per-tag ordered."""
+    tb = Testbed("mvia")
+    got = []
+
+    def payload(i, size):
+        return bytes((i * 31 + j) % 256 for j in range(size))
+
+    def sender():
+        h = tb.open("node0", "s")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=512)
+        yield from msg.setup()
+        yield from h.connect(vi, "node1", 5)
+        for i, (tag, size) in enumerate(seq):
+            yield from msg.isend(tag, payload(i, size))
+        yield from msg.flush_sends()
+
+    def receiver():
+        h = tb.open("node1", "r")
+        vi = yield from h.create_vi()
+        msg = MsgEndpoint(h, vi, eager_size=512)
+        yield from msg.setup()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        for _ in seq:
+            t, d = yield from msg.recv()
+            got.append((t, d))
+
+    run_pair(tb, sender(), receiver())
+    assert got == [(t, payload(i, s)) for i, (t, s) in enumerate(seq)]

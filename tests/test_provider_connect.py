@@ -1,0 +1,202 @@
+"""Provider tests: connection establishment, rejection, teardown."""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import (
+    Descriptor,
+    Reliability,
+    ViState,
+    VipConnectionError,
+    VipStateError,
+    VipTimeout,
+)
+
+from conftest import run_pair, run_proc
+
+
+def test_connect_accept_roundtrip(provider_name):
+    tb = Testbed(provider_name)
+    state = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        yield from h.connect(vi, "node1", 5)
+        state["client_vi"] = vi
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        req = yield from h.connect_wait(5)
+        assert req.client_node == "node0"
+        yield from h.accept(req, vi)
+        state["server_vi"] = vi
+
+    run_pair(tb, client(), server())
+    cvi, svi = state["client_vi"], state["server_vi"]
+    assert cvi.is_connected and svi.is_connected
+    assert cvi.peer == ("node1", svi.vi_id)
+    assert svi.peer == ("node0", cvi.vi_id)
+
+
+def test_connect_cost_matches_table1(provider_name):
+    tb = Testbed(provider_name)
+    costs = tb.provider("node0").costs
+    out = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        t0 = tb.now
+        yield from h.connect(vi, "node1", 5)
+        out["cost"] = tb.now - t0
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+
+    run_pair(tb, client(), server())
+    expected = costs.conn_client + costs.conn_server
+    # wire round-trip adds a small amount on top of the CPU shares
+    assert expected < out["cost"] < expected + 50
+
+
+def test_reject_raises_at_client(provider_name):
+    tb = Testbed(provider_name)
+    got = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        with pytest.raises(VipConnectionError):
+            yield from h.connect(vi, "node1", 5)
+        got["state"] = vi.state
+
+    def server():
+        h = tb.open("node1", "server")
+        req = yield from h.connect_wait(5)
+        yield from h.reject(req)
+
+    run_pair(tb, client(), server())
+    assert got["state"] is ViState.IDLE
+
+
+def test_connect_timeout(provider_name):
+    tb = Testbed(provider_name)
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        with pytest.raises(VipTimeout):
+            yield from h.connect(vi, "node1", 99, timeout=10_000.0)
+        assert vi.state is ViState.IDLE
+
+    run_proc(tb.sim, client())
+
+
+def test_reliability_mismatch_rejected(provider_name):
+    tb = Testbed(provider_name)
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi(reliability=Reliability.RELIABLE_DELIVERY)
+        with pytest.raises(VipConnectionError):
+            yield from h.connect(vi, "node1", 5)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi(reliability=Reliability.UNRELIABLE)
+        req = yield from h.connect_wait(5)
+        with pytest.raises(VipConnectionError, match="mismatch"):
+            yield from h.accept(req, vi)
+
+    run_pair(tb, client(), server())
+
+
+def test_disconnect_flushes_and_informs_peer(provider_name):
+    tb = Testbed(provider_name)
+    state = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 5)
+        yield from h.post_recv(vi, Descriptor.recv([h.segment(region, mh)]))
+        yield from h.disconnect(vi)
+        state["client_vi"] = vi
+        # flushed descriptor is reapable
+        desc = yield from h.recv_done(vi)
+        state["flushed"] = desc
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi()
+        req = yield from h.connect_wait(5)
+        yield from h.accept(req, vi)
+        while vi.is_connected:
+            yield tb.sim.timeout(5.0)
+        state["server_vi"] = vi
+
+    run_pair(tb, client(), server())
+    assert state["client_vi"].state is ViState.DISCONNECTED
+    assert state["server_vi"].state is ViState.DISCONNECTED
+    from repro.via import CompletionStatus
+
+    assert state["flushed"].status is CompletionStatus.FLUSHED
+
+
+def test_post_requires_connected_state(provider_name):
+    tb = Testbed(provider_name)
+
+    def body():
+        h = tb.open("node0", "app")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        with pytest.raises(VipStateError):
+            yield from h.post_send(vi, Descriptor.send([h.segment(region, mh)]))
+        # receives may pre-post before connection
+        yield from h.post_recv(vi, Descriptor.recv([h.segment(region, mh)]))
+        assert vi.recv_q.outstanding == 1
+
+    run_proc(tb.sim, body())
+
+
+def test_unknown_host_rejected(provider_name):
+    tb = Testbed(provider_name)
+
+    def body():
+        h = tb.open("node0", "app")
+        vi = yield from h.create_vi()
+        with pytest.raises(VipConnectionError, match="unknown host"):
+            yield from h.connect(vi, "ghost", 5)
+
+    run_proc(tb.sim, body())
+
+
+def test_concurrent_connections_on_distinct_discriminators(provider_name):
+    tb = Testbed(provider_name)
+    done = []
+
+    def client(disc):
+        h = tb.open("node0", f"client{disc}")
+        vi = yield from h.create_vi()
+        yield from h.connect(vi, "node1", disc)
+        done.append(disc)
+
+    def server():
+        h = tb.open("node1", "server")
+        for disc in (11, 12):
+            vi = yield from h.create_vi()
+            req = yield from h.connect_wait(disc)
+            yield from h.accept(req, vi)
+
+    procs = [tb.spawn(client(11)), tb.spawn(client(12)), tb.spawn(server())]
+    for p in procs:
+        tb.run(p)
+    assert sorted(done) == [11, 12]

@@ -1,0 +1,127 @@
+"""Tests of the design-choice mechanisms (the ref-[5] knobs).
+
+Each test flips exactly one knob on an otherwise identical provider and
+asserts the mechanistic consequence — this is what makes the benchmark
+curves *model output* rather than hard-coded calibration.
+"""
+
+import pytest
+
+from repro.providers import Testbed, get_spec
+from repro.providers.costs import (
+    DispatchKind,
+    DoorbellKind,
+    TableLocation,
+    TranslationAgent,
+)
+from repro.vibe import TransferConfig, run_latency
+
+
+def test_polled_dispatch_scales_with_open_vis():
+    spec = get_spec("bvia")
+    lat1 = run_latency(spec, TransferConfig(size=4, extra_vis=0)).latency_us
+    lat16 = run_latency(spec, TransferConfig(size=4, extra_vis=15)).latency_us
+    per_vi = spec.costs.nic_dispatch_per_vi
+    # one scan on each side per one-way trip: 15 extra VIs x per-VI cost
+    assert lat16 - lat1 == pytest.approx(15 * per_vi, rel=0.05)
+
+
+def test_direct_dispatch_flat_in_open_vis():
+    spec = get_spec("bvia").with_choices(dispatch=DispatchKind.DIRECT)
+    lat1 = run_latency(spec, TransferConfig(size=4, extra_vis=0)).latency_us
+    lat16 = run_latency(spec, TransferConfig(size=4, extra_vis=15)).latency_us
+    assert lat16 == pytest.approx(lat1, rel=0.01)
+
+
+def test_nic_table_location_removes_reuse_sensitivity():
+    base = get_spec("bvia")
+    onboard = base.with_choices(table_location=TableLocation.NIC_MEMORY)
+    cfg0 = TransferConfig(size=28672, buffer_pool=48, reuse_fraction=0.0,
+                          iters=32)
+    cfg1 = TransferConfig(size=28672, buffer_pool=48, reuse_fraction=1.0,
+                          iters=32)
+    host_delta = (run_latency(base, cfg0).latency_us
+                  - run_latency(base, cfg1).latency_us)
+    nic_delta = (run_latency(onboard, cfg0).latency_us
+                 - run_latency(onboard, cfg1).latency_us)
+    assert host_delta > 10.0          # host tables: misses hurt
+    assert abs(nic_delta) < 1.0       # NIC tables: immune
+
+
+def test_syscall_doorbell_charged_as_system_time():
+    """The doorbell kind decides *where* the ring cost lands in
+    getrusage: MMIO stores are user time, kernel traps are system time."""
+    from repro.via import Descriptor
+    from conftest import connected_endpoints, run_pair
+
+    split = {}
+    for kind in (DoorbellKind.MMIO, DoorbellKind.SYSCALL):
+        spec = get_spec("clan").with_choices(doorbell=kind)
+        spec = spec.with_costs(doorbell_cost=5.0)
+        tb = Testbed(spec)
+        cs, ss = connected_endpoints(tb)
+
+        def client():
+            h, vi, region, mh = yield from cs()
+            before = h.actor.snapshot()
+            segs = [h.segment(region, mh, 0, 4)]
+            yield from h.post_send(vi, Descriptor.send(segs))
+            yield from h.send_wait(vi)
+            split[kind] = h.actor.snapshot() - before
+
+        def server():
+            h, vi, region, mh = yield from ss()
+            segs = [h.segment(region, mh, 0, 4)]
+            yield from h.post_recv(vi, Descriptor.recv(segs))
+            yield from h.recv_wait(vi)
+
+        run_pair(tb, client(), server())
+    assert split[DoorbellKind.SYSCALL].stime \
+        >= split[DoorbellKind.MMIO].stime + 5.0
+
+
+def test_host_translation_insensitive_to_reuse():
+    """M-VIA's host-side translation makes it a flat control in Fig. 5."""
+    spec = get_spec("mvia")
+    cfg0 = TransferConfig(size=12288, buffer_pool=48, reuse_fraction=0.0)
+    cfg1 = TransferConfig(size=12288, buffer_pool=48, reuse_fraction=1.0)
+    delta = (run_latency(spec, cfg0).latency_us
+             - run_latency(spec, cfg1).latency_us)
+    assert abs(delta) < 0.5
+
+
+def test_staged_data_path_charges_copies():
+    """STAGED (M-VIA) burns host CPU per byte; ZERO_COPY does not."""
+    size = 12288
+    m_staged = run_latency("mvia", TransferConfig(size=size))
+    m_zc = run_latency("clan", TransferConfig(size=size))
+    tb = Testbed("mvia")
+    copy_cost = tb.provider("node0").node.cpu.copy_cost(size)
+    # the staged sender spends at least one full copy of CPU time per
+    # message beyond what a zero-copy sender spends
+    staged_cpu_us = m_staged.cpu_send * 2 * m_staged.latency_us
+    zc_cpu_us = m_zc.cpu_send * 2 * m_zc.latency_us
+    assert staged_cpu_us > zc_cpu_us  # polling: both spin, staged adds work
+    # direct check: utilisation stays 100% while polling
+    assert m_staged.cpu_send == pytest.approx(1.0)
+
+
+def test_tlb_size_controls_reuse_crossover():
+    """A larger NIC cache absorbs a bigger working set: with a pool that
+    fits, 0 % reuse behaves like 100 %."""
+    big_tlb = get_spec("bvia").with_choices(nic_tlb_entries=4096)
+    cfg0 = TransferConfig(size=4096, buffer_pool=48, reuse_fraction=0.0,
+                          iters=60, warmup=50)
+    base_lat = run_latency(get_spec("bvia"), cfg0).latency_us
+    big_lat = run_latency(big_tlb, cfg0).latency_us
+    # with 4096 entries every page stays cached after the warmup laps
+    assert big_lat < base_lat
+
+
+def test_cq_hardware_flag_removes_notify_cost():
+    soft = get_spec("clan").with_choices(cq_in_hardware=False)
+    soft = soft.with_costs(cq_notify=5.0)
+    hard = get_spec("clan")
+    cfg = TransferConfig(size=4, use_recv_cq=True)
+    assert (run_latency(soft, cfg).latency_us
+            > run_latency(hard, cfg).latency_us + 4.0)

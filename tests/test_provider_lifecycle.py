@@ -1,0 +1,158 @@
+"""Provider tests: VI / CQ / memory lifecycle on each implementation."""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import (
+    Descriptor,
+    ViState,
+    VipErrorResource,
+    VipProtectionError,
+    VipStateError,
+)
+
+from conftest import run_proc
+
+
+def test_vi_create_destroy(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+
+    def body():
+        vi = yield from h.create_vi()
+        assert vi.state is ViState.IDLE
+        assert tb.provider("node0").open_vi_count == 1
+        yield from h.destroy_vi(vi)
+        assert vi.state is ViState.DESTROYED
+        assert tb.provider("node0").open_vi_count == 0
+
+    run_proc(tb.sim, body())
+
+
+def test_vi_create_cost_matches_calibration(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+    costs = tb.provider("node0").costs
+
+    def body():
+        t0 = tb.now
+        yield from h.create_vi()
+        return tb.now - t0
+
+    assert run_proc(tb.sim, body()) == pytest.approx(costs.vi_create)
+
+
+def test_vi_destroy_rejects_pending_work(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+
+    def body():
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        yield from h.post_recv(vi, Descriptor.recv([h.segment(region, mh)]))
+        with pytest.raises(VipStateError, match="not empty"):
+            yield from h.destroy_vi(vi)
+
+    run_proc(tb.sim, body())
+
+
+def test_cq_lifecycle_and_attachment(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+
+    def body():
+        cq = yield from h.create_cq(depth=16)
+        vi = yield from h.create_vi(recv_cq=cq)
+        assert cq.attached == 1
+        with pytest.raises(VipStateError, match="attached"):
+            yield from h.destroy_cq(cq)
+        yield from h.destroy_vi(vi)
+        assert cq.attached == 0
+        yield from h.destroy_cq(cq)
+        assert cq.destroyed
+
+    run_proc(tb.sim, body())
+
+
+def test_register_pins_and_costs_scale_per_page(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+    costs = tb.provider("node0").costs
+    page = tb.provider("node0").node.mem.page_size
+
+    def body():
+        small = h.alloc(16)
+        t0 = tb.now
+        mh_small = yield from h.register_mem(small)
+        cost_small = tb.now - t0
+        big = h.alloc(8 * page)
+        t0 = tb.now
+        mh_big = yield from h.register_mem(big)
+        cost_big = tb.now - t0
+        assert cost_small == pytest.approx(costs.reg_base + costs.reg_per_page)
+        assert cost_big == pytest.approx(
+            costs.reg_base + 8 * costs.reg_per_page)
+        assert tb.provider("node0").node.mem.pinned_pages == 9
+        yield from h.deregister_mem(mh_small)
+        yield from h.deregister_mem(mh_big)
+        assert tb.provider("node0").node.mem.pinned_pages == 0
+
+    run_proc(tb.sim, body())
+
+
+def test_deregister_invalidates_nic_tlb():
+    tb = Testbed("bvia")
+    h = tb.open("node0", "app")
+    nic = tb.provider("node0").node.nic
+
+    def body():
+        region = h.alloc(4096)
+        mh = yield from h.register_mem(region)
+        vpage = mh.pages[0]
+        nic.tlb.insert(vpage, 77)
+        yield from h.deregister_mem(mh)
+        assert nic.tlb.lookup(vpage) is None
+
+    run_proc(tb.sim, body())
+
+
+def test_clan_registration_preloads_nic_table():
+    """NIC-resident tables are installed at registration (cLAN model)."""
+    tb = Testbed("clan")
+    h = tb.open("node0", "app")
+    nic = tb.provider("node0").node.nic
+
+    def body():
+        region = h.alloc(3 * 4096)
+        mh = yield from h.register_mem(region)
+        for vpage in mh.pages:
+            assert nic.tlb.lookup(vpage) is not None
+
+    run_proc(tb.sim, body())
+
+
+def test_register_unallocated_memory_rejected(provider_name):
+    tb = Testbed(provider_name)
+    h = tb.open("node0", "app")
+
+    def body():
+        with pytest.raises(Exception):
+            yield from h.register_mem(0xDEAD0000, 64)
+
+    run_proc(tb.sim, body())
+
+
+def test_handles_are_per_node():
+    tb = Testbed("clan")
+    h0 = tb.open("node0", "a")
+    h1 = tb.open("node1", "b")
+
+    def body0():
+        region = h0.alloc(64)
+        mh = yield from h0.register_mem(region)
+        return mh
+
+    mh = run_proc(tb.sim, body0())
+    with pytest.raises(VipProtectionError):
+        tb.provider("node1").registry.lookup(mh.handle_id)

@@ -1,0 +1,341 @@
+"""Provider tests: the send/receive data path on all three stacks."""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import (
+    CompletionStatus,
+    Descriptor,
+    VipDescriptorError,
+    VipErrorResource,
+    VipInvalidParameter,
+    VipProtectionError,
+)
+from repro.via.constants import WaitMode
+
+from conftest import connected_endpoints, run_pair, simple_recv, simple_send
+
+
+def test_pingpong_data_integrity(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    payload = bytes(range(256)) * 8  # 2 KiB pattern
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, payload)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        desc, data = yield from simple_recv(h, vi, region, mh, 4096)
+        result["data"] = data
+        result["status"] = desc.status
+
+    run_pair(tb, client(), server())
+    assert result["status"] is CompletionStatus.SUCCESS
+    assert result["data"] == payload
+
+
+def test_zero_length_message(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from h.post_send(vi, Descriptor.send([]))
+        yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield from h.post_recv(vi, Descriptor.recv([]))
+        desc = yield from h.recv_wait(vi)
+        result["len"] = desc.control.length
+        result["status"] = desc.status
+
+    run_pair(tb, client(), server())
+    assert result == {"len": 0, "status": CompletionStatus.SUCCESS}
+
+
+def test_immediate_data_delivery(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from h.post_send(vi, Descriptor.send([], immediate=0xBEEF))
+        yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield from h.post_recv(vi, Descriptor.recv([]))
+        desc = yield from h.recv_wait(vi)
+        result["imm"] = desc.control.immediate
+
+    run_pair(tb, client(), server())
+    assert result["imm"] == 0xBEEF
+
+
+def test_multi_segment_gather_scatter(provider_name):
+    """Gather from 3 send segments, scatter into 2 receive segments."""
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        h.write(region, b"AAAA", 0)
+        h.write(region, b"BBBBBB", 100)
+        h.write(region, b"CC", 200)
+        segs = [h.segment(region, mh, 0, 4),
+                h.segment(region, mh, 100, 6),
+                h.segment(region, mh, 200, 2)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 5),
+                h.segment(region, mh, 500, 100)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        desc = yield from h.recv_wait(vi)
+        result["len"] = desc.control.length
+        result["first"] = h.read(region, 5, 0)
+        result["rest"] = h.read(region, 7, 500)
+
+    run_pair(tb, client(), server())
+    assert result["len"] == 12
+    assert result["first"] == b"AAAAB"
+    assert result["rest"] == b"BBBBBCC"
+
+
+def test_length_error_when_message_exceeds_descriptor(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, b"x" * 512)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 100)]  # too small
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        desc = yield from h.recv_wait(vi)
+        result["status"] = desc.status
+        result["len"] = desc.control.length
+
+    run_pair(tb, client(), server())
+    assert result["status"] is CompletionStatus.LENGTH_ERROR
+    assert result["len"] == 0
+
+
+def test_fifo_completion_order_across_many_messages(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    n = 16
+    got = []
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        for i in range(n):
+            h.write(region, bytes([i]), i)
+            segs = [h.segment(region, mh, i, 1)]
+            yield from h.post_send(vi, Descriptor.send(segs))
+        for _ in range(n):
+            yield from h.send_wait(vi)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        descs = []
+        for i in range(n):
+            segs = [h.segment(region, mh, 100 + i, 1)]
+            d = Descriptor.recv(segs)
+            descs.append(d)
+            yield from h.post_recv(vi, d)
+        for i in range(n):
+            desc = yield from h.recv_wait(vi)
+            assert desc is descs[i], "completion out of FIFO order"
+            got.append(h.read(region, 1, 100 + i)[0])
+
+    run_pair(tb, client(), server())
+    assert got == list(range(n))
+
+
+def test_large_message_fragments_and_reassembles(provider_name):
+    tb = Testbed(provider_name)
+    size = 20000  # > GigE MTU, multiple fragments
+    cs, ss = connected_endpoints(tb, bufsize=size)
+    payload = bytes(i % 251 for i in range(size))
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, payload)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        desc, data = yield from simple_recv(h, vi, region, mh, size)
+        result["data"] = data
+
+    run_pair(tb, client(), server())
+    assert result["data"] == payload
+
+
+def test_post_send_rejects_wrong_op(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        with pytest.raises(VipInvalidParameter):
+            yield from h.post_send(vi, Descriptor.recv([]))
+        with pytest.raises(VipInvalidParameter):
+            yield from h.post_recv(vi, Descriptor.send([]))
+
+    def server():
+        h, vi, region, mh = yield from ss()
+
+    run_pair(tb, client(), server())
+
+
+def test_post_rejects_unregistered_segment(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        other = h.alloc(64)  # never registered
+        from repro.via import DataSegment
+
+        with pytest.raises(VipProtectionError):
+            yield from h.post_send(
+                vi, Descriptor.send([DataSegment(other.base, 64, mh)])
+            )
+
+    def server():
+        h, vi, region, mh = yield from ss()
+
+    run_pair(tb, client(), server())
+
+
+def test_max_transfer_size_enforced(provider_name):
+    tb = Testbed(provider_name)
+    limit = tb.provider("node0").max_transfer_size
+    cs, ss = connected_endpoints(tb, bufsize=limit + 4096)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        segs = [h.segment(region, mh, 0, limit + 1)]
+        with pytest.raises(VipDescriptorError, match="maximum transfer"):
+            yield from h.post_send(vi, Descriptor.send(segs))
+
+    def server():
+        h, vi, region, mh = yield from ss()
+
+    run_pair(tb, client(), server())
+
+
+def test_send_queue_depth_enforced(provider_name):
+    from repro.providers import get_spec
+
+    tb = Testbed(get_spec(provider_name).with_costs(max_outstanding=2))
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        segs = [h.segment(region, mh, 0, 4)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.post_send(vi, Descriptor.send(segs))
+        if vi.send_q.outstanding >= 2:
+            with pytest.raises(VipErrorResource, match="full"):
+                yield from h.post_send(vi, Descriptor.send(segs))
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 4)]
+        for _ in range(2):
+            yield from h.post_recv(vi, Descriptor.recv(segs))
+
+    run_pair(tb, client(), server())
+
+
+def test_cq_wait_returns_queue_and_descriptor(provider_name):
+    tb = Testbed(provider_name)
+    payload = b"through-the-cq"
+    result = {}
+
+    def client():
+        h = tb.open("node0", "client")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        yield from h.connect(vi, "node1", 9)
+        yield from simple_send(h, vi, region, mh, payload)
+
+    def server():
+        h = tb.open("node1", "server")
+        cq = yield from h.create_cq()
+        vi = yield from h.create_vi(recv_cq=cq)
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, len(payload))]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(9)
+        yield from h.accept(req, vi)
+        wq, desc = yield from h.cq_wait(cq)
+        result["wq_kind"] = wq.kind
+        result["data"] = h.read(region, desc.control.length)
+
+    run_pair(tb, client(), server())
+    assert result["wq_kind"] == "recv"
+    assert result["data"] == payload
+
+
+def test_blocking_wait_mode_works(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, b"block-me")
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        desc = yield from h.recv_wait(vi, WaitMode.BLOCK)
+        result["data"] = h.read(region, desc.control.length)
+        result["stime"] = h.actor.rusage.stime
+
+    run_pair(tb, client(), server())
+    assert result["data"] == b"block-me"
+    assert result["stime"] > 0  # the wakeup was charged as system time
+
+
+def test_send_done_polls_nonblocking(provider_name):
+    tb = Testbed(provider_name)
+    cs, ss = connected_endpoints(tb)
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        assert (yield from h.send_done(vi)) is None
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        # poll until done
+        while True:
+            desc = yield from h.send_done(vi)
+            if desc is not None:
+                return
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.recv_wait(vi)
+
+    run_pair(tb, client(), server())

@@ -1,0 +1,116 @@
+"""Provider tests: unexpected-message policies (DROP / BUFFER / RETRY).
+
+These are the architectural behaviours behind the asynchronous-message
+micro-benchmark (§3.2.5): what each stack does when data arrives before
+its receive descriptor is posted.
+"""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.via import CompletionStatus, Descriptor, Reliability, VipTimeout
+
+from conftest import connected_endpoints, run_pair, simple_send
+
+
+def _late_recv_scenario(tb, delay, reliability=None, timeout=30_000.0):
+    cs, ss = connected_endpoints(tb, reliability=reliability)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, b"early-bird")
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield tb.sim.timeout(delay)
+        segs = [h.segment(region, mh, 0, 64)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        try:
+            desc = yield from h.recv_wait(vi, timeout=timeout)
+            result["data"] = h.read(region, desc.control.length)
+            result["status"] = desc.status
+        except VipTimeout:
+            result["lost"] = True
+
+    run_pair(tb, client(), server())
+    return result
+
+
+def test_mvia_buffers_unexpected_messages():
+    """Kernel buffering: the late receive still gets the data."""
+    result = _late_recv_scenario(Testbed("mvia"), delay=500.0)
+    assert result.get("data") == b"early-bird"
+    assert result["status"] is CompletionStatus.SUCCESS
+
+
+def test_bvia_drops_unexpected_messages():
+    """Zero-copy unreliable NIC: the message is gone."""
+    result = _late_recv_scenario(Testbed("bvia"), delay=500.0)
+    assert result.get("lost") is True
+    assert Testbed  # silence linters
+
+
+def test_clan_retries_until_descriptor_posted():
+    """Reliable delivery: NAK + sender retransmission recovers the data."""
+    tb = Testbed("clan")
+    result = _late_recv_scenario(tb, delay=500.0)
+    assert result.get("data") == b"early-bird"
+    assert tb.provider("node0").engine.retransmissions >= 1
+
+
+def test_bvia_reliable_vi_also_retries():
+    """The NAK path is a property of the reliability level, not the
+    provider: a reliable VI on BVIA recovers too."""
+    tb = Testbed("bvia")
+    result = _late_recv_scenario(
+        tb, delay=500.0, reliability=Reliability.RELIABLE_DELIVERY)
+    assert result.get("data") == b"early-bird"
+
+
+def test_mvia_buffered_messages_preserve_order():
+    tb = Testbed("mvia")
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        for i in range(4):
+            yield from simple_send(h, vi, region, mh, bytes([i]) * 4)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield tb.sim.timeout(1000.0)  # let all four arrive unexpected
+        got = []
+        for _ in range(4):
+            segs = [h.segment(region, mh, 0, 16)]
+            yield from h.post_recv(vi, Descriptor.recv(segs))
+            desc = yield from h.recv_wait(vi)
+            got.append(h.read(region, desc.control.length))
+        result["got"] = got
+
+    run_pair(tb, client(), server())
+    assert result["got"] == [bytes([i]) * 4 for i in range(4)]
+
+
+def test_mvia_buffered_length_error():
+    """A buffered message larger than the eventual descriptor still
+    completes with LENGTH_ERROR, matching the wire path."""
+    tb = Testbed("mvia")
+    cs, ss = connected_endpoints(tb)
+    result = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        yield from simple_send(h, vi, region, mh, b"z" * 256)
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        yield tb.sim.timeout(500.0)
+        segs = [h.segment(region, mh, 0, 16)]  # too small
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        desc = yield from h.recv_wait(vi)
+        result["status"] = desc.status
+
+    run_pair(tb, client(), server())
+    assert result["status"] is CompletionStatus.LENGTH_ERROR

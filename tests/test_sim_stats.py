@@ -1,0 +1,50 @@
+"""Unit tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import BusyTracker, Counter, TimeWeighted
+
+
+def test_busy_tracker_accumulates():
+    bt = BusyTracker()
+    bt.charge(2.0)
+    bt.charge(3.0)
+    assert bt.total == 5.0
+
+
+def test_busy_tracker_rejects_negative():
+    with pytest.raises(ValueError):
+        BusyTracker().charge(-1.0)
+
+
+def test_busy_tracker_snapshots():
+    bt = BusyTracker()
+    bt.charge(2.0)
+    bt.snapshot("a")
+    bt.charge(3.0)
+    assert bt.since("a") == 3.0
+    assert bt.since("missing") == 5.0
+
+
+def test_time_weighted_mean():
+    tw = TimeWeighted(now=0.0, value=0.0)
+    tw.update(10.0, 4.0)   # 0 for 10us
+    tw.update(20.0, 0.0)   # 4 for 10us
+    assert tw.mean(20.0) == pytest.approx(2.0)
+    assert tw.max == 4.0
+
+
+def test_time_weighted_rejects_backwards_time():
+    tw = TimeWeighted(now=5.0)
+    with pytest.raises(ValueError):
+        tw.update(4.0, 1.0)
+
+
+def test_counter():
+    c = Counter()
+    c.inc("x")
+    c.inc("x", 2)
+    assert c.get("x") == 3
+    assert c.get("y") == 0
+    c.reset()
+    assert c.get("x") == 0

@@ -1,0 +1,205 @@
+"""Tests for the tracer, the latency-breakdown analysis, and the
+result repository."""
+
+import pytest
+
+from repro.models import Breakdown, latency_breakdown, render_breakdowns
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import TraceEvent
+from repro.vibe import base_latency
+from repro.vibe.metrics import BenchResult, Measurement
+from repro.vibe.repository import (
+    ResultRepository,
+    result_from_dict,
+    result_to_dict,
+)
+
+
+# ---- tracer -------------------------------------------------------------
+
+def test_tracer_collects_and_selects():
+    tr = Tracer()
+    tr.emit(1.0, "wire", "serialized", "n0", pkt=1)
+    tr.emit(2.0, "wire", "delivered", "n0", pkt=1)
+    tr.emit(3.0, "host", "reaped", "n1")
+    assert len(tr) == 3
+    assert [e.label for e in tr.select(category="wire")] == \
+        ["serialized", "delivered"]
+    assert tr.select(node="n1")[0].label == "reaped"
+    assert tr.select(category="wire", pkt=1, label="delivered")[0].t == 2.0
+    assert tr.first(category="wire").t == 1.0
+    assert tr.last(category="wire").t == 2.0
+    assert tr.first(category="nope") is None
+
+
+def test_tracer_capacity_limit():
+    tr = Tracer(capacity=2)
+    for i in range(5):
+        tr.emit(float(i), "x", "y")
+    assert len(tr) == 2 and tr.dropped == 3
+    tr.clear()
+    assert len(tr) == 0 and tr.dropped == 0
+
+
+def test_tracer_timeline_renders():
+    tr = Tracer()
+    assert tr.timeline() == "(empty trace)"
+    tr.emit(10.0, "a", "b", "n0", k=1)
+    tr.emit(12.5, "a", "c", "n1")
+    text = tr.timeline()
+    assert "+     0.000us" in text
+    assert "+     2.500us" in text
+    assert "a/b" in text and "k=1" in text
+
+
+def test_sim_trace_is_noop_without_tracer():
+    sim = Simulator()
+    sim.trace("x", "y")  # must not raise
+    sim.tracer = Tracer()
+    sim.trace("x", "y", "n", extra=1)
+    assert sim.tracer.events[0] == TraceEvent(0.0, "x", "y", "n",
+                                              {"extra": 1})
+
+
+def test_transfer_produces_expected_event_sequence():
+    """The instrumented send path emits its marks in causal order."""
+    bd_events = []
+    from repro.providers import Testbed
+    from repro.via import Descriptor
+
+    tb = Testbed("clan")
+    tb.sim.tracer = Tracer()
+
+    def client():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi()
+        r = h.alloc(64)
+        mh = yield from h.register_mem(r)
+        yield from h.connect(vi, "node1", 3)
+        yield from h.post_send(vi, Descriptor.send([h.segment(r, mh, 0, 8)]))
+        yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "s")
+        vi = yield from h.create_vi()
+        r = h.alloc(64)
+        mh = yield from h.register_mem(r)
+        yield from h.post_recv(vi, Descriptor.recv([h.segment(r, mh, 0, 8)]))
+        req = yield from h.connect_wait(3)
+        yield from h.accept(req, vi)
+        yield from h.recv_wait(vi)
+
+    cp = tb.spawn(client())
+    sp = tb.spawn(server())
+    tb.run(cp)
+    tb.run(sp)
+    tr = tb.sim.tracer
+    order = [
+        tr.first(category="host", label="post_send", node="node0").t,
+        tr.first(category="host", label="doorbell", node="node0").t,
+        tr.first(category="nic", label="send_queued", node="node0").t,
+        tr.first(category="nic", label="desc_fetched", node="node0").t,
+        tr.first(category="nic", label="frag_out", node="node0").t,
+        tr.first(category="nic", label="frag_in", node="node1").t,
+        tr.first(category="via", label="completed", node="node1").t,
+        tr.first(category="host", label="reap_done", node="node1").t,
+    ]
+    assert order == sorted(order)
+
+
+# ---- breakdown -------------------------------------------------------------
+
+def test_breakdown_telescopes_to_total(provider_name):
+    bd = latency_breakdown(provider_name, 1024)
+    assert sum(bd.phases.values()) == pytest.approx(bd.total)
+    assert all(v >= -1e-9 for v in bd.phases.values())
+    assert bd.total > 0
+
+
+def test_breakdown_total_tracks_measured_latency(provider_name):
+    bd = latency_breakdown(provider_name, 1024)
+    measured = base_latency(provider_name, [1024]).point(1024).latency_us
+    # the one-shot transfer sees the same path the ping-pong averages
+    assert bd.total == pytest.approx(measured, rel=0.15)
+
+
+def test_breakdown_attributes_costs_to_the_right_components():
+    mvia = latency_breakdown("mvia", 4096)
+    bvia = latency_breakdown("bvia", 4096)
+    clan = latency_breakdown("clan", 4096)
+    # staged path: copies dominate the host phases, absent elsewhere
+    assert mvia.phases["staging"] > 20
+    assert bvia.phases["staging"] == 0 and clan.phases["staging"] == 0
+    assert mvia.phases["rx_kernel"] > 20
+    # the LANai's polled dispatch is BVIA's signature overhead
+    assert bvia.phases["dispatch"] > 3 * clan.phases["dispatch"]
+    # everyone pays the wire
+    for bd in (mvia, bvia, clan):
+        assert bd.phases["wire"] > 0
+
+
+def test_breakdown_table_and_render():
+    bd = latency_breakdown("clan", 64)
+    text = bd.table()
+    assert "latency breakdown: clan" in text
+    assert "dispatch" in text
+    combo = render_breakdowns([bd, latency_breakdown("mvia", 64)])
+    assert "clan@64B" in combo and "mvia@64B" in combo
+    assert "TOTAL" in combo
+    assert bd.bottleneck() in bd.phases
+
+
+# ---- result repository ---------------------------------------------------------
+
+def _sample_result():
+    return BenchResult("base_latency", "clan", [
+        Measurement(param=4, latency_us=8.1, cpu_send=1.0),
+        Measurement(param=1024, latency_us=32.7, extra={"note": "x"}),
+    ], {"mode": "poll"})
+
+
+def test_result_roundtrip_through_json():
+    result = _sample_result()
+    clone = result_from_dict(result_to_dict(result))
+    assert clone.benchmark == result.benchmark
+    assert clone.provider == result.provider
+    assert clone.params == result.params
+    assert clone.point(4).latency_us == 8.1
+    assert clone.point(1024).extra == {"note": "x"}
+
+
+def test_result_from_dict_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        result_from_dict({"format": 99, "points": []})
+
+
+def test_repository_save_load_compare(tmp_path):
+    repo = ResultRepository(tmp_path)
+    repo.save("clan-sim", _sample_result())
+    other = _sample_result()
+    other.points[0].latency_us = 16.2
+    repo.save("other-sim", other)
+
+    assert repo.platforms() == ["clan-sim", "other-sim"]
+    assert repo.benchmarks("clan-sim") == ["base_latency"]
+    loaded = repo.load("clan-sim", "base_latency")
+    assert loaded.point(4).latency_us == 8.1
+
+    report = repo.compare("base_latency", "latency_us")
+    assert "clan-sim" in report and "other-sim" in report
+
+    diff = repo.diff("base_latency", "latency_us", "clan-sim", "other-sim")
+    assert diff[0][0] == 4
+    assert diff[0][3] == pytest.approx(1.0)  # doubled
+
+    with pytest.raises(FileNotFoundError):
+        repo.load("missing", "base_latency")
+    assert "(no stored results" in repo.compare("ghost", "latency_us")
+
+
+def test_repository_safe_names(tmp_path):
+    repo = ResultRepository(tmp_path)
+    result = _sample_result()
+    path = repo.save("weird/plat form!", result)
+    assert path.exists()
+    assert "/" not in path.parent.name

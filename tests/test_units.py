@@ -1,0 +1,47 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    KiB,
+    MiB,
+    bytes_per_us_to_mbps,
+    fmt_size,
+    fmt_time_us,
+    mbps_to_bytes_per_us,
+    paper_size_sweep,
+    pow2_sweep,
+)
+
+
+def test_bandwidth_conversions_are_identity():
+    assert mbps_to_bytes_per_us(125.0) == 125.0
+    assert bytes_per_us_to_mbps(125.0) == 125.0
+
+
+def test_fmt_time():
+    assert fmt_time_us(5.0) == "5.00 us"
+    assert fmt_time_us(1500.0) == "1.500 ms"
+    assert fmt_time_us(2_500_000.0) == "2.500 s"
+
+
+def test_fmt_size():
+    assert fmt_size(100) == "100 B"
+    assert fmt_size(2 * KiB) == "2 KiB"
+    assert fmt_size(3 * MiB) == "3 MiB"
+
+
+def test_paper_size_sweep_matches_figures():
+    sweep = paper_size_sweep()
+    assert sweep[0] == 4 and sweep[-1] == 28672
+    assert sweep == sorted(sweep)
+    assert 12288 in sweep and 20480 in sweep
+
+
+def test_pow2_sweep():
+    assert pow2_sweep(4, 64) == [4, 8, 16, 32, 64]
+    assert pow2_sweep(1, 1) == [1]
+    with pytest.raises(ValueError):
+        pow2_sweep(0, 8)
+    with pytest.raises(ValueError):
+        pow2_sweep(16, 8)

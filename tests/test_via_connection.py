@@ -1,0 +1,110 @@
+"""Unit tests for the connection manager and name service."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.via import Reliability, VipConnectionError
+from repro.via.connection import ConnectionManager, ConnRequest
+from repro.via.nameservice import NameService
+
+
+def make_req(mgr, disc=5):
+    return ConnRequest(conn_id=mgr.new_request_id(), client_node="c",
+                       client_vi_id=1, discriminator=disc,
+                       reliability=Reliability.UNRELIABLE)
+
+
+def test_waiter_gets_request():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    ev = mgr.wait_for(5)
+    req = make_req(mgr, 5)
+    mgr.deliver(req)
+    sim.run()
+    assert ev.value is req
+
+
+def test_request_parked_until_waiter_arrives():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    req = make_req(mgr, 7)
+    mgr.deliver(req)
+    ev = mgr.wait_for(7)
+    sim.run()
+    assert ev.value is req
+
+
+def test_discriminators_are_independent():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    ev5 = mgr.wait_for(5)
+    ev6 = mgr.wait_for(6)
+    req6 = make_req(mgr, 6)
+    mgr.deliver(req6)
+    sim.run()
+    assert ev6.value is req6
+    assert not ev5.triggered
+
+
+def test_multiple_waiters_fifo():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    ev1 = mgr.wait_for(5)
+    ev2 = mgr.wait_for(5)
+    r1, r2 = make_req(mgr, 5), make_req(mgr, 5)
+    mgr.deliver(r1)
+    mgr.deliver(r2)
+    sim.run()
+    assert ev1.value is r1 and ev2.value is r2
+
+
+def test_track_resolve():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    conn_id = mgr.new_request_id()
+    ev = mgr.track(conn_id)
+    mgr.resolve(conn_id, "server", 42)
+    sim.run()
+    assert ev.value == ("server", 42)
+
+
+def test_track_reject_fails_event():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    conn_id = mgr.new_request_id()
+    ev = mgr.track(conn_id)
+    got = []
+
+    def waiter():
+        try:
+            yield ev
+        except VipConnectionError as exc:
+            got.append(str(exc))
+
+    proc = sim.process(waiter())
+    mgr.reject(conn_id, "nope")
+    sim.run(proc)
+    assert got == ["nope"]
+
+
+def test_forget_then_late_resolve_is_noop():
+    sim = Simulator()
+    mgr = ConnectionManager(sim)
+    conn_id = mgr.new_request_id()
+    mgr.track(conn_id)
+    mgr.forget(conn_id)
+    mgr.resolve(conn_id, "server", 1)  # no crash, nothing tracked
+    mgr.reject(conn_id, "late")
+    sim.run()
+
+
+def test_nameservice_roundtrip():
+    ns = NameService()
+    ns.register("hostA", "node0")
+    ns.register("hostA", "node0")  # idempotent re-register
+    assert ns.resolve("hostA") == "node0"
+    assert ns.hosts() == ("hostA",)
+    with pytest.raises(VipConnectionError):
+        ns.resolve("missing")
+    with pytest.raises(VipConnectionError):
+        ns.register("hostA", "other")

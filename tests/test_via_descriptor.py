@@ -1,0 +1,121 @@
+"""Unit tests for VIA descriptors."""
+
+import pytest
+
+from repro.via import (
+    CompletionStatus,
+    DataSegment,
+    Descriptor,
+    DescriptorOp,
+    VipDescriptorError,
+    VipInvalidParameter,
+)
+from repro.via.memory import MemoryHandle
+
+
+def fake_handle(addr=0x1000, length=4096):
+    return MemoryHandle(handle_id=1, address=addr, length=length, tag=7,
+                        pages=[0])
+
+
+def seg(addr=0x1000, length=64):
+    return DataSegment(addr, length, fake_handle())
+
+
+def test_send_constructor():
+    d = Descriptor.send([seg()])
+    assert d.op is DescriptorOp.SEND
+    assert d.total_length == 64
+    assert d.status is CompletionStatus.PENDING
+    assert not d.is_complete
+
+
+def test_recv_constructor():
+    d = Descriptor.recv([seg(length=10), seg(length=20)])
+    assert d.op is DescriptorOp.RECEIVE
+    assert d.total_length == 30
+
+
+def test_rdma_constructors():
+    w = Descriptor.rdma_write([seg()], remote_address=0x2000,
+                              remote_handle_id=9, immediate=5)
+    assert w.address_segment.address == 0x2000
+    assert w.control.immediate == 5
+    r = Descriptor.rdma_read([seg()], 0x2000, 9)
+    assert r.op is DescriptorOp.RDMA_READ
+
+
+def test_segment_validation():
+    with pytest.raises(VipInvalidParameter):
+        DataSegment(-1, 10, fake_handle())
+    with pytest.raises(VipInvalidParameter):
+        DataSegment(0x1000, -5, fake_handle())
+
+
+def test_validate_rejects_double_post():
+    d = Descriptor.send([seg()])
+    d.posted = True
+    with pytest.raises(VipDescriptorError, match="already posted"):
+        d.validate(16, 1 << 20)
+
+
+def test_validate_segment_limit():
+    d = Descriptor.send([seg() for _ in range(5)])
+    with pytest.raises(VipDescriptorError, match="segments"):
+        d.validate(4, 1 << 20)
+    d.validate(5, 1 << 20)  # at the limit is fine
+
+
+def test_validate_max_transfer_size():
+    d = Descriptor.send([seg(length=2000)])
+    with pytest.raises(VipDescriptorError, match="maximum transfer"):
+        d.validate(16, 1999)
+
+
+def test_validate_address_segment_rules():
+    plain = Descriptor.send([seg()])
+    plain.address_segment = Descriptor.rdma_write(
+        [seg()], 0x0, 1).address_segment
+    with pytest.raises(VipDescriptorError, match="must not carry"):
+        plain.validate(16, 1 << 20)
+
+    rdma = Descriptor.rdma_write([seg()], 0x2000, 9)
+    rdma.address_segment = None
+    with pytest.raises(VipDescriptorError, match="requires an address"):
+        rdma.validate(16, 1 << 20)
+
+
+def test_rdma_read_rejects_immediate():
+    d = Descriptor.rdma_read([seg()], 0x2000, 9)
+    d.control.immediate = 3
+    with pytest.raises(VipDescriptorError, match="immediate"):
+        d.validate(16, 1 << 20)
+
+
+def test_immediate_only_send_is_legal():
+    d = Descriptor.send([], immediate=0xDEAD)
+    d.validate(16, 1 << 20)
+    assert d.total_length == 0
+
+
+def test_reset_rearms():
+    d = Descriptor.send([seg()])
+    d.control.status = CompletionStatus.SUCCESS
+    d.control.length = 64
+    d.completed_at = 12.5
+    d.reset()
+    assert d.status is CompletionStatus.PENDING
+    assert d.control.length == 0
+    assert d.completed_at is None
+
+
+def test_reset_rejected_while_posted():
+    d = Descriptor.send([seg()])
+    d.posted = True
+    with pytest.raises(VipDescriptorError):
+        d.reset()
+
+
+def test_desc_ids_unique():
+    ids = {Descriptor.send([]).desc_id for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,101 @@
+"""Unit tests for VIA memory-registration semantics."""
+
+import pytest
+
+from repro.hw.memory import MemorySystem, PAGE_SIZE
+from repro.via import MemoryRegistry, VipProtectionError, VipStateError
+
+
+def setup():
+    mem = MemorySystem()
+    return mem, MemoryRegistry(mem)
+
+
+def test_register_pins_pages():
+    mem, registry = setup()
+    region = mem.alloc(3 * PAGE_SIZE)
+    mh = registry.register(region.base, region.length, tag=5)
+    assert mh.page_count == 3
+    assert mem.pinned_pages == 3
+    assert registry.lookup(mh.handle_id) is mh
+
+
+def test_deregister_unpins_and_invalidates():
+    mem, registry = setup()
+    region = mem.alloc(PAGE_SIZE)
+    mh = registry.register(region.base, region.length, tag=5)
+    registry.deregister(mh)
+    assert mem.pinned_pages == 0
+    assert not mh.active
+    with pytest.raises(VipProtectionError):
+        registry.lookup(mh.handle_id)
+    with pytest.raises(VipStateError):
+        registry.deregister(mh)
+
+
+def test_register_requires_positive_length():
+    mem, registry = setup()
+    region = mem.alloc(64)
+    with pytest.raises(VipProtectionError):
+        registry.register(region.base, 0, tag=1)
+
+
+def test_check_local_coverage_and_tags():
+    mem, registry = setup()
+    region = mem.alloc(1000)
+    mh = registry.register(region.base, 500, tag=5)
+    registry.check_local(region.base, 500, mh, tag=5)
+    registry.check_local(region.base + 100, 50, mh, tag=5)
+    with pytest.raises(VipProtectionError, match="tag"):
+        registry.check_local(region.base, 10, mh, tag=6)
+    with pytest.raises(VipProtectionError, match="outside"):
+        registry.check_local(region.base, 501, mh, tag=5)
+
+
+def test_check_local_rejects_deregistered():
+    mem, registry = setup()
+    region = mem.alloc(100)
+    mh = registry.register(region.base, 100, tag=1)
+    registry.deregister(mh)
+    with pytest.raises(VipProtectionError):
+        registry.check_local(region.base, 10, mh, tag=1)
+
+
+def test_rdma_target_checks():
+    mem, registry = setup()
+    region = mem.alloc(1000)
+    mh = registry.register(region.base, 1000, tag=1,
+                           enable_rdma_write=True, enable_rdma_read=False)
+    got = registry.check_rdma_target(region.base, 100, mh.handle_id,
+                                     write=True)
+    assert got is mh
+    with pytest.raises(VipProtectionError, match="read disabled"):
+        registry.check_rdma_target(region.base, 100, mh.handle_id,
+                                   write=False)
+    with pytest.raises(VipProtectionError, match="outside"):
+        registry.check_rdma_target(region.base + 990, 100, mh.handle_id,
+                                   write=True)
+    with pytest.raises(VipProtectionError, match="unknown"):
+        registry.check_rdma_target(region.base, 10, 424242, write=True)
+
+
+def test_overlapping_registrations_share_pin_counts():
+    mem, registry = setup()
+    region = mem.alloc(2 * PAGE_SIZE)
+    a = registry.register(region.base, 2 * PAGE_SIZE, tag=1)
+    b = registry.register(region.base, PAGE_SIZE, tag=1)
+    assert mem.pinned_pages == 2
+    registry.deregister(a)
+    assert mem.pinned_pages == 1   # page 0 still held by b
+    registry.deregister(b)
+    assert mem.pinned_pages == 0
+
+
+def test_handle_covers():
+    mem, registry = setup()
+    region = mem.alloc(100)
+    mh = registry.register(region.base, 100, tag=1)
+    assert mh.covers(region.base, 100)
+    assert mh.covers(region.base + 50, 50)
+    assert not mh.covers(region.base + 50, 51)
+    assert not mh.covers(region.base - 1, 10)

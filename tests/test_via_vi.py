@@ -1,0 +1,160 @@
+"""Unit tests for VI endpoints and work queues (FIFO invariants)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.via import (
+    CompletionStatus,
+    Descriptor,
+    Reliability,
+    VI,
+    ViState,
+    VipStateError,
+)
+from repro.via.cq import CompletionQueue
+
+
+def make_vi():
+    sim = Simulator()
+    return sim, VI(sim, "node0", Reliability.UNRELIABLE)
+
+
+def test_initial_state():
+    _sim, vi = make_vi()
+    assert vi.state is ViState.IDLE
+    assert not vi.is_connected
+    assert vi.send_q.outstanding == 0
+
+
+def test_legal_state_walk():
+    _sim, vi = make_vi()
+    vi.to_state(ViState.CONNECT_PENDING)
+    vi.to_state(ViState.CONNECTED)
+    assert vi.is_connected
+    vi.to_state(ViState.DISCONNECTED)
+    vi.to_state(ViState.DESTROYED)
+
+
+def test_illegal_transition_rejected():
+    _sim, vi = make_vi()
+    with pytest.raises(VipStateError):
+        vi.to_state(ViState.DISCONNECTED)
+    vi.to_state(ViState.DESTROYED)
+    with pytest.raises(VipStateError):
+        vi.to_state(ViState.IDLE)
+
+
+def test_require_state():
+    _sim, vi = make_vi()
+    vi.require_state(ViState.IDLE)
+    with pytest.raises(VipStateError):
+        vi.require_state(ViState.CONNECTED)
+
+
+def test_workqueue_enqueue_and_complete_fifo():
+    _sim, vi = make_vi()
+    wq = vi.send_q
+    d1, d2 = Descriptor.send([]), Descriptor.send([])
+    wq.enqueue(d1)
+    wq.enqueue(d2)
+    assert d1.posted and wq.outstanding == 2
+    wq.complete_head(d1, CompletionStatus.SUCCESS, 10)
+    assert d1.control.length == 10
+    assert not d1.posted
+    assert wq.try_reap() is d1
+    assert wq.try_reap() is None
+    wq.complete_head(d2, CompletionStatus.SUCCESS, 0)
+    assert wq.try_reap() is d2
+
+
+def test_complete_head_rejects_out_of_order():
+    _sim, vi = make_vi()
+    wq = vi.send_q
+    d1, d2 = Descriptor.send([]), Descriptor.send([])
+    wq.enqueue(d1)
+    wq.enqueue(d2)
+    with pytest.raises(VipStateError, match="FIFO"):
+        wq.complete_head(d2, CompletionStatus.SUCCESS, 0)
+
+
+def test_finish_parks_out_of_order_results():
+    """The spec's in-order completion guarantee: an out-of-order finish
+    is applied only when everything before it has finished."""
+    _sim, vi = make_vi()
+    wq = vi.send_q
+    d1, d2, d3 = (Descriptor.send([]) for _ in range(3))
+    for d in (d1, d2, d3):
+        wq.enqueue(d)
+    assert wq.finish(d2, CompletionStatus.SUCCESS, 2) == []
+    assert wq.finish(d3, CompletionStatus.SUCCESS, 3) == []
+    assert d2.posted and wq.try_reap() is None
+    drained = wq.finish(d1, CompletionStatus.SUCCESS, 1)
+    assert drained == [d1, d2, d3]
+    assert [wq.try_reap() for _ in range(3)] == [d1, d2, d3]
+
+
+def test_completion_signal_fires_per_completion():
+    _sim, vi = make_vi()
+    wq = vi.recv_q
+    d = Descriptor.recv([])
+    wq.enqueue(d)
+    woken = []
+    ev = wq.signal.wait()
+    ev.callbacks.append(lambda e: woken.append(True))
+    wq.complete_head(d, CompletionStatus.SUCCESS, 0)
+    vi.sim.run()
+    assert woken == [True]
+
+
+def test_cq_attached_queue_routes_to_cq():
+    sim, vi = make_vi()
+    cq = CompletionQueue(sim)
+    vi.recv_q.cq = cq
+    cq.attached += 1
+    d = Descriptor.recv([])
+    vi.recv_q.enqueue(d)
+    vi.recv_q.complete_head(d, CompletionStatus.SUCCESS, 0)
+    with pytest.raises(VipStateError, match="bound to a CQ"):
+        vi.recv_q.try_reap()
+    assert cq.try_pop() == (vi.recv_q, d)
+
+
+def test_claim_hands_out_distinct_descriptors():
+    _sim, vi = make_vi()
+    wq = vi.recv_q
+    d1, d2 = Descriptor.recv([]), Descriptor.recv([])
+    wq.enqueue(d1)
+    wq.enqueue(d2)
+    assert wq.claim() is d1
+    assert wq.claim() is d2
+    assert wq.claim() is None
+    assert wq.claimable == 0
+    assert wq.outstanding == 2  # still posted until completion
+
+
+def test_flush_completes_everything_as_flushed():
+    _sim, vi = make_vi()
+    wq = vi.send_q
+    descs = [Descriptor.send([]) for _ in range(3)]
+    for d in descs:
+        wq.enqueue(d)
+    wq.claim()
+    flushed = wq.flush()
+    assert flushed == descs
+    assert all(d.status is CompletionStatus.FLUSHED for d in descs)
+    assert wq.outstanding == 0 and wq.claimable == 0
+
+
+def test_completed_at_records_sim_time():
+    sim, vi = make_vi()
+    sim._now = 123.0  # direct manipulation is fine for a unit test
+    d = Descriptor.send([])
+    vi.send_q.enqueue(d)
+    vi.send_q.complete_head(d, CompletionStatus.SUCCESS, 0)
+    assert d.completed_at == 123.0
+
+
+def test_vi_ids_unique():
+    sim = Simulator()
+    ids = {VI(sim, "n").vi_id for _ in range(50)}
+    assert len(ids) == 50

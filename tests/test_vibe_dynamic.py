@@ -1,0 +1,52 @@
+"""Tests for the dynamic-runtime benchmarks (churn + tail latency)."""
+
+import pytest
+
+from repro.vibe import connection_churn, tail_latency_under_load
+
+
+def test_churn_rate_inverts_connection_cost_ordering():
+    """BVIA's cheap connections (Table 1: 496 us) buy it the highest
+    lifecycle rate, despite losing most latency benchmarks."""
+    rates = {p: connection_churn(p, cycles=5).extra["cycles_per_s"]
+             for p in ("mvia", "bvia", "clan")}
+    assert rates["bvia"] > rates["clan"] > rates["mvia"]
+
+
+def test_churn_cycle_dominated_by_connection_cost(provider_name):
+    from repro.providers import get_spec
+
+    m = connection_churn(provider_name, cycles=5)
+    costs = get_spec(provider_name).costs
+    conn = costs.conn_client + costs.conn_server
+    assert m.extra["cycle_us"] > conn          # at least the handshake
+    assert m.extra["cycle_us"] < conn + 1000   # and not much else
+
+
+def test_churn_deterministic(provider_name):
+    a = connection_churn(provider_name, cycles=4).extra["cycle_us"]
+    b = connection_churn(provider_name, cycles=4).extra["cycle_us"]
+    assert a == b
+
+
+def test_tail_latency_grows_with_load():
+    res = tail_latency_under_load("clan", loads=(0.3, 0.95), requests=80)
+    low, high = res.point(0.3), res.point(0.95)
+    assert high.extra["p99_us"] > low.extra["p99_us"]
+    assert high.extra["mean_us"] > low.extra["mean_us"]
+
+
+def test_tail_separates_from_median_under_load():
+    res = tail_latency_under_load("clan", loads=(0.95,), requests=100)
+    p = res.point(0.95)
+    # queueing: the p99 is far above the median at high load
+    assert p.extra["p99_us"] > 1.5 * p.extra["p50_us"]
+    # and the median itself stays near the unloaded service time
+    assert p.extra["p50_us"] < 3 * res.params["service_us"]
+
+
+def test_tail_latency_percentiles_ordered(provider_name):
+    res = tail_latency_under_load(provider_name, loads=(0.6,), requests=60)
+    p = res.point(0.6)
+    assert p.extra["p50_us"] <= p.extra["p95_us"] <= p.extra["p99_us"]
+    assert p.extra["p50_us"] > 0

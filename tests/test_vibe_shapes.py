@@ -1,0 +1,290 @@
+"""The paper's qualitative claims, asserted against the reproduction.
+
+Every test here encodes a sentence from the paper's §4 evaluation; if
+one fails, the reproduction has drifted from the published result.
+These use reduced sweeps to stay fast; the full sweeps live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.via.constants import WaitMode
+from repro.vibe import (
+    TransferConfig,
+    async_latency,
+    base_bandwidth,
+    base_latency,
+    client_server,
+    cq_overhead,
+    memreg_sweep,
+    multivi_bandwidth,
+    multivi_latency,
+    nondata_costs,
+    reuse_latency,
+    run_latency,
+)
+
+SMALL = [4, 256]
+MID = [1024, 4096]
+BIG = [12288, 28672]
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return {p: nondata_costs(p, repeats=2) for p in ("mvia", "bvia", "clan")}
+
+
+def cost(table1, provider, op):
+    return table1[provider].point(op).extra["cost_us"]
+
+
+# ----- Table 1 orderings ---------------------------------------------------
+
+def test_create_vi_ordering(table1):
+    """M-VIA > BVIA > cLAN (93 / 28 / 3 us)."""
+    assert cost(table1, "mvia", "create_vi") > cost(table1, "bvia", "create_vi") \
+        > cost(table1, "clan", "create_vi")
+
+
+def test_connection_cost_ordering(table1):
+    """'the cost of establishing connections [is] extremely high in the
+    cLAN implementation. This cost for M-VIA is higher than for BVIA.'"""
+    mvia = cost(table1, "mvia", "establish_connection")
+    bvia = cost(table1, "bvia", "establish_connection")
+    clan = cost(table1, "clan", "establish_connection")
+    assert mvia > clan > bvia
+    assert clan > 2000  # "extremely high"
+    assert bvia < 600
+
+
+def test_cq_creation_most_expensive_on_bvia(table1):
+    """'The cost of creating and destroying a CQ is higher in BVIA.'"""
+    for op in ("create_cq", "destroy_cq"):
+        assert cost(table1, "bvia", op) > cost(table1, "clan", op)
+        assert cost(table1, "bvia", op) > cost(table1, "mvia", op)
+
+
+def test_teardown_most_expensive_on_clan(table1):
+    assert cost(table1, "clan", "teardown_connection") > \
+        cost(table1, "bvia", "teardown_connection") > \
+        cost(table1, "mvia", "teardown_connection")
+
+
+# ----- Figs. 1 & 2: memory registration ------------------------------------
+
+def test_bvia_registration_most_expensive_below_20kb():
+    sweeps = {p: memreg_sweep(p) for p in ("mvia", "bvia", "clan")}
+    for size in (4, 256, 1024, 4096, 12288):
+        bvia = sweeps["bvia"].point(size).extra["register_us"]
+        for other in ("mvia", "clan"):
+            assert bvia > sweeps[other].point(size).extra["register_us"], size
+
+
+def test_registration_cost_grows_with_pages(provider_name):
+    sweep = memreg_sweep(provider_name)
+    regs = [p.extra["register_us"] for p in sweep.points]
+    for a, b in zip(regs, regs[1:]):
+        assert b >= a - 1e-9  # non-decreasing (modulo float noise)
+    assert regs[-1] > regs[0]
+
+
+def test_deregistration_cheap_even_for_huge_regions(provider_name):
+    """'memory deregistration ... is less than 16us for regions up to
+    32 MB.'"""
+    sweep = memreg_sweep(provider_name, sizes=[4096, 1 << 20, 32 << 20])
+    for p in sweep.points:
+        assert p.extra["deregister_us"] < 16.0
+        assert p.extra["deregister_us"] < p.extra["register_us"] * 10
+
+
+# ----- Fig. 3: base latency / bandwidth, polling ---------------------------
+
+@pytest.fixture(scope="module")
+def base_lat():
+    sizes = SMALL + MID + BIG
+    return {p: base_latency(p, sizes) for p in ("mvia", "bvia", "clan")}
+
+
+@pytest.fixture(scope="module")
+def base_bw():
+    sizes = SMALL + MID + BIG
+    return {p: base_bandwidth(p, sizes) for p in ("mvia", "bvia", "clan")}
+
+
+def test_clan_has_lowest_latency(base_lat):
+    """'cLAN provides the lowest latency.'"""
+    for size in SMALL + MID:
+        clan = base_lat["clan"].point(size).latency_us
+        assert clan < base_lat["mvia"].point(size).latency_us
+        assert clan < base_lat["bvia"].point(size).latency_us
+
+
+def test_mvia_beats_bvia_short_loses_long(base_lat):
+    """'M-VIA has a lower latency for short messages. BVIA outperforms
+    M-VIA for longer messages because M-VIA requires extra data
+    copies.'"""
+    assert base_lat["mvia"].point(4).latency_us \
+        < base_lat["bvia"].point(4).latency_us
+    for size in BIG:
+        assert base_lat["bvia"].point(size).latency_us \
+            < base_lat["mvia"].point(size).latency_us
+
+
+def test_latency_monotone_in_size(base_lat):
+    for res in base_lat.values():
+        lats = [p.latency_us for p in res.points]
+        assert lats == sorted(lats)
+
+
+def test_clan_bandwidth_best_midrange_bvia_best_large(base_bw):
+    """'Bandwidth results indicate the superiority of cLAN ... for a
+    large range of message sizes. However, for large messages, BVIA
+    outperforms both cLAN and M-VIA.'"""
+    for size in (256, 1024, 4096):
+        clan = base_bw["clan"].point(size).bandwidth_mbs
+        assert clan > base_bw["mvia"].point(size).bandwidth_mbs
+        assert clan > base_bw["bvia"].point(size).bandwidth_mbs
+    for size in BIG:
+        bvia = base_bw["bvia"].point(size).bandwidth_mbs
+        assert bvia > base_bw["clan"].point(size).bandwidth_mbs
+        assert bvia > base_bw["mvia"].point(size).bandwidth_mbs
+
+
+def test_polling_cpu_utilisation_is_100_percent(base_lat):
+    """'The CPU utilization results show a 100% utilization when polling
+    is used.'"""
+    for res in base_lat.values():
+        for p in res.points:
+            assert p.cpu_send == pytest.approx(1.0, abs=1e-6)
+            assert p.cpu_recv == pytest.approx(1.0, abs=1e-6)
+
+
+# ----- Fig. 4: blocking ------------------------------------------------------
+
+def test_blocking_latency_exceeds_polling(provider_name):
+    poll = run_latency(provider_name, TransferConfig(size=4))
+    block = run_latency(provider_name,
+                        TransferConfig(size=4, mode=WaitMode.BLOCK))
+    assert block.latency_us > poll.latency_us + 5.0
+    assert block.cpu_send < 0.9
+
+
+def test_mvia_highest_blocking_cpu_for_small_messages():
+    """'Since M-VIA emulates VIA in the host operating system, it has a
+    higher CPU utilization for small messages.'"""
+    utils = {
+        p: run_latency(p, TransferConfig(size=4, mode=WaitMode.BLOCK)).cpu_send
+        for p in ("mvia", "bvia", "clan")
+    }
+    assert utils["mvia"] > utils["bvia"]
+    assert utils["mvia"] > utils["clan"]
+
+
+# ----- Fig. 5: buffer reuse ---------------------------------------------------
+
+def test_bvia_latency_degrades_as_reuse_drops():
+    """'changing the send and receive buffers has a significant effect
+    on the latency of messages for BVIA' and 'the impact ... is more
+    severe for large messages.'"""
+    results = reuse_latency("bvia", sizes=[256, 28672],
+                            reuse_levels=(1.0, 0.5, 0.0), iters=32)
+    by_reuse = {r.params["reuse"]: r for r in results}
+    for size in (256, 28672):
+        l100 = by_reuse[1.0].point(size).latency_us
+        l50 = by_reuse[0.5].point(size).latency_us
+        l0 = by_reuse[0.0].point(size).latency_us
+        assert l0 > l50 > l100
+    small_delta = by_reuse[0.0].point(256).latency_us \
+        - by_reuse[1.0].point(256).latency_us
+    big_delta = by_reuse[0.0].point(28672).latency_us \
+        - by_reuse[1.0].point(28672).latency_us
+    assert big_delta > small_delta * 2
+
+
+@pytest.mark.parametrize("provider", ["mvia", "clan"])
+def test_controls_flat_under_reuse(provider):
+    """'the results for M-VIA and cLAN do not change significantly with
+    the percentage of buffer reuse.'"""
+    results = reuse_latency(provider, sizes=[12288],
+                            reuse_levels=(1.0, 0.0), iters=32)
+    l100 = results[0].point(12288).latency_us
+    l0 = results[1].point(12288).latency_us
+    assert abs(l0 - l100) < 1.0
+
+
+# ----- §4.3.3: completion queues ------------------------------------------------
+
+def test_cq_overhead_bvia_2_to_5us_others_negligible():
+    """'The impact of associating work queues with completion queues in
+    M-VIA and cLAN was found to be negligible. For BVIA, 2-5 microsec
+    overhead was observed.'"""
+    for size in (4, 1024):
+        bvia = cq_overhead("bvia", sizes=[size]).point(size)
+        assert 2.0 <= bvia.extra["overhead_us"] <= 5.0
+    for provider in ("mvia", "clan"):
+        res = cq_overhead(provider, sizes=[4]).point(4)
+        assert res.extra["overhead_us"] < 1.0
+
+
+# ----- Fig. 6: multiple VIs ---------------------------------------------------
+
+def test_bvia_latency_grows_with_vi_count_others_flat():
+    """'with increase in the number of VIs, the latency of messages
+    increases significantly [BVIA] ... results for M-VIA and cLAN do
+    not show any significant change.'"""
+    counts = (1, 8, 32)
+    bvia = multivi_latency("bvia", vi_counts=counts)
+    assert bvia.point(32).latency_us > bvia.point(1).latency_us + 30
+    for provider in ("mvia", "clan"):
+        res = multivi_latency(provider, vi_counts=counts)
+        assert abs(res.point(32).latency_us - res.point(1).latency_us) < 1.0
+
+
+def test_bvia_bandwidth_falls_with_vi_count():
+    counts = (1, 16)
+    res = multivi_bandwidth("bvia", size=4096, vi_counts=counts)
+    assert res.point(16).bandwidth_mbs < res.point(1).bandwidth_mbs
+
+
+# ----- Fig. 7: client-server ----------------------------------------------------
+
+@pytest.fixture(scope="module")
+def fig7():
+    replies = [16, 1024, 28672]
+    return {p: client_server(p, 16, replies, transactions=16)
+            for p in ("mvia", "bvia", "clan")}
+
+
+def test_clan_most_transactions(fig7):
+    """'cLAN implementation outperforms BVIA and M-VIA.'"""
+    for reply in (16, 1024):
+        clan = fig7["clan"].point(reply).tps
+        assert clan > fig7["mvia"].point(reply).tps
+        assert clan > fig7["bvia"].point(reply).tps
+
+
+def test_mvia_bvia_cross_between_short_and_mid(fig7):
+    """'M-VIA outperforms BVIA for short ... messages but is
+    outperformed by BVIA for mid-size messages.'"""
+    assert fig7["mvia"].point(16).tps > fig7["bvia"].point(16).tps
+    assert fig7["bvia"].point(1024).tps > fig7["mvia"].point(1024).tps
+
+
+def test_larger_requests_lower_tps():
+    small = client_server("clan", 16, [1024], transactions=12)
+    large = client_server("clan", 256, [1024], transactions=12)
+    assert large.point(1024).tps < small.point(1024).tps
+
+
+# ----- §3.2.5: asynchronous handling ------------------------------------------
+
+def test_async_policies_differ_across_providers():
+    delays = (200.0,)
+    mvia = async_latency("mvia", delays=delays).point(200.0)
+    bvia = async_latency("bvia", delays=delays).point(200.0)
+    clan = async_latency("clan", delays=delays).point(200.0)
+    assert mvia.extra["delivered"]          # kernel buffered
+    assert not bvia.extra["delivered"]      # dropped
+    assert clan.extra["delivered"]          # NAK + retry
+    assert clan.extra["retransmissions"] >= 1
+    assert clan.latency_us > mvia.latency_us  # the retry backoff costs

@@ -1,0 +1,30 @@
+"""Tests for the sockets-layer benchmark."""
+
+import pytest
+
+from repro.vibe import stream_throughput
+
+
+def test_stream_delivers_and_reports(provider_name):
+    res = stream_throughput(provider_name, chunks=(2048,),
+                            total_bytes=50_000)
+    bw = res.point(2048).bandwidth_mbs
+    assert 0 < bw < 135
+
+
+def test_chunking_has_interior_optimum():
+    """Tiny chunks pay per-message overhead; chunks above the eager
+    threshold fall off the rendezvous cliff."""
+    res = stream_throughput("clan", chunks=(512, 4096, 16384),
+                            total_bytes=100_000, eager_size=4096)
+    small = res.point(512).bandwidth_mbs
+    sweet = res.point(4096).bandwidth_mbs
+    beyond = res.point(16384).bandwidth_mbs
+    assert sweet > small
+    assert sweet > 2 * beyond  # the rendezvous handshake is unpipelined
+
+
+def test_stream_deterministic():
+    a = stream_throughput("mvia", chunks=(1024,), total_bytes=30_000)
+    b = stream_throughput("mvia", chunks=(1024,), total_bytes=30_000)
+    assert a.point(1024).bandwidth_mbs == b.point(1024).bandwidth_mbs
