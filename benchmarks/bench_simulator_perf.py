@@ -6,6 +6,9 @@ the full VIA stack, with real pytest-benchmark rounds — the numbers
 that bound how large an experiment the repo can simulate.
 """
 
+import gc
+import sys
+
 from repro.providers import Testbed
 from repro.sim import Resource, Simulator
 from repro.via import Descriptor
@@ -46,6 +49,44 @@ def test_kernel_process_switching(benchmark):
         return sim.now
 
     assert benchmark(run) == float(N)
+
+
+def test_kernel_allocation_footprint():
+    """Guardrail for the kernel fast paths: a scheduled timeout must stay
+    within a small per-event block budget (object pools + packed heap
+    tuples), and draining must return pooled objects rather than retain
+    per-event garbage.  A regression that reintroduces per-event closures,
+    dicts, or unpooled Event objects shows up as extra blocks here long
+    before it shows up as wall-clock noise.
+    """
+    # warm the simulator's object pools and CPython's internal caches
+    gc.collect()
+    sim = Simulator()
+    for i in range(2000):
+        sim.timeout(float(i % 7))
+    sim.run()
+    gc.collect()
+    gc.disable()
+    try:
+        base = sys.getallocatedblocks()
+        n = 10_000
+        for i in range(n):
+            sim.timeout(float(i % 97))
+        scheduled = sys.getallocatedblocks() - base
+        sim.run()
+        drained = sys.getallocatedblocks() - base
+    finally:
+        gc.enable()
+    # measured ~4.7 blocks/event (Timeout + callbacks list + heap/bucket
+    # tuples); one extra per-event closure or dict would add >= 1-2
+    blocks_per_event = scheduled / n
+    assert blocks_per_event <= 7.0, (
+        f"{blocks_per_event:.2f} allocated blocks per scheduled event "
+        f"(budget 7.0) — a kernel fast path has regressed")
+    # after the drain only the bounded pools may be left (~2.3k blocks)
+    assert drained <= 6000, (
+        f"{drained} blocks retained after drain (budget 6000) — "
+        f"per-event garbage is being kept alive")
 
 
 def test_via_message_rate(benchmark):

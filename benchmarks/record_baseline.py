@@ -1,0 +1,161 @@
+"""Record (or check) the simulation-kernel throughput baseline.
+
+Measures the two kernel-bound workloads from ``bench_simulator_perf.py``
+and writes ``BENCH_simkernel.json``::
+
+    python benchmarks/record_baseline.py                 # record
+    python benchmarks/record_baseline.py --check PATH    # CI smoke
+
+Raw events/sec are machine-dependent, so each figure is also stored
+*normalized* by a pure-Python calibration loop timed on the same
+machine; ``--check`` compares normalized throughput against the
+committed baseline and exits non-zero if it drops by more than
+``--tolerance`` (default 30 %).  That keeps the CI guardrail meaningful
+on runners slower or faster than the machine that recorded the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.providers import Testbed           # noqa: E402
+from repro.sim import Simulator               # noqa: E402
+from repro.via import Descriptor              # noqa: E402
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_simkernel.json"
+
+EVENTS_N = 20_000
+MESSAGES_N = 300
+
+
+def _calibrate(repeats: int = 5) -> float:
+    """Machine speed score: iterations/sec of a fixed pure-Python loop."""
+    n = 200_000
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc += i & 7
+        best = min(best, time.perf_counter() - t0)
+    assert acc >= 0
+    return n / best
+
+
+def _events_workload() -> None:
+    sim = Simulator()
+    for i in range(EVENTS_N):
+        sim.timeout(float(i % 97))
+    sim.run()
+    assert sim.now == 96.0
+
+
+def _messages_workload() -> None:
+    tb = Testbed("clan")
+
+    def client():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi()
+        r = h.alloc(64)
+        mh = yield from h.register_mem(r)
+        yield from h.connect(vi, "node1", 3)
+        segs = [h.segment(r, mh, 0, 4)]
+        for _ in range(MESSAGES_N):
+            yield from h.post_send(vi, Descriptor.send(segs))
+            yield from h.send_wait(vi)
+
+    def server():
+        h = tb.open("node1", "s")
+        vi = yield from h.create_vi()
+        r = h.alloc(64)
+        mh = yield from h.register_mem(r)
+        segs = [h.segment(r, mh, 0, 4)]
+        for _ in range(MESSAGES_N):
+            yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(3)
+        yield from h.accept(req, vi)
+        for _ in range(MESSAGES_N):
+            yield from h.recv_wait(vi)
+
+    cp = tb.spawn(client())
+    sp = tb.spawn(server())
+    tb.run(cp)
+    tb.run(sp)
+
+
+def _rate(fn, n: int, repeats: int) -> float:
+    """Best-of-``repeats`` operations/sec for ``fn`` (n ops per call)."""
+    fn()  # warm-up: imports, pools, code caches
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def measure(repeats: int = 5) -> dict:
+    calib = _calibrate()
+    events = _rate(_events_workload, EVENTS_N, repeats)
+    messages = _rate(_messages_workload, MESSAGES_N, repeats)
+    return {
+        "calibration_ops_per_sec": calib,
+        "events_per_sec": events,
+        "messages_per_sec": messages,
+        "events_per_sec_normalized": events / calib,
+        "messages_per_sec_normalized": messages / calib,
+        "events_n": EVENTS_N,
+        "messages_n": MESSAGES_N,
+    }
+
+
+def check(baseline_path: pathlib.Path, tolerance: float,
+          repeats: int) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    fresh = measure(repeats)
+    failed = False
+    for key in ("events_per_sec_normalized", "messages_per_sec_normalized"):
+        old, new = baseline[key], fresh[key]
+        drop = 1.0 - new / old
+        status = "FAIL" if drop > tolerance else "ok"
+        failed |= drop > tolerance
+        print(f"{status:>4}  {key}: baseline {old:.3f}, "
+              f"now {new:.3f} ({-drop:+.1%})")
+    if failed:
+        print(f"kernel throughput dropped >"
+              f"{tolerance:.0%} below {baseline_path}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                    help="baseline file to write (record mode)")
+    ap.add_argument("--check", type=pathlib.Path, metavar="BASELINE",
+                    help="compare against BASELINE instead of recording")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed normalized-throughput drop (default 0.30)")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="timing repeats, best-of (default 5)")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        return check(args.check, args.tolerance, args.repeats)
+
+    result = measure(args.repeats)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for k, v in result.items():
+        print(f"  {k}: {v:,.3f}" if isinstance(v, float) else f"  {k}: {v}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

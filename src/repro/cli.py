@@ -32,6 +32,7 @@ from .vibe import (
     run_benchmark,
 )
 from .via.constants import WaitMode
+from .vibe.executor import parallel_map
 
 PROVIDERS = ("mvia", "bvia", "clan")
 
@@ -49,54 +50,62 @@ def _render(args, results, metric, title):
 
 
 def cmd_table1(args) -> None:
-    results = {p: nondata_costs(p) for p in args.providers}
+    results = dict(zip(args.providers, parallel_map(
+        nondata_costs, [(p,) for p in args.providers], args.jobs)))
     print(render_table1(results))
 
 
 def cmd_figure(args) -> None:
     sizes = _sizes(args.sizes)
+    jobs = args.jobs
     n = args.number
-    if n == 1:
-        results = {p: memreg_sweep(p, sizes) for p in args.providers}
-        print(render_memreg(results, "register_us"))
-    elif n == 2:
-        results = {p: memreg_sweep(p, sizes) for p in args.providers}
-        print(render_memreg(results, "deregister_us"))
+    if n in (1, 2):
+        results = dict(zip(args.providers, parallel_map(
+            memreg_sweep, [(p, sizes) for p in args.providers], jobs)))
+        metric = "register_us" if n == 1 else "deregister_us"
+        print(render_memreg(results, metric))
     elif n == 3:
-        lat = [base_latency(p, sizes) for p in args.providers]
+        lat = parallel_map(base_latency,
+                           [(p, sizes) for p in args.providers], jobs)
         print(_render(args, lat, "latency_us",
                       "Fig. 3: base latency, polling (us)"))
         print()
-        bw = [base_bandwidth(p, sizes) for p in args.providers]
+        bw = parallel_map(base_bandwidth,
+                          [(p, sizes) for p in args.providers], jobs)
         print(_render(args, bw, "bandwidth_mbs",
                       "Fig. 3: base bandwidth, polling (MB/s)"))
     elif n == 4:
-        lat = [base_latency(p, sizes, mode=WaitMode.BLOCK)
-               for p in args.providers]
+        lat = parallel_map(
+            base_latency,
+            [(p, sizes, WaitMode.BLOCK) for p in args.providers], jobs)
         print(render_figure(lat, "latency_us",
                             "Fig. 4: base latency, blocking (us)"))
         print()
         print(render_figure(lat, "cpu_send",
                             "Fig. 4: sender CPU utilisation, blocking"))
     elif n == 5:
-        lat = reuse_latency("bvia", sizes)
+        lat = reuse_latency("bvia", sizes, jobs=jobs)
         print(render_figure(lat, "latency_us",
                             "Fig. 5: BVIA latency vs buffer reuse (us)"))
         print()
-        bw = reuse_bandwidth("bvia", sizes)
+        bw = reuse_bandwidth("bvia", sizes, jobs=jobs)
         print(render_figure(bw, "bandwidth_mbs",
                             "Fig. 5: BVIA bandwidth vs buffer reuse (MB/s)"))
     elif n == 6:
-        lat = [multivi_latency(p) for p in args.providers]
+        lat = parallel_map(multivi_latency,
+                           [(p,) for p in args.providers], jobs)
         print(render_figure(lat, "latency_us",
                             "Fig. 6: latency vs #VIs, 4 B messages (us)"))
         print()
-        bw = [multivi_bandwidth(p) for p in args.providers]
+        bw = parallel_map(multivi_bandwidth,
+                          [(p,) for p in args.providers], jobs)
         print(render_figure(bw, "bandwidth_mbs",
                             "Fig. 6: bandwidth vs #VIs, 4 KiB messages"))
     elif n == 7:
         for req in (16, 256):
-            res = [client_server(p, req, sizes) for p in args.providers]
+            res = parallel_map(client_server,
+                               [(p, req, sizes) for p in args.providers],
+                               jobs)
             print(render_figure(
                 res, "tps",
                 f"Fig. 7: client/server, request={req} B (transactions/s)"))
@@ -111,7 +120,7 @@ def cmd_run(args) -> None:
         from .providers.custom import load_spec
 
         provider = load_spec(args.provider_spec)
-    result = run_benchmark(args.benchmark, provider)
+    result = run_benchmark(args.benchmark, provider, jobs=args.jobs)
     if isinstance(result, list):
         for r in result:
             print(r.table())
@@ -193,7 +202,7 @@ def cmd_report(args) -> None:
     from .vibe.reportgen import generate_report
 
     path = generate_report(args.out, providers=tuple(args.providers),
-                           quick=args.quick)
+                           quick=args.quick, jobs=args.jobs)
     print(f"report written to {path}")
 
 
@@ -212,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--providers", default=",".join(PROVIDERS),
                         type=lambda s: s.split(","),
                         help="comma-separated provider list")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes for independent simulations "
+                             "(default 1 = serial; -1 = all cores); results "
+                             "are identical for any value")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table 1: non-data-transfer costs")

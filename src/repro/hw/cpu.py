@@ -101,13 +101,33 @@ class CpuActor:
         else:
             raise ValueError(f"unknown time kind {kind!r}")
 
+    def _acquire_cpu(self) -> Generator[Event, Any, None]:
+        """Acquire the CPU, leaving no stale state on interruption.
+
+        A plain ``yield resource.request()`` is unsafe: if the waiting
+        process is interrupted (or the request fails) while still
+        queued, the dangling request would later be granted to nobody
+        and the CPU slot would leak forever.  On failure this cancels a
+        still-queued request, or releases a slot that was granted but
+        whose grant-event had not yet been delivered.
+        """
+        req = self.cpu.resource.request()
+        try:
+            yield req
+        except BaseException:
+            if req.triggered:
+                self.cpu.resource.release()
+            else:
+                req.cancel()
+            raise
+
     def busy(self, duration: float, kind: str = "user") -> Generator[Event, Any, None]:
         """Hold the CPU for ``duration`` µs of work."""
         if duration < 0:
             raise ValueError(f"negative busy duration: {duration}")
         if duration == 0.0:
             return
-        yield self.cpu.resource.request()
+        yield from self._acquire_cpu()
         try:
             yield self.sim.timeout(duration)
             self.charge(duration, kind)
@@ -119,8 +139,13 @@ class CpuActor:
         yield from self.busy(self.cpu.copy_cost(nbytes), kind)
 
     def spin_wait(self, event: Event) -> Generator[Event, Any, Any]:
-        """Poll for ``event`` while hogging the CPU (100 % utilisation)."""
-        yield self.cpu.resource.request()
+        """Poll for ``event`` while hogging the CPU (100 % utilisation).
+
+        If ``event`` fails mid-spin, the exception propagates to the
+        caller, but the CPU is still released and the time spent
+        spinning up to the failure is still charged as user time.
+        """
+        yield from self._acquire_cpu()
         start = self.sim.now
         try:
             value = yield event

@@ -14,12 +14,59 @@ objects; the value the event was triggered with becomes the value of the
 ``yield`` expression.  A process is itself an :class:`Event` that
 triggers when the generator returns, so processes can wait on each
 other.
+
+Fast-path invariants
+--------------------
+
+The kernel avoids allocations and heap traffic on its hot paths, but
+every shortcut preserves the ``(time, priority, seq)`` total order
+exactly, so simulated results are bit-identical to the naive
+implementation:
+
+- **Kick records instead of events.**  Booting a process, resuming one
+  that yielded an already-processed event, and interrupts used to burn a
+  throwaway :class:`Event` (allocation + callback list + heap
+  round-trip).  They now use pooled :class:`_Kick` records.  Each kick
+  still consumes a sequence number from the same counter, so its
+  ordering key is identical to the event it replaces.
+- **Immediate queue.**  Priority-0 kicks are appended to a FIFO deque
+  instead of the heap.  Because their keys ``(now, 0, seq)`` are
+  strictly increasing in append order, the deque is always sorted; the
+  event loop pops whichever of ``deque[0]`` / ``heap[0]`` has the
+  smaller key, which is exactly what one big heap would do.  Kicks with
+  non-zero priority (interrupts, priority −1) would violate the
+  monotonicity argument, so they go on the heap as lightweight records.
+- **Same-timestamp buckets.**  Priority-0 schedules for the same
+  absolute time are appended to one FIFO bucket list that occupies a
+  single heap slot, keyed by its *first* entry's sequence number.
+  Entries are appended in increasing-seq order, so the bucket is
+  internally sorted and its heap key is its minimum; the drain loop
+  walks the current bucket directly and only falls back to the heap
+  when an immediate kick or a negative-priority entry at the same
+  timestamp outranks the bucket's front (compared by the same packed
+  key).  This turns the common O(log n) heap push/pop per event into an
+  O(1) list append/index.
+- **Direct generator dispatch.**  Resuming a process calls
+  ``generator.send``/``generator.throw`` directly instead of through a
+  per-resume lambda closure.
+- **Object pools.**  Callback lists are recycled after
+  ``_run_callbacks`` (they are dropped at that point by construction).
+  :class:`Timeout` objects are recycled only when a CPython refcount
+  check proves the event loop holds the sole remaining reference, so
+  user code that keeps a timeout around never sees it reused.
+
+None of these change what user code observes: event ordering, sequence
+numbering, failure/defuse semantics, and ``active_process`` bookkeeping
+match the pre-fast-path kernel exactly (golden-value tests in
+``tests/test_determinism.py`` pin this down).
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from collections import deque
 from collections.abc import Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 __all__ = [
@@ -33,6 +80,27 @@ __all__ = [
     "SimulationError",
     "PENDING",
 ]
+
+#: Timeout recycling relies on CPython reference-count semantics.
+_CPYTHON = sys.implementation.name == "cpython"
+_getrefcount = sys.getrefcount
+
+_LIST_POOL_MAX = 1024
+_KICK_POOL_MAX = 256
+_TIMEOUT_POOL_MAX = 1024
+
+#: Heap entries are ``(time, priority * _PRIO_SHIFT + seq, obj)``: packing
+#: priority and sequence into one int keeps tuples short and comparisons
+#: single-step.  Because ``0 <= seq < _PRIO_SHIFT``, the packed key orders
+#: exactly like the ``(priority, seq)`` pair it replaces.
+_PRIO_SHIFT = 1 << 48
+
+#: Same-timestamp buckets only pay off once heap push/pop costs O(log n);
+#: below this heap size a plain single-event push is cheaper than the
+#: bucket-dict bookkeeping.  Ordering is identical either way (singles and
+#: buckets merge by the same packed key), so the threshold is purely a
+#: performance knob.
+_BUCKET_MIN_HEAP = 16
 
 
 class SimulationError(RuntimeError):
@@ -63,7 +131,10 @@ class Event:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self.callbacks: list[Callable[[Event], None]] | None = []
+        pool = sim._list_pool
+        self.callbacks: list[Callable[[Event], None]] | None = (
+            pool.pop() if pool else []
+        )
         self._value: Any = PENDING
         self._ok = True
         self._scheduled = False
@@ -99,7 +170,25 @@ class Event:
         self._scheduled = True
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay, priority)
+        sim = self.sim
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        sim._seq = seq = sim._seq + 1
+        if priority == 0:
+            when = sim._now + delay
+            heap = sim._heap
+            if len(heap) < _BUCKET_MIN_HEAP:
+                heappush(heap, (when, seq, self))
+            else:
+                buckets = sim._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = bucket = []
+                    heappush(heap, (when, seq, bucket))
+                bucket.append((seq, self))
+        else:
+            heappush(sim._heap,
+                     (sim._now + delay, priority * _PRIO_SHIFT + seq, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0, priority: int = 0) -> "Event":
@@ -117,7 +206,25 @@ class Event:
         self._scheduled = True
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, delay, priority)
+        sim = self.sim
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        sim._seq = seq = sim._seq + 1
+        if priority == 0:
+            when = sim._now + delay
+            heap = sim._heap
+            if len(heap) < _BUCKET_MIN_HEAP:
+                heappush(heap, (when, seq, self))
+            else:
+                buckets = sim._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = bucket = []
+                    heappush(heap, (when, seq, bucket))
+                bucket.append((seq, self))
+        else:
+            heappush(sim._heap,
+                     (sim._now + delay, priority * _PRIO_SHIFT + seq, self))
         return self
 
     def defuse(self) -> None:
@@ -130,6 +237,10 @@ class Event:
         assert callbacks is not None
         for cb in callbacks:
             cb(self)
+        callbacks.clear()
+        pool = self.sim._list_pool
+        if len(pool) < _LIST_POOL_MAX:
+            pool.append(callbacks)
         if not self._ok and not self._defused:
             raise self._value
 
@@ -146,11 +257,31 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._scheduled = True
+        # Inlined Event.__init__ + scheduling: a Timeout is born
+        # triggered, so the generic succeed() machinery is dead weight.
+        self.sim = sim
+        pool = sim._list_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = value
-        sim._schedule(self, delay, 0)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        when = sim._now + delay
+        heap = sim._heap
+        if len(heap) < _BUCKET_MIN_HEAP:
+            heappush(heap, (when, seq, self))
+        else:
+            buckets = sim._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = bucket = []
+                heappush(heap, (when, seq, bucket))
+            bucket.append((seq, self))
+
+
+_TIMEOUT_NEW = Timeout.__new__
 
 
 class Interrupt(Exception):
@@ -161,10 +292,37 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+# _Kick.mode values
+_KICK_SEND = 0        # generator.send(value)
+_KICK_THROW = 1       # generator.throw(value)  (value is an exception)
+_KICK_INTERRUPT = 2   # generator.throw(Interrupt(value))
+
+
+class _Kick:
+    """A pooled resume record: boots or resumes a :class:`Process`.
+
+    Replaces the throwaway bootstrap/kick :class:`Event` of the slow
+    path.  Carries the full ``(time, priority, seq)`` ordering key so
+    the event loop can interleave it with heap events deterministically.
+    """
+
+    __slots__ = ("time", "seq", "process", "value", "mode")
+
+    def _fire(self) -> None:
+        mode = self.mode
+        process = self.process
+        if mode == _KICK_SEND:
+            process._step_send(self.value)
+        elif mode == _KICK_INTERRUPT:
+            process._step_throw(Interrupt(self.value))
+        else:
+            process._step_throw(self.value)
+
+
 class Process(Event):
     """A running generator; also an event that fires when it returns."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_resume_cb", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -172,11 +330,13 @@ class Process(Event):
         super().__init__(sim)
         self._generator = generator
         self._target: Event | None = None
+        # Cache the bound method: appending it to a callbacks list on
+        # every yield would otherwise allocate a fresh bound-method
+        # object each time.
+        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume the generator at time now.
-        boot = Event(sim)
-        boot.callbacks.append(self._resume)
-        boot.succeed(None, priority=0)
+        sim._kick(self, None, _KICK_SEND, 0)
 
     @property
     def is_alive(self) -> bool:
@@ -191,59 +351,124 @@ class Process(Event):
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - defensive
                 pass
         self._target = None
-        kick = Event(self.sim)
-        kick.callbacks.append(self._resume_interrupt)
-        kick.succeed(cause, priority=-1)
+        self.sim._kick(self, cause, _KICK_INTERRUPT, -1)
 
     # -- internal ------------------------------------------------------
-    def _resume_interrupt(self, event: Event) -> None:
-        self._step(lambda: self._generator.throw(Interrupt(event.value)))
-
     def _resume(self, event: Event) -> None:
+        # Callback for a pending target.  The bodies of _step_send /
+        # _step_throw / _wait_on are inlined here: callback -> resume ->
+        # generator -> wait is the hottest call chain of process-heavy
+        # workloads, and two method-call frames per context switch are
+        # measurable (see benchmarks/bench_simulator_perf.py).
         self._target = None
+        sim = self.sim
+        sim.active_process = self
         if event._ok:
-            self._step(lambda: self._generator.send(event._value if event._value is not PENDING else None))
+            value = event._value
+            try:
+                target = self._generator.send(None if value is PENDING else value)
+            except StopIteration as stop:
+                sim.active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                sim.active_process = None
+                self.fail(exc)
+                return
         else:
             event._defused = True
-            exc = event._value
-            self._step(lambda: self._generator.throw(exc))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
-        self.sim.active_process = self
+            try:
+                target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                sim.active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                sim.active_process = None
+                self.fail(exc)
+                return
+        sim.active_process = None
+        # inlined _wait_on(target)
         try:
-            target = advance()
+            callbacks = target.callbacks
+            tsim = target.sim
+        except AttributeError:
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            ) from None
+        if tsim is not sim:
+            raise SimulationError("cannot wait on an event from a different Simulator")
+        if callbacks is None:
+            if target._ok:
+                value = target._value
+                sim._kick(self, None if value is PENDING else value,
+                          _KICK_SEND, 0)
+            else:
+                target._defused = True
+                sim._kick(self, target._value, _KICK_THROW, 0)
+        else:
+            self._target = target
+            callbacks.append(self._resume_cb)
+
+    def _step_send(self, value: Any) -> None:
+        sim = self.sim
+        sim.active_process = self
+        try:
+            target = self._generator.send(value)
         except StopIteration as stop:
-            self.sim.active_process = None
+            sim.active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim.active_process = None
+            sim.active_process = None
             self.fail(exc)
             return
-        self.sim.active_process = None
-        if not isinstance(target, Event):
+        sim.active_process = None
+        self._wait_on(target)
+
+    def _step_throw(self, exc: BaseException) -> None:
+        sim = self.sim
+        sim.active_process = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            sim.active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            sim.active_process = None
+            self.fail(err)
+            return
+        sim.active_process = None
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        try:
+            callbacks = target.callbacks
+            tsim = target.sim
+        except AttributeError:
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
-            )
-        if target.sim is not self.sim:
+            ) from None
+        if tsim is not self.sim:
             raise SimulationError("cannot wait on an event from a different Simulator")
-        if target.callbacks is None:
-            # Already processed: resume immediately (same timestamp).
-            kick = Event(self.sim)
-            kick.callbacks.append(self._resume)
+        if callbacks is None:
+            # Already processed: resume at the same timestamp via a kick
+            # (no Event allocation, no heap round-trip).
             if target._ok:
-                kick.succeed(target._value)
+                value = target._value
+                self.sim._kick(self, None if value is PENDING else value,
+                               _KICK_SEND, 0)
             else:
                 target._defused = True
-                kick.fail(target._value)
-                kick._defused = True  # the process will receive it
+                self.sim._kick(self, target._value, _KICK_THROW, 0)
         else:
             self._target = target
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume_cb)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'done' if self._scheduled else 'alive'}>"
@@ -312,12 +537,25 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, priority, seq, event)``."""
+    """The event loop: a heap of ``(time, priority·2⁴⁸ + seq, event)``.
+
+    The packed int key orders exactly like the ``(priority, seq)`` pair
+    it replaces.  Priority-0 kick records additionally flow through
+    ``_immediate``, a FIFO deque whose keys are monotonic (see the
+    module docstring); the loop always processes whichever of the two
+    structures holds the smaller key next.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, Any]] = []
+        self._immediate: deque[_Kick] = deque()
+        #: open same-timestamp buckets: absolute time -> [(seq, event), ...]
+        self._buckets: dict[float, list[tuple[int, Event]]] = {}
         self._seq = 0
+        self._list_pool: list[list] = []
+        self._kick_pool: list[_Kick] = []
+        self._timeout_pool: list[Timeout] = []
         self.active_process: Process | None = None
         #: optional structured event log (see repro.sim.trace.Tracer)
         self.tracer = None
@@ -337,7 +575,36 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Fully inlined Timeout construction: recycles pooled instances
+        # and skips the type-call/__init__ machinery on the fresh path.
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+        else:
+            t = _TIMEOUT_NEW(Timeout)
+            t.sim = self
+        lpool = self._list_pool
+        t.callbacks = lpool.pop() if lpool else []
+        t._value = value
+        t._ok = True
+        t._scheduled = True
+        t._defused = False
+        t.delay = delay
+        self._seq = seq = self._seq + 1
+        when = self._now + delay
+        heap = self._heap
+        if len(heap) < _BUCKET_MIN_HEAP:
+            heappush(heap, (when, seq, t))
+        else:
+            buckets = self._buckets
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = bucket = []
+                heappush(heap, (when, seq, bucket))
+            bucket.append((seq, t))
+        return t
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         return Process(self, generator, name)
@@ -352,14 +619,200 @@ class Simulator:
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        if priority == 0:
+            when = self._now + delay
+            heap = self._heap
+            if len(heap) < _BUCKET_MIN_HEAP:
+                heappush(heap, (when, seq, event))
+            else:
+                buckets = self._buckets
+                bucket = buckets.get(when)
+                if bucket is None:
+                    buckets[when] = bucket = []
+                    heappush(heap, (when, seq, bucket))
+                bucket.append((seq, event))
+        else:
+            heappush(self._heap,
+                     (self._now + delay, priority * _PRIO_SHIFT + seq, event))
+
+    def _kick(self, process: Process, value: Any, mode: int, priority: int) -> None:
+        """Schedule a process resume with the key ``(now, priority, seq)``."""
+        self._seq = seq = self._seq + 1
+        pool = self._kick_pool
+        kick = pool.pop() if pool else _Kick()
+        kick.time = self._now
+        kick.seq = seq
+        kick.process = process
+        kick.value = value
+        kick.mode = mode
+        if priority == 0:
+            self._immediate.append(kick)
+        else:
+            heappush(self._heap,
+                     (self._now, priority * _PRIO_SHIFT + seq, kick))
+
+    def _recycle_kick(self, kick: _Kick) -> None:
+        if len(self._kick_pool) < _KICK_POOL_MAX:
+            kick.process = None
+            kick.value = None
+            self._kick_pool.append(kick)
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        self._now = when
-        event._run_callbacks()
+        if not self._immediate and not self._heap:
+            raise SimulationError(
+                "step() on an empty event queue: nothing left to simulate"
+            )
+        # A non-empty sentinel makes _drain stop after exactly one event;
+        # its finally-block repacks any partially drained bucket, so the
+        # queue stays consistent between step() calls.
+        self._drain(float("inf"), [True])
+
+    def _drain(self, deadline: float, sentinel: list | None) -> None:
+        """Inlined event loop: run until empty, past ``deadline``, or —
+        when ``sentinel`` is a non-empty list — after a single event.
+
+        When ``sentinel`` is an *empty* list, run until a callback fills
+        it (``run(until=event)`` appends the stop event's value).  All
+        per-event work is inlined here on purpose: method-call and
+        attribute traffic dominate kernel throughput (see
+        ``benchmarks/bench_simulator_perf.py``).
+        """
+        heap = self._heap
+        imm = self._immediate
+        buckets = self._buckets
+        lpool = self._list_pool
+        tpool = self._timeout_pool
+        pop = heappop
+        check_refs = _CPYTHON
+        cur: list | None = None   # bucket currently being drained
+        cur_t = 0.0
+        cur_i = 0
+        try:
+            while True:
+                if cur is not None:
+                    if cur_i < len(cur):
+                        entry = cur[cur_i]
+                        eseq = entry[0]
+                        if (imm and imm[0].seq < eseq) or (
+                            heap and heap[0][0] == cur_t and heap[0][1] < eseq
+                        ):
+                            # Rare: an immediate kick or a negative-priority
+                            # heap entry outranks the rest of this bucket.
+                            # Push the remainder back and let the generic
+                            # path below re-merge everything by key.
+                            del cur[:cur_i]
+                            heappush(heap, (cur_t, eseq, cur))
+                            cur = None
+                            continue
+                        event = entry[1]
+                        # Null the slot and drop the tuple so the
+                        # refcount-based Timeout recycling check holds.
+                        cur[cur_i] = None
+                        entry = None
+                        cur_i += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(event)
+                            callbacks.clear()
+                        if len(lpool) < _LIST_POOL_MAX:
+                            lpool.append(callbacks)
+                        if not event._ok and not event._defused:
+                            raise event._value
+                        # Recycle a drained Timeout only when the loop
+                        # holds the sole reference.
+                        if (
+                            check_refs
+                            and event.__class__ is Timeout
+                            and _getrefcount(event) == 2
+                            and len(tpool) < _TIMEOUT_POOL_MAX
+                        ):
+                            tpool.append(event)
+                        if sentinel:
+                            return
+                        continue
+                    # Bucket exhausted: close it so a later schedule at
+                    # the same timestamp starts a fresh one.
+                    if buckets.get(cur_t) is cur:
+                        del buckets[cur_t]
+                    cur = None
+                    continue
+                if imm:
+                    kick = imm[0]
+                    if heap:
+                        entry = heap[0]
+                        when = entry[0]
+                        kt = kick.time
+                        use_imm = kt < when or (kt == when and kick.seq < entry[1])
+                    else:
+                        use_imm = True
+                    if use_imm:
+                        # an immediate kick's time is always <= now <= deadline
+                        imm.popleft()
+                        self._now = kick.time
+                        kick._fire()
+                        self._recycle_kick(kick)
+                        if sentinel:
+                            return
+                        continue
+                elif not heap:
+                    return
+                when, key, event = pop(heap)
+                if when > deadline:
+                    # over the deadline: restore and stop (at most once per
+                    # drain, which beats peeking the heap every iteration)
+                    heappush(heap, (when, key, event))
+                    return
+                if event.__class__ is list:
+                    # A same-timestamp bucket: drain it entry by entry at
+                    # the top of the loop (appends during the drain land
+                    # in `cur` and are picked up in seq order).  All its
+                    # entries share `when`, so _now is set once here.
+                    cur = event
+                    cur_t = when
+                    cur_i = 0
+                    self._now = when
+                    continue
+                self._now = when
+                try:
+                    callbacks = event.callbacks
+                except AttributeError:      # a _Kick record (interrupt path)
+                    event._fire()
+                    self._recycle_kick(event)
+                    if sentinel:
+                        return
+                    continue
+                event.callbacks = None
+                if callbacks:
+                    for cb in callbacks:
+                        cb(event)
+                    callbacks.clear()
+                if len(lpool) < _LIST_POOL_MAX:
+                    lpool.append(callbacks)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (
+                    check_refs
+                    and event.__class__ is Timeout
+                    and _getrefcount(event) == 2
+                    and len(tpool) < _TIMEOUT_POOL_MAX
+                ):
+                    tpool.append(event)
+                if sentinel:
+                    return
+        finally:
+            # On any early exit (single-step, run-until sentinel, deadline,
+            # or a propagating exception) a partially drained bucket goes
+            # back on the heap keyed by its new front entry.
+            if cur is not None:
+                if cur_i < len(cur):
+                    del cur[:cur_i]
+                    heappush(heap, (cur_t, cur[0][0], cur))
+                elif buckets.get(cur_t) is cur:
+                    del buckets[cur_t]
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -374,30 +827,38 @@ class Simulator:
                 if not stop._ok and not stop._defused:
                     raise stop._value
                 return stop._value
-            sentinel: list[bool] = []
-            stop.callbacks.append(lambda ev: sentinel.append(True))
-            while self._heap:
-                self.step()
-                if sentinel:
-                    if not stop._ok and not stop._defused:
-                        stop._defused = True
-                        raise stop._value
-                    return stop._value
-            raise SimulationError(
-                f"event queue drained before {stop!r} triggered (deadlock?)"
-            )
+            sentinel: list = []
+            stop.callbacks.append(sentinel.append)
+            self._drain(float("inf"), sentinel)
+            if not sentinel:
+                raise SimulationError(
+                    f"event queue drained before {stop!r} triggered (deadlock?)"
+                )
+            if not stop._ok and not stop._defused:
+                stop._defused = True
+                raise stop._value
+            return stop._value
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        self._drain(deadline, None)
         if deadline != float("inf"):
             self._now = deadline
         return None
 
     def peek(self) -> float:
         """Time of the next event, or +inf if the queue is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        imm = self._immediate
+        heap = self._heap
+        if imm:
+            if heap and heap[0][0] < imm[0].time:
+                return heap[0][0]
+            return imm[0].time
+        return heap[0][0] if heap else float("inf")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator t={self._now:.3f}us queued={len(self._heap)}>"
+        queued = len(self._immediate)
+        for entry in self._heap:
+            obj = entry[2]
+            queued += len(obj) if obj.__class__ is list else 1
+        return f"<Simulator t={self._now:.3f}us queued={queued}>"

@@ -9,9 +9,11 @@ between the NIC and the wire is a :class:`Store`, a doorbell is a
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Generator
 
-from .core import Event, SimulationError, Simulator
+from .core import PENDING, Event, SimulationError, Simulator
+from .core import _BUCKET_MIN_HEAP
 
 __all__ = ["Resource", "Store", "Signal", "ResourceRequest"]
 
@@ -22,7 +24,16 @@ class ResourceRequest(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim)
+        # Inlined Event.__init__: requests are the hot allocation of
+        # every contended-resource workload.
+        sim = resource.sim
+        self.sim = sim
+        pool = sim._list_pool
+        self.callbacks = pool.pop() if pool else []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
         self.resource = resource
 
     def cancel(self) -> None:
@@ -53,12 +64,32 @@ class Resource:
     def queued(self) -> int:
         return len(self._queue)
 
+    def _grant(self, req: ResourceRequest) -> None:
+        # Inlined req.succeed(self) at delay 0 / priority 0: a request
+        # is granted at most once, so the already-triggered check of the
+        # generic path cannot fire.
+        req._scheduled = True
+        req._value = self
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        now = sim._now
+        heap = sim._heap
+        if len(heap) < _BUCKET_MIN_HEAP:
+            heappush(heap, (now, seq, req))
+        else:
+            buckets = sim._buckets
+            bucket = buckets.get(now)
+            if bucket is None:
+                buckets[now] = bucket = []
+                heappush(heap, (now, seq, bucket))
+            bucket.append((seq, req))
+
     def request(self) -> ResourceRequest:
         """Return an event that fires when a slot is granted."""
         req = ResourceRequest(self)
         if self._in_use < self.capacity:
             self._in_use += 1
-            req.succeed(self)
+            self._grant(req)
         else:
             self._queue.append(req)
         return req
@@ -68,8 +99,7 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release() without a matching request()")
         if self._queue:
-            nxt = self._queue.popleft()
-            nxt.succeed(self)
+            self._grant(self._queue.popleft())
         else:
             self._in_use -= 1
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from ..providers.registry import ProviderSpec
 from ..units import paper_size_sweep
 from ..via.constants import WaitMode
+from .executor import parallel_map
 from .harness import TransferConfig, run_bandwidth, run_latency
 from .metrics import BenchResult
 
@@ -34,17 +35,25 @@ def reuse_latency(provider: "str | ProviderSpec",
                   reuse_levels=DEFAULT_REUSE_LEVELS,
                   mode: WaitMode = WaitMode.POLL,
                   iters: int = 48,
+                  jobs: int = 1,
                   **overrides) -> list[BenchResult]:
-    """One BenchResult per reuse level (the Fig. 5 latency families)."""
+    """One BenchResult per reuse level (the Fig. 5 latency families).
+
+    The whole ``(reuse, size)`` grid is flattened into one task list so
+    ``jobs`` workers stay busy across family boundaries; results are
+    regrouped per reuse level in order.
+    """
     sizes = sizes or paper_size_sweep()
+    tasks = [
+        (provider, TransferConfig(size=size, mode=mode, iters=iters,
+                                  buffer_pool=_POOL, reuse_fraction=reuse,
+                                  **overrides))
+        for reuse in reuse_levels for size in sizes
+    ]
+    flat = parallel_map(run_latency, tasks, jobs)
     results = []
-    for reuse in reuse_levels:
-        points = []
-        for size in sizes:
-            cfg = TransferConfig(size=size, mode=mode, iters=iters,
-                                 buffer_pool=_POOL, reuse_fraction=reuse,
-                                 **overrides)
-            points.append(run_latency(provider, cfg))
+    for i, reuse in enumerate(reuse_levels):
+        points = flat[i * len(sizes):(i + 1) * len(sizes)]
         results.append(BenchResult(
             "reuse_latency", f"{_name(provider)}@{int(reuse * 100)}%",
             points, {"reuse": reuse, "mode": mode.value},
@@ -57,17 +66,20 @@ def reuse_bandwidth(provider: "str | ProviderSpec",
                     reuse_levels=DEFAULT_REUSE_LEVELS,
                     mode: WaitMode = WaitMode.POLL,
                     count: int = 150,
+                    jobs: int = 1,
                     **overrides) -> list[BenchResult]:
     """One BenchResult per reuse level (the Fig. 5 bandwidth families)."""
     sizes = sizes or paper_size_sweep()
+    tasks = [
+        (provider, TransferConfig(size=size, mode=mode, count=count,
+                                  buffer_pool=_POOL, reuse_fraction=reuse,
+                                  **overrides))
+        for reuse in reuse_levels for size in sizes
+    ]
+    flat = parallel_map(run_bandwidth, tasks, jobs)
     results = []
-    for reuse in reuse_levels:
-        points = []
-        for size in sizes:
-            cfg = TransferConfig(size=size, mode=mode, count=count,
-                                 buffer_pool=_POOL, reuse_fraction=reuse,
-                                 **overrides)
-            points.append(run_bandwidth(provider, cfg))
+    for i, reuse in enumerate(reuse_levels):
+        points = flat[i * len(sizes):(i + 1) * len(sizes)]
         results.append(BenchResult(
             "reuse_bandwidth", f"{_name(provider)}@{int(reuse * 100)}%",
             points, {"reuse": reuse, "mode": mode.value},

@@ -10,6 +10,7 @@ from __future__ import annotations
 from ..providers.registry import ProviderSpec
 from ..units import paper_size_sweep
 from ..via.constants import WaitMode
+from .executor import parallel_map
 from .harness import TransferConfig, run_bandwidth, run_latency
 from .metrics import BenchResult
 
@@ -23,13 +24,17 @@ def _name(provider) -> str:
 def base_latency(provider: "str | ProviderSpec",
                  sizes: list[int] | None = None,
                  mode: WaitMode = WaitMode.POLL,
+                 jobs: int = 1,
                  **overrides) -> BenchResult:
-    """Lat/Cpu: ping-pong latency and CPU utilisation vs message size."""
+    """Lat/Cpu: ping-pong latency and CPU utilisation vs message size.
+
+    ``jobs`` fans the per-size simulations over worker processes;
+    results are bit-identical to the serial sweep.
+    """
     sizes = sizes or paper_size_sweep()
-    points = []
-    for size in sizes:
-        cfg = TransferConfig(size=size, mode=mode, **overrides)
-        points.append(run_latency(provider, cfg))
+    tasks = [(provider, TransferConfig(size=size, mode=mode, **overrides))
+             for size in sizes]
+    points = parallel_map(run_latency, tasks, jobs)
     return BenchResult("base_latency", _name(provider), points,
                        {"mode": mode.value, **overrides})
 
@@ -37,12 +42,12 @@ def base_latency(provider: "str | ProviderSpec",
 def base_bandwidth(provider: "str | ProviderSpec",
                    sizes: list[int] | None = None,
                    mode: WaitMode = WaitMode.POLL,
+                   jobs: int = 1,
                    **overrides) -> BenchResult:
     """Bw: streaming bandwidth vs message size."""
     sizes = sizes or paper_size_sweep()
-    points = []
-    for size in sizes:
-        cfg = TransferConfig(size=size, mode=mode, **overrides)
-        points.append(run_bandwidth(provider, cfg))
+    tasks = [(provider, TransferConfig(size=size, mode=mode, **overrides))
+             for size in sizes]
+    points = parallel_map(run_bandwidth, tasks, jobs)
     return BenchResult("base_bandwidth", _name(provider), points,
                        {"mode": mode.value, **overrides})

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..providers.registry import ProviderSpec
 from ..via.constants import WaitMode
+from .executor import parallel_map
 from .harness import TransferConfig, run_bandwidth, run_latency
 from .metrics import BenchResult, Measurement
 
@@ -26,13 +27,15 @@ def mtu_latency(provider: "str | ProviderSpec",
                 size: int = 16384,
                 mtus=DEFAULT_MTUS,
                 mode: WaitMode = WaitMode.POLL,
+                jobs: int = 1,
                 **overrides) -> BenchResult:
-    points = []
-    for mtu in mtus:
-        cfg = TransferConfig(size=size, mode=mode, mtu=mtu, **overrides)
-        m = run_latency(provider, cfg)
-        points.append(Measurement(param=mtu, latency_us=m.latency_us,
-                                  cpu_send=m.cpu_send, cpu_recv=m.cpu_recv))
+    tasks = [(provider, TransferConfig(size=size, mode=mode, mtu=mtu,
+                                       **overrides))
+             for mtu in mtus]
+    raw = parallel_map(run_latency, tasks, jobs)
+    points = [Measurement(param=mtu, latency_us=m.latency_us,
+                          cpu_send=m.cpu_send, cpu_recv=m.cpu_recv)
+              for mtu, m in zip(mtus, raw)]
     return BenchResult("mtu_latency", _name(provider), points,
                        {"size": size, "mode": mode.value})
 
@@ -41,12 +44,14 @@ def mtu_bandwidth(provider: "str | ProviderSpec",
                   size: int = 16384,
                   mtus=DEFAULT_MTUS,
                   mode: WaitMode = WaitMode.POLL,
+                  jobs: int = 1,
                   **overrides) -> BenchResult:
-    points = []
-    for mtu in mtus:
-        cfg = TransferConfig(size=size, mode=mode, mtu=mtu, **overrides)
-        m = run_bandwidth(provider, cfg)
-        points.append(Measurement(param=mtu, bandwidth_mbs=m.bandwidth_mbs,
-                                  cpu_send=m.cpu_send, cpu_recv=m.cpu_recv))
+    tasks = [(provider, TransferConfig(size=size, mode=mode, mtu=mtu,
+                                       **overrides))
+             for mtu in mtus]
+    raw = parallel_map(run_bandwidth, tasks, jobs)
+    points = [Measurement(param=mtu, bandwidth_mbs=m.bandwidth_mbs,
+                          cpu_send=m.cpu_send, cpu_recv=m.cpu_recv)
+              for mtu, m in zip(mtus, raw)]
     return BenchResult("mtu_bandwidth", _name(provider), points,
                        {"size": size, "mode": mode.value})

@@ -86,8 +86,19 @@ def nondata_costs(provider: "str | ProviderSpec", repeats: int = 5,
 def memreg_sweep(provider: "str | ProviderSpec",
                  sizes: list[int] | None = None,
                  seed: int = 0) -> BenchResult:
-    """Figs. 1 & 2: registration and deregistration cost vs region size."""
+    """Figs. 1 & 2: registration and deregistration cost vs region size.
+
+    The whole sweep deliberately runs in ONE testbed: each size is
+    measured at the simulated-clock offset left by its predecessors, and
+    ``tb.now - t0`` rounds differently at different absolute offsets, so
+    splitting the sweep across fresh per-size testbeds would perturb the
+    last float bits.  Parallel callers (``--jobs``) therefore fan out
+    over *providers* (see :func:`repro.vibe.suite.run_all` and the
+    figure-1/2 paths in :mod:`repro.cli` / :mod:`repro.vibe.reportgen`),
+    which is exact — every provider is an independent testbed either way.
+    """
     sizes = sizes or paper_size_sweep()
+    name = provider if isinstance(provider, str) else provider.name
     tb = Testbed(provider, seed=seed)
     points: list[Measurement] = []
 
@@ -109,5 +120,4 @@ def memreg_sweep(provider: "str | ProviderSpec",
 
     proc = tb.spawn(body(), "memreg")
     tb.run(proc)
-    name = provider if isinstance(provider, str) else provider.name
     return BenchResult("memreg", name, points)

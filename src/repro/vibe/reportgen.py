@@ -19,6 +19,7 @@ from . import (
     nondata,
     addrtrans,
 )
+from .executor import parallel_map
 from .report import render_figure, render_memreg, render_table1
 
 __all__ = ["generate_report"]
@@ -28,8 +29,14 @@ DEFAULT_PROVIDERS = ("mvia", "bvia", "clan")
 
 def generate_report(out_dir: "str | pathlib.Path",
                     providers=DEFAULT_PROVIDERS,
-                    quick: bool = False) -> pathlib.Path:
-    """Run the core suite and write REPORT.md; returns its path."""
+                    quick: bool = False,
+                    jobs: int = 1) -> pathlib.Path:
+    """Run the core suite and write REPORT.md; returns its path.
+
+    ``jobs`` fans the independent per-provider simulations of each
+    section over worker processes (see :mod:`repro.vibe.executor`);
+    the report content is identical for any ``jobs`` value.
+    """
     # deferred: repro.models pulls the vibe harness back in (cycle)
     from ..models.breakdown import latency_breakdown, render_breakdowns
     from ..models.logp import extract
@@ -40,28 +47,33 @@ def generate_report(out_dir: "str | pathlib.Path",
     sections: list[tuple[str, str]] = []
 
     # Table 1
-    nd = {p: nondata.nondata_costs(p, repeats=3) for p in providers}
+    nd = dict(zip(providers, parallel_map(
+        nondata.nondata_costs, [(p, 3) for p in providers], jobs)))
     sections.append(("Table 1 — non-data-transfer costs",
                      render_table1(nd)))
 
     # Figs. 1 & 2
-    mr = {p: nondata.memreg_sweep(p, sizes) for p in providers}
+    mr = dict(zip(providers, parallel_map(
+        nondata.memreg_sweep, [(p, sizes) for p in providers], jobs)))
     sections.append(("Fig. 1 — memory registration",
                      render_memreg(mr, "register_us")))
     sections.append(("Fig. 2 — memory deregistration",
                      render_memreg(mr, "deregister_us")))
 
     # Fig. 3
-    lat = [base_transfer.base_latency(p, sizes) for p in providers]
-    bw = [base_transfer.base_bandwidth(p, sizes) for p in providers]
+    lat = parallel_map(base_transfer.base_latency,
+                       [(p, sizes) for p in providers], jobs)
+    bw = parallel_map(base_transfer.base_bandwidth,
+                      [(p, sizes) for p in providers], jobs)
     sections.append(("Fig. 3 — base latency, polling (us)",
                      render_figure(lat, "latency_us", "")))
     sections.append(("Fig. 3 — base bandwidth, polling (MB/s)",
                      render_figure(bw, "bandwidth_mbs", "")))
 
     # Fig. 4
-    blat = [base_transfer.base_latency(p, sizes, mode=WaitMode.BLOCK)
-            for p in providers]
+    blat = parallel_map(base_transfer.base_latency,
+                        [(p, sizes, WaitMode.BLOCK) for p in providers],
+                        jobs)
     sections.append(("Fig. 4 — latency, blocking (us)",
                      render_figure(blat, "latency_us", "")))
     sections.append(("Fig. 4 — sender CPU utilisation, blocking",
@@ -70,31 +82,34 @@ def generate_report(out_dir: "str | pathlib.Path",
     # Fig. 5 (BVIA) — reduced levels in quick mode
     levels = (1.0, 0.5, 0.0) if quick else (1.0, 0.75, 0.5, 0.25, 0.0)
     ru = addrtrans.reuse_latency("bvia", sizes, reuse_levels=levels,
-                                 iters=32)
+                                 iters=32, jobs=jobs)
     sections.append(("Fig. 5 — BVIA latency vs buffer reuse (us)",
                      render_figure(ru, "latency_us", "")))
 
     # §4.3.3 CQ overhead
-    cq = [cq_bench.cq_overhead(p, [4, 1024]) for p in providers]
+    cq = parallel_map(cq_bench.cq_overhead,
+                      [(p, [4, 1024]) for p in providers], jobs)
     from .metrics import merge_tables
 
     sections.append(("§4.3.3 — completion-queue overhead (us)",
                      merge_tables(cq, "overhead_us", "")))
 
     # Fig. 6
-    mv = [multivi.multivi_latency(p) for p in providers]
+    mv = parallel_map(multivi.multivi_latency,
+                      [(p,) for p in providers], jobs)
     sections.append(("Fig. 6 — latency vs #active VIs, 4 B (us)",
                      render_figure(mv, "latency_us", "")))
 
     # Fig. 7
     for req in (16, 256):
-        cs = [clientserver.client_server(p, req, sizes, transactions=16)
-              for p in providers]
+        cs = parallel_map(clientserver.client_server,
+                          [(p, req, sizes, 16) for p in providers], jobs)
         sections.append((f"Fig. 7 — client/server, request {req} B (tps)",
                          render_figure(cs, "tps", "")))
 
     # component breakdowns + LogGP
-    bds = [latency_breakdown(p, 1024) for p in providers]
+    bds = parallel_map(latency_breakdown,
+                       [(p, 1024) for p in providers], jobs)
     sections.append(("Component breakdown, 1 KiB transfer (us)",
                      render_breakdowns(bds)))
     fits = [extract(p, sizes=[4, 1024, 4096, 12288]) for p in providers]

@@ -37,7 +37,7 @@ from . import (
     reliability,
     segments,
 )
-from . import concurrency, dynamic
+from . import concurrency, dynamic, executor
 from .metrics import BenchResult
 
 __all__ = ["SUITE", "run_benchmark", "run_all", "DEFAULT_PROVIDERS"]
@@ -90,28 +90,55 @@ SUITE: dict[str, Callable] = {
 }
 
 
+#: benchmarks whose sweep accepts a ``jobs=N`` fan-out keyword.
+#: ``memreg`` is deliberately absent: its sweep must run in one testbed
+#: (see :func:`repro.vibe.nondata.memreg_sweep`); it still parallelises
+#: across providers via :func:`run_all`.
+JOBS_AWARE = frozenset({
+    "base_latency", "base_bandwidth",
+    "base_latency_blocking", "base_bandwidth_blocking",
+    "reuse_latency", "reuse_bandwidth",
+    "mtu_latency", "mtu_bandwidth",
+})
+
+
 def run_benchmark(name: str, provider: str, **kwargs):
-    """Run one named micro-benchmark on one provider."""
+    """Run one named micro-benchmark on one provider.
+
+    A ``jobs`` keyword is forwarded only to benchmarks that support
+    internal fan-out (:data:`JOBS_AWARE`); for the rest it is dropped so
+    callers can pass a global ``--jobs`` uniformly.
+    """
     try:
         fn = SUITE[name]
     except KeyError:
         raise KeyError(
             f"unknown benchmark {name!r}; known: {sorted(SUITE)}"
         ) from None
+    if "jobs" in kwargs and name not in JOBS_AWARE:
+        kwargs = {k: v for k, v in kwargs.items() if k != "jobs"}
     return fn(provider, **kwargs)
 
 
 def run_all(providers=DEFAULT_PROVIDERS,
             benchmarks: list[str] | None = None,
+            jobs: int = 1,
             **kwargs) -> dict[str, dict[str, "BenchResult | list[BenchResult]"]]:
     """Run (a subset of) the suite on each provider.
+
+    ``jobs`` fans the independent ``(benchmark, provider)`` simulations
+    out over that many worker processes (see
+    :mod:`repro.vibe.executor`); results are identical to ``jobs=1``
+    because each task is a self-contained deterministic simulation and
+    collection preserves task order.
 
     Returns ``{benchmark: {provider: result}}``.
     """
     names = benchmarks or list(SUITE)
-    out: dict[str, dict] = {}
-    for name in names:
-        out[name] = {}
-        for provider in providers:
-            out[name][provider] = run_benchmark(name, provider, **kwargs)
+    tasks = [(name, provider, kwargs)
+             for name in names for provider in providers]
+    results = executor.parallel_map(executor._run_named, tasks, jobs)
+    out: dict[str, dict] = {name: {} for name in names}
+    for (name, provider, _), result in zip(tasks, results):
+        out[name][provider] = result
     return out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.hw.cpu import HostCPU, Rusage
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 
 from conftest import run_proc
 
@@ -162,3 +162,100 @@ def test_actor_identity_and_snapshot():
 def test_bad_copy_bandwidth_rejected():
     with pytest.raises(ValueError):
         HostCPU(Simulator(), mem_copy_bw=0.0)
+
+
+def test_spin_wait_failure_releases_cpu_and_charges_time():
+    """A failing event mid-spin must free the CPU and bill the spin."""
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    actor = cpu.actor("a")
+    ev = sim.event()
+    caught = []
+
+    def failer():
+        yield sim.timeout(6.0)
+        ev.fail(RuntimeError("nic died"))
+
+    def spinner():
+        try:
+            yield from actor.spin_wait(ev)
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(failer())
+    sim.process(spinner())
+    sim.run()
+    assert caught == ["nic died"]
+    assert actor.rusage.utime == pytest.approx(6.0)   # spin until failure
+    assert cpu.resource.in_use == 0                   # CPU released
+    assert cpu.resource.queued == 0
+
+    # the CPU must be immediately reusable after the failed spin
+    def after():
+        yield from actor.busy(2.0)
+
+    run_proc(sim, after())
+    assert cpu.resource.in_use == 0
+
+
+def test_spin_wait_interrupt_while_queued_leaves_no_stale_request():
+    """Interrupting an actor still queued for the CPU must not leak the
+    slot: the dangling request used to be granted to nobody, wedging the
+    resource forever."""
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    holder, spinner = cpu.actor("hold"), cpu.actor("spin")
+    ev = sim.event()
+    caught = []
+
+    def hold_body():
+        yield from holder.busy(10.0)
+
+    def spin_body():
+        try:
+            yield from spinner.spin_wait(ev)
+        except Interrupt as exc:
+            caught.append(type(exc).__name__)
+
+    sim.process(hold_body())
+    proc = sim.process(spin_body())
+
+    def interrupter():
+        yield sim.timeout(3.0)      # spinner is queued behind the holder
+        proc.interrupt(RuntimeError("give up"))
+
+    sim.process(interrupter())
+    sim.run()
+    assert caught == ["Interrupt"]
+    assert cpu.resource.in_use == 0
+    assert cpu.resource.queued == 0
+    assert spinner.rusage.total == 0.0   # never got the CPU: nothing billed
+
+
+def test_busy_interrupt_while_queued_leaves_no_stale_request():
+    sim = Simulator()
+    cpu = HostCPU(sim)
+    holder, worker = cpu.actor("hold"), cpu.actor("work")
+    caught = []
+
+    def hold_body():
+        yield from holder.busy(10.0)
+
+    def work_body():
+        try:
+            yield from worker.busy(5.0)
+        except Interrupt as exc:
+            caught.append(type(exc).__name__)
+
+    sim.process(hold_body())
+    proc = sim.process(work_body())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        proc.interrupt(RuntimeError("cancelled"))
+
+    sim.process(interrupter())
+    sim.run()
+    assert caught == ["Interrupt"]
+    assert cpu.resource.in_use == 0
+    assert cpu.resource.queued == 0
