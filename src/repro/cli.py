@@ -182,6 +182,37 @@ def cmd_trace(args) -> None:
     tb.run(cproc)
     tb.run(sproc)
     print(tb.sim.tracer.timeline())
+    if args.trace_out:
+        from .obs.perfetto import dumps_trace
+
+        with open(args.trace_out, "w") as fh:
+            fh.write(dumps_trace(tb.sim.tracer))
+        print(f"chrome trace written to {args.trace_out}")
+
+
+def cmd_profile(args) -> None:
+    from .obs.profile import (
+        combined_metrics_json,
+        combined_trace_json,
+        profile_transfer,
+    )
+
+    profiles = parallel_map(
+        profile_transfer,
+        [(p, args.size, args.seed) for p in args.providers], args.jobs)
+    for i, p in enumerate(profiles):
+        if i:
+            print()
+        print(p.summary())
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(combined_trace_json(profiles))
+        print(f"\nchrome trace written to {args.trace_out}"
+              " (load in ui.perfetto.dev or chrome://tracing)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(combined_metrics_json(profiles))
+        print(f"metrics snapshot written to {args.metrics_out}")
 
 
 def cmd_save(args) -> None:
@@ -253,6 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     tr = sub.add_parser("trace", help="dump one message's event timeline")
     tr.add_argument("--provider", default="clan")
     tr.add_argument("--size", type=int, default=64)
+    tr.add_argument("--trace-out", metavar="FILE.json",
+                    help="also export the timeline as a Chrome trace")
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile one canonical ping-pong per provider (spans, "
+             "metrics, Perfetto trace)")
+    prof.add_argument("--size", type=int, default=256)
+    prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--trace-out", metavar="FILE.json",
+                      help="write a Perfetto-loadable Chrome trace")
+    prof.add_argument("--metrics-out", metavar="FILE.json",
+                      help="write the metrics registry snapshot as JSON")
 
     save = sub.add_parser("save",
                           help="store results in a repository (paper §5)")
@@ -285,6 +329,7 @@ def main(argv: list[str] | None = None) -> None:
         "list": cmd_list,
         "breakdown": cmd_breakdown,
         "trace": cmd_trace,
+        "profile": cmd_profile,
         "save": cmd_save,
         "report": cmd_report,
         "compare": cmd_compare,

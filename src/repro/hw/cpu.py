@@ -81,6 +81,8 @@ class CpuActor:
         self.cpu = cpu
         self.name = name
         self.rusage = Rusage()
+        #: user time spent spin-waiting (a subset of ``rusage.utime``)
+        self.poll_time = 0.0
 
     @property
     def sim(self) -> Simulator:
@@ -150,7 +152,12 @@ class CpuActor:
         try:
             value = yield event
         finally:
-            self.charge(self.sim.now - start, "user")
+            spun = self.sim.now - start
+            self.charge(spun, "user")
+            self.poll_time += spun
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.observe(f"cpu.{self.name}.spin_us", spun)
             self.cpu.resource.release()
         return value
 

@@ -77,6 +77,7 @@ class Channel:
         self._line = Resource(sim, capacity=1)
         self.sent_packets = 0
         self.dropped_packets = 0
+        self.delivered_packets = 0
         self.sent_bytes = 0
 
     def serialization_time(self, packet: Packet) -> float:
@@ -108,6 +109,7 @@ class Channel:
 
     def _deliver(self, event: Event) -> None:
         assert self.sink is not None
+        self.delivered_packets += 1
         self.sim.trace("wire", "delivered", self.name,
                        pkt=event.value.pkt_id)
         self.sink(event.value)

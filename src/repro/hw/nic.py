@@ -131,6 +131,12 @@ class NIC:
         self.rx_handler: Callable[[Packet], None] | None = None
         self.tx_packets = 0
         self.rx_packets = 0
+        self.doorbells = 0
+
+    def ring_doorbell(self) -> None:
+        """Host-side notification that work was posted (cost is charged
+        by the provider; the NIC only counts the ring)."""
+        self.doorbells += 1
 
     def attach_port(self, port: DuplexPort) -> None:
         self.port = port

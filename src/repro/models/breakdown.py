@@ -31,14 +31,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.spans import PhaseBoundary, phase_spans
 from ..providers.registry import ProviderSpec, Testbed
 from ..sim.trace import Tracer
 from ..via.descriptor import Descriptor
 
-__all__ = ["Breakdown", "latency_breakdown", "render_breakdowns"]
+__all__ = ["Breakdown", "latency_breakdown", "render_breakdowns",
+           "PHASES", "PHASE_BOUNDARIES"]
 
 PHASES = ("post", "staging", "dispatch", "translation", "tx_dma",
           "wire", "rx_processing", "reap", "rx_kernel")
+
+#: the table above as declarative span boundaries (role 0 = sender,
+#: role 1 = receiver); shared with ``repro.obs.profile``
+PHASE_BOUNDARIES = (
+    PhaseBoundary("post", ("host", "post_send", 0), ("host", "doorbell", 0)),
+    PhaseBoundary("staging", ("host", "doorbell", 0),
+                  ("nic", "send_queued", 0)),
+    PhaseBoundary("dispatch", ("nic", "send_queued", 0),
+                  ("nic", "desc_fetched", 0)),
+    PhaseBoundary("translation", ("nic", "desc_fetched", 0),
+                  ("nic", "tx_translated", 0)),
+    PhaseBoundary("tx_dma", ("nic", "tx_translated", 0),
+                  ("nic", "frag_out", 0)),
+    PhaseBoundary("wire", ("nic", "frag_out", 0), ("nic", "frag_in", 1)),
+    PhaseBoundary("rx_processing", ("nic", "frag_in", 1),
+                  ("via", "completed", 1), end_info={"queue": "recv"}),
+    PhaseBoundary("reap", ("via", "completed", 1), ("host", "reaped", 1),
+                  start_info={"queue": "recv"}),
+    PhaseBoundary("rx_kernel", ("host", "reaped", 1),
+                  ("host", "reap_done", 1)),
+)
 
 
 @dataclass
@@ -111,43 +134,13 @@ def latency_breakdown(provider: "str | ProviderSpec", size: int = 1024,
     return _parse(tracer, name, size)
 
 
-def _mark(tracer: Tracer, **kwargs) -> float:
-    ev = tracer.last(**kwargs)
-    if ev is None:
-        raise RuntimeError(f"missing trace event: {kwargs}")
-    return ev.t
-
-
 def _parse(tracer: Tracer, provider: str, size: int) -> Breakdown:
-    t_post = _mark(tracer, category="host", label="post_send", node="node0")
-    t_bell = _mark(tracer, category="host", label="doorbell", node="node0")
-    t_queued = _mark(tracer, category="nic", label="send_queued",
-                     node="node0")
-    t_fetched = _mark(tracer, category="nic", label="desc_fetched",
-                      node="node0")
-    t_translated = _mark(tracer, category="nic", label="tx_translated",
-                         node="node0")
-    t_out = _mark(tracer, category="nic", label="frag_out", node="node0")
-    t_in = _mark(tracer, category="nic", label="frag_in", node="node1")
-    t_done = _mark(tracer, category="via", label="completed", node="node1",
-                   queue="recv")
-    t_reaped = _mark(tracer, category="host", label="reaped", node="node1")
-    t_reap_done = _mark(tracer, category="host", label="reap_done",
-                        node="node1")
-
+    # last-match anchors: the warm-up message emitted the same labels
+    spans = phase_spans(tracer, PHASE_BOUNDARIES, nodes=("node0", "node1"),
+                        select="last")
     bd = Breakdown(provider, size)
-    bd.phases = {
-        "post": t_bell - t_post,
-        "staging": t_queued - t_bell,
-        "dispatch": t_fetched - t_queued,
-        "translation": t_translated - t_fetched,
-        "tx_dma": t_out - t_translated,
-        "wire": t_in - t_out,
-        "rx_processing": t_done - t_in,
-        "reap": t_reaped - t_done,
-        "rx_kernel": t_reap_done - t_reaped,
-    }
-    bd.total = t_reap_done - t_post
+    bd.phases = {s.name: s.duration for s in spans}
+    bd.total = spans[-1].end - spans[0].start
     return bd
 
 

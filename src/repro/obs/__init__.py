@@ -1,0 +1,61 @@
+"""repro.obs — the observability layer.
+
+Four pieces, all deterministic by construction:
+
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms in a :class:`MetricsRegistry` with byte-stable JSON
+  snapshots;
+- :mod:`repro.obs.spans` — profiling spans over simulated time, both
+  live-recorded and reconstructed from tracer timelines;
+- :mod:`repro.obs.perfetto` — Chrome-trace (Perfetto JSON) export of
+  tracer events and spans;
+- :mod:`repro.obs.harvest` / :mod:`repro.obs.profile` — walk a finished
+  testbed into a registry, and the canonical profiled ping-pong behind
+  ``vibe profile``.
+
+Instrumentation is zero-cost when disabled: the simulator's ``tracer``
+and ``metrics`` attributes default to ``None`` and every hot-path site
+is a single attribute check.
+"""
+
+from .harvest import harvest_into, harvest_testbed
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .perfetto import chrome_trace, dumps_trace, write_chrome_trace
+from .profile import (
+    TransferProfile,
+    combined_metrics_json,
+    combined_trace_json,
+    profile_transfer,
+    run_metadata,
+)
+from .spans import PhaseBoundary, Span, SpanRecorder, phase_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Span",
+    "SpanRecorder",
+    "PhaseBoundary",
+    "phase_spans",
+    "chrome_trace",
+    "dumps_trace",
+    "write_chrome_trace",
+    "harvest_testbed",
+    "harvest_into",
+    "TransferProfile",
+    "profile_transfer",
+    "run_metadata",
+    "combined_trace_json",
+    "combined_metrics_json",
+]

@@ -1,0 +1,282 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+The observability layer's contract is *determinism first*: every
+primitive here produces byte-identical snapshots for byte-identical
+simulations, so exported metrics files double as regression fixtures
+(``tests/test_determinism.py``).  That rules out wall-clock timestamps,
+hash-ordered iteration, and sampling — snapshots are sorted by metric
+name, histogram buckets are fixed at creation, and quantiles are
+computed with a deterministic linear-interpolation rule over the bucket
+boundaries.
+
+A :class:`MetricsRegistry` is the unit of collection: benchmarks create
+one per run (or let :func:`repro.obs.harvest.harvest_testbed` build one
+from a finished testbed) and serialise it with :meth:`snapshot` /
+:meth:`to_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS"]
+
+#: microsecond latency buckets: 0.5 us .. ~8 ms in powers of two
+DEFAULT_LATENCY_BUCKETS = tuple(0.5 * 2 ** i for i in range(15))
+
+#: byte-size buckets: 4 B .. 1 MiB in powers of four
+DEFAULT_SIZE_BUCKETS = tuple(4 ** i for i in range(1, 11))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: "int | float" = 1) -> None:
+        if by < 0:
+            raise ValueError(f"counter {self.name}: negative increment {by}")
+        self.value += by
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value", "max", "min")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max = 0.0
+        self.min = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> Any:
+        return {"value": self.value, "max": self.max, "min": self.min}
+
+
+class Histogram:
+    """A fixed-bucket histogram with deterministic quantiles.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge.
+    Bucket layout is frozen at construction, so two histograms built
+    from the same samples are structurally identical regardless of
+    observation order — which also makes :meth:`merge` associative and
+    commutative (bucket-wise addition), pinned by the property tests in
+    ``tests/test_prop_obs.py``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "vmin", "vmax")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one bucket bound")
+        b = tuple(float(x) for x in bounds)
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError(f"histogram {name}: bounds must be strictly increasing")
+        self.name = name
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)   # final slot = overflow
+        self.count = 0
+        self.total = 0.0
+        self.vmin: float | None = None
+        self.vmax: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate from the bucket counts.
+
+        Walks the cumulative distribution to the bucket containing rank
+        ``q * count`` and interpolates linearly within it.  The lowest
+        bucket interpolates from ``vmin`` (the true observed minimum)
+        and the overflow bucket returns ``vmax``, so q=0 and q=1 are
+        exact and everything in between is monotone in ``q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        assert self.vmin is not None and self.vmax is not None
+        rank = q * self.count
+        cum = 0.0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= rank:
+                # the first nonempty bucket contains vmin, which is a
+                # tighter lower edge than the bucket boundary; likewise
+                # the overflow bucket's only known upper edge is vmax
+                if i == len(self.bounds):       # overflow bucket
+                    lo = self.vmin if cum == 0 else self.bounds[-1]
+                    hi = self.vmax
+                else:
+                    lo = self.vmin if cum == 0 else self.bounds[i - 1]
+                    hi = min(self.bounds[i], self.vmax)
+                frac = (rank - cum) / c
+                if frac <= 0.0:               # exact edges: float
+                    return lo                 # lo + (hi-lo)*1.0 can
+                if frac >= 1.0:               # round away from hi
+                    return hi
+                return lo + (hi - lo) * frac
+            cum += c
+        return self.vmax
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Bucket-wise sum; both histograms must share the same bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name} vs {other.name})"
+            )
+        out = Histogram(self.name, self.bounds)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        mins = [m for m in (self.vmin, other.vmin) if m is not None]
+        maxs = [m for m in (self.vmax, other.vmax) if m is not None]
+        out.vmin = min(mins) if mins else None
+        out.vmax = max(maxs) if maxs else None
+        return out
+
+    def snapshot(self) -> Any:
+        snap: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "bounds": list(self.bounds),
+            "buckets": list(self.counts),
+        }
+        if self.count:
+            snap["p50"] = self.quantile(0.50)
+            snap["p90"] = self.quantile(0.90)
+            snap["p99"] = self.quantile(0.99)
+        return snap
+
+
+class MetricsRegistry:
+    """A named collection of metrics with deterministic serialisation."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram":
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(f"no metric named {name!r}") from None
+
+    def _get_or_create(self, name: str, cls, *args):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = self._metrics[name] = cls(name, *args)
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        h = self._get_or_create(name, Histogram, bounds)
+        if h.bounds != tuple(float(x) for x in bounds):
+            raise ValueError(f"metric {name!r} already registered with "
+                             f"different bounds")
+        return h
+
+    # -- hot-path conveniences (one dict lookup on the common path) -----
+    def inc(self, name: str, by: "int | float" = 1) -> None:
+        m = self._metrics.get(name)
+        if m is None:
+            m = self.counter(name)
+        m.inc(by)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        m = self._metrics.get(name)
+        if m is None:
+            m = self.gauge(name)
+        m.set(value)
+
+    def observe(self, name: str, value: float,
+                bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        m = self._metrics.get(name)
+        if m is None:
+            m = self.histogram(name, bounds)
+        m.observe(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """``{name: {"kind": ..., "value"/...}}``, sorted by name."""
+        return {
+            name: {"kind": m.kind, **_wrap(m.snapshot())}
+            for name, m in sorted(self._metrics.items())
+        }
+
+    def to_json(self, meta: dict | None = None) -> str:
+        """Deterministic JSON document (sorted keys, compact separators)."""
+        doc: dict[str, Any] = {"metrics": self.snapshot()}
+        if meta:
+            doc["meta"] = meta
+        return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _wrap(snap: Any) -> dict:
+    return snap if isinstance(snap, dict) else {"value": snap}

@@ -1,0 +1,138 @@
+"""Chrome-trace (Perfetto JSON) export of tracer timelines and spans.
+
+Produces the legacy Chrome ``traceEvents`` JSON that Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load directly:
+
+- each simulated **node** becomes a process (``pid``), named via ``M``
+  metadata events;
+- each trace **category** on a node becomes a thread (``tid``) so the
+  host / NIC / wire / VIA timelines stack as separate tracks;
+- :class:`~repro.sim.trace.TraceEvent` records become instant events
+  (``ph: "i"``) and :class:`~repro.obs.spans.Span` intervals become
+  complete events (``ph: "X"``).
+
+Timestamps pass through unscaled: the simulation clock is already in
+microseconds, Chrome's native trace unit.
+
+Everything is emitted deterministically — nodes, categories, and ties
+are ordered by first appearance in the (already deterministic) event
+stream, and the JSON is serialised with sorted keys and fixed
+separators — so an exported file is byte-identical across runs and
+``--jobs`` values and can be pinned as a test fixture.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from ..sim.trace import TraceEvent, Tracer
+from .spans import Span
+
+__all__ = ["chrome_trace", "dumps_trace", "write_chrome_trace"]
+
+
+class _Ids:
+    """Stable pid/tid assignment by first appearance."""
+
+    def __init__(self) -> None:
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+
+    def pid(self, node: str) -> int:
+        pid = self._pids.get(node)
+        if pid is None:
+            pid = self._pids[node] = len(self._pids) + 1
+        return pid
+
+    def tid(self, node: str, category: str) -> int:
+        key = (node, category)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = len([k for k in self._tids if k[0] == node]) + 1
+            self._tids[key] = tid
+        return tid
+
+    def metadata(self) -> list[dict]:
+        events: list[dict] = []
+        for node, pid in self._pids.items():
+            events.append({
+                "args": {"name": node or "sim"},
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+            })
+        for (node, category), tid in self._tids.items():
+            events.append({
+                "args": {"name": category},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": self._pids[node],
+                "tid": tid,
+            })
+        return events
+
+
+def _event_args(info: dict) -> dict:
+    """Chrome-trace args must be JSON-safe; stringify anything exotic."""
+    out = {}
+    for k in sorted(info):
+        v = info[k]
+        out[k] = v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+    return out
+
+
+def chrome_trace(events: "Iterable[TraceEvent]" = (),
+                 spans: "Iterable[Span]" = (),
+                 meta: dict | None = None) -> dict:
+    """Build the Chrome-trace document as a plain dict."""
+    ids = _Ids()
+    trace_events: list[dict] = []
+    for ev in events:
+        trace_events.append({
+            "args": _event_args(ev.info),
+            "cat": ev.category,
+            "name": ev.label,
+            "ph": "i",
+            "pid": ids.pid(ev.node),
+            "s": "t",                      # thread-scoped instant
+            "tid": ids.tid(ev.node, ev.category),
+            "ts": ev.t,
+        })
+    for sp in spans:
+        trace_events.append({
+            "args": _event_args(sp.args),
+            "cat": sp.category,
+            "dur": sp.duration,
+            "name": sp.name,
+            "ph": "X",
+            "pid": ids.pid(sp.node),
+            "tid": ids.tid(sp.node, sp.category),
+            "ts": sp.start,
+        })
+    doc: dict[str, Any] = {
+        "displayTimeUnit": "ns",
+        "traceEvents": ids.metadata() + trace_events,
+    }
+    if meta:
+        doc["metadata"] = meta
+    return doc
+
+
+def dumps_trace(events: "Iterable[TraceEvent] | Tracer" = (),
+                spans: "Iterable[Span]" = (),
+                meta: dict | None = None) -> str:
+    """Deterministic JSON serialisation of :func:`chrome_trace`."""
+    if isinstance(events, Tracer):
+        events = events.events
+    doc = chrome_trace(events, spans, meta)
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def write_chrome_trace(path, events: "Iterable[TraceEvent] | Tracer" = (),
+                       spans: "Iterable[Span]" = (),
+                       meta: dict | None = None) -> None:
+    """Write a Perfetto-loadable trace file (open at ui.perfetto.dev)."""
+    with open(path, "w") as fh:
+        fh.write(dumps_trace(events, spans, meta))

@@ -1,0 +1,204 @@
+"""Canonical instrumented transfer: one profiled poll-mode ping-pong.
+
+:func:`profile_transfer` runs the same scripted ping-pong for every
+provider — tracer attached from the very first event, a live metrics
+registry on the simulator, explicit application-level spans, and the
+breakdown phases reconstructed from the trace — and returns everything
+as a :class:`TransferProfile`.  It is the engine behind both the
+``vibe profile`` CLI subcommand and the golden-trace regression
+fixtures in ``tests/test_golden_trace.py``: the run is fully
+deterministic, so its exported JSON is byte-identical across repeats
+and ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from ..sim.trace import TraceEvent, Tracer
+from ..via.descriptor import Descriptor
+from .harvest import harvest_into
+from .metrics import MetricsRegistry
+from .perfetto import dumps_trace
+from .spans import Span, SpanRecorder, phase_spans
+
+__all__ = ["TransferProfile", "profile_transfer", "run_metadata",
+           "combined_trace_json", "combined_metrics_json"]
+
+_DISCRIMINATOR = 7
+
+
+def _reset_id_counters() -> None:
+    """Restart the global id counters (packets, VIs, descriptors, ...).
+
+    The ids are scoped per testbed anyway — the counters are global only
+    as an allocation convenience — but they appear in trace events, so a
+    canonical profile run must not inherit whatever offset earlier
+    simulations in this process left behind.  Resetting makes the run's
+    exported bytes identical whether it is the first simulation of the
+    process or the hundredth (and therefore identical across ``--jobs``
+    fan-out, where workers start fresh).
+    """
+    import itertools
+
+    from ..hw import link
+    from ..via import connection, cq, descriptor, memory, vi
+
+    link._packet_ids = itertools.count(1)
+    vi._vi_ids = itertools.count(1)
+    cq._cq_ids = itertools.count(1)
+    connection._conn_ids = itertools.count(1)
+    descriptor._desc_ids = itertools.count(1)
+    memory._handle_ids = itertools.count(1)
+    memory._tag_ids = itertools.count(1)
+
+
+def run_metadata(provider: str, params: dict | None = None) -> dict:
+    """Deterministic run metadata (no wall-clock timestamps on purpose)."""
+    from .. import __version__
+
+    return {
+        "package": "repro",
+        "version": __version__,
+        "provider": provider,
+        "params": dict(params or {}),
+    }
+
+
+@dataclass
+class TransferProfile:
+    """Everything one profiled ping-pong produced."""
+
+    provider: str
+    size: int
+    seed: int
+    rtt_us: float
+    events: list[TraceEvent]
+    spans: list[Span]
+    registry: MetricsRegistry
+    meta: dict
+
+    def trace_json(self) -> str:
+        """Perfetto-loadable Chrome-trace JSON (deterministic bytes)."""
+        return dumps_trace(self.events, self.spans, meta=self.meta)
+
+    def metrics_json(self) -> str:
+        return self.registry.to_json(meta=self.meta)
+
+    def summary(self) -> str:
+        lines = [f"profile: {self.provider}, {self.size} B ping-pong "
+                 f"(rtt {self.rtt_us:.2f} us)"]
+        phases = [s for s in self.spans if s.category == "phase"]
+        total = sum(s.duration for s in phases)
+        for s in phases:
+            share = s.duration / total if total else 0.0
+            lines.append(f"  {s.name:<14s} {s.duration:8.2f} us  {share:6.1%}")
+        lines.append(f"  {'one-way total':<14s} {total:8.2f} us")
+        lines.append(f"  events traced  {len(self.events):8d}")
+        lines.append(f"  metrics        {len(self.registry):8d}")
+        return "\n".join(lines)
+
+
+def profile_transfer(provider, size: int = 256,
+                     seed: int = 0) -> TransferProfile:
+    """Run the canonical profiled poll-mode ping-pong on ``provider``."""
+    from ..models.breakdown import PHASE_BOUNDARIES
+    from ..providers.registry import Testbed, get_spec
+
+    _reset_id_counters()
+    tb = Testbed(provider, seed=seed)
+    tracer = Tracer()
+    tb.sim.tracer = tracer                # attached before the handshake
+    registry = MetricsRegistry()
+    tb.sim.metrics = registry
+    rec = SpanRecorder(tb.sim)
+    out: dict = {}
+
+    def client():
+        with rec.span("setup", node="node0"):
+            h = tb.open("node0", "client")
+            vi = yield from h.create_vi()
+            region = h.alloc(max(size, 4))
+            mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, size)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        with rec.span("connect", node="node0"):
+            yield from h.connect(vi, "node1", _DISCRIMINATOR)
+        rec.begin("rtt", node="node0")
+        yield from h.post_send(vi, Descriptor.send(segs))
+        yield from h.send_wait(vi)
+        yield from h.recv_wait(vi)
+        out["rtt"] = rec.end("rtt", node="node0", size=size).duration
+        yield from h.disconnect(vi)
+
+    def server():
+        with rec.span("setup", node="node1"):
+            h = tb.open("node1", "server")
+            vi = yield from h.create_vi()
+            region = h.alloc(max(size, 4))
+            mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, size)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(_DISCRIMINATOR)
+        yield from h.accept(req, vi)
+        with rec.span("serve", node="node1"):
+            yield from h.recv_wait(vi)
+            yield from h.post_send(vi, Descriptor.send(segs))
+            yield from h.send_wait(vi)
+
+    cproc = tb.spawn(client(), "client")
+    sproc = tb.spawn(server(), "server")
+    tb.run(cproc)
+    tb.run(sproc)
+
+    harvest_into(registry, tb)
+    # first-match anchors: the canonical run is cold, so the first
+    # occurrence of each marker is the client -> server leg
+    phases = phase_spans(tracer, PHASE_BOUNDARIES,
+                         nodes=("node0", "node1"), select="first")
+    name = get_spec(provider).name
+    meta = run_metadata(name, {"size": size, "seed": seed,
+                               "benchmark": "profile_pingpong"})
+    return TransferProfile(
+        provider=name, size=size, seed=seed, rtt_us=out["rtt"],
+        events=list(tracer.events), spans=rec.spans + phases,
+        registry=registry, meta=meta,
+    )
+
+
+# -- multi-provider export (the CLI fans profile_transfer over --providers)
+
+def combined_trace_json(profiles: "list[TransferProfile]") -> str:
+    """One Chrome-trace document covering every profiled provider.
+
+    With several providers the node names are prefixed (``clan:node0``)
+    so each provider's nodes render as separate Perfetto processes.
+    """
+    events: list[TraceEvent] = []
+    spans: list[Span] = []
+    multi = len(profiles) > 1
+    for p in profiles:
+        prefix = f"{p.provider}:" if multi else ""
+        events.extend(replace(ev, node=prefix + ev.node) for ev in p.events)
+        spans.extend(replace(sp, node=prefix + sp.node) for sp in p.spans)
+    meta = {
+        "package": "repro",
+        "version": profiles[0].meta["version"] if profiles else "",
+        "providers": [p.provider for p in profiles],
+        "params": profiles[0].meta["params"] if profiles else {},
+    }
+    return dumps_trace(events, spans, meta=meta)
+
+
+def combined_metrics_json(profiles: "list[TransferProfile]") -> str:
+    """One metrics document keyed by provider (deterministic bytes)."""
+    doc = {
+        "meta": {
+            "package": "repro",
+            "version": profiles[0].meta["version"] if profiles else "",
+            "params": profiles[0].meta["params"] if profiles else {},
+        },
+        "providers": {p.provider: p.registry.snapshot() for p in profiles},
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"

@@ -1,0 +1,161 @@
+"""Profiling spans over simulated time.
+
+A :class:`Span` is a named interval ``[start, end]`` on the simulated
+clock — the structured generalisation of the latency-breakdown phases
+in :mod:`repro.models.breakdown`.  Spans come from two sources:
+
+- **live recording**: a :class:`SpanRecorder` wraps sections of a
+  simulation process (``with rec.span("setup", node="node0"): ...``,
+  or explicit :meth:`SpanRecorder.begin`/``end`` for intervals that
+  cross generator boundaries);
+- **trace reconstruction**: :func:`phase_spans` telescopes a recorded
+  :class:`~repro.sim.trace.Tracer` timeline into phase spans using
+  declarative boundary definitions — exactly how the breakdown model
+  derives its phases.
+
+Both produce plain frozen dataclasses that the Perfetto exporter
+(:mod:`repro.obs.perfetto`) serialises as Chrome-trace "complete"
+events.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..sim import Simulator
+from ..sim.trace import Tracer
+
+__all__ = ["Span", "SpanRecorder", "PhaseBoundary", "phase_spans"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of simulated time."""
+
+    name: str
+    start: float
+    end: float
+    category: str = "span"
+    node: str = ""
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.name!r}: end {self.end} before start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanRecorder:
+    """Collects spans from a running simulation.
+
+    Reading ``sim.now`` at enter/exit is the only interaction with the
+    kernel, so recording never perturbs event ordering.  Nested spans
+    are allowed and simply produce overlapping intervals (Perfetto
+    renders them as a flame stack per track).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.spans: list[Span] = []
+        self._open: dict[tuple[str, str], float] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @contextmanager
+    def span(self, name: str, category: str = "span", node: str = "",
+             **args):
+        """Context manager: record the enclosed section as one span."""
+        start = self.sim.now
+        try:
+            yield self
+        finally:
+            self.spans.append(Span(name, start, self.sim.now,
+                                   category=category, node=node, args=args))
+
+    def begin(self, name: str, node: str = "") -> None:
+        """Open a span by key; pair with :meth:`end`."""
+        key = (name, node)
+        if key in self._open:
+            raise ValueError(f"span {name!r} on {node!r} is already open")
+        self._open[key] = self.sim.now
+
+    def end(self, name: str, node: str = "", category: str = "span",
+            **args) -> Span:
+        key = (name, node)
+        try:
+            start = self._open.pop(key)
+        except KeyError:
+            raise ValueError(f"span {name!r} on {node!r} was never opened") from None
+        span = Span(name, start, self.sim.now, category=category, node=node,
+                    args=args)
+        self.spans.append(span)
+        return span
+
+    def select(self, name: str | None = None,
+               node: str | None = None) -> list[Span]:
+        return [s for s in self.spans
+                if (name is None or s.name == name)
+                and (node is None or s.node == node)]
+
+
+@dataclass(frozen=True)
+class PhaseBoundary:
+    """Declarative phase definition over a traced timeline.
+
+    Each marker is ``(category, label, node_role)`` where ``node_role``
+    indexes into the node list handed to :func:`phase_spans` (0 =
+    sender, 1 = receiver), plus optional exact-match ``info`` filters.
+    Whether the first or the last matching event anchors the phase is a
+    property of the *run*, not the boundary: warmed-up breakdown runs
+    want the last occurrence, a cold canonical transfer wants the
+    first — pick with the ``select`` argument of :func:`phase_spans`.
+    """
+
+    name: str
+    start: tuple[str, str, int]
+    end: tuple[str, str, int]
+    start_info: dict = field(default_factory=dict)
+    end_info: dict = field(default_factory=dict)
+
+
+def _mark(tracer: Tracer, marker: tuple[str, str, int], nodes: Sequence[str],
+          info: dict, select: str) -> float:
+    category, label, role = marker
+    pick = tracer.last if select == "last" else tracer.first
+    ev = pick(category=category, label=label, node=nodes[role], **info)
+    if ev is None:
+        raise RuntimeError(
+            f"missing trace event: {category}/{label} on {nodes[role]} {info}"
+        )
+    return ev.t
+
+
+def phase_spans(tracer: Tracer, boundaries: Iterable[PhaseBoundary],
+                nodes: Sequence[str] = ("node0", "node1"),
+                category: str = "phase", select: str = "last") -> list[Span]:
+    """Telescope a traced timeline into phase spans.
+
+    The returned spans are contiguous whenever consecutive boundaries
+    chain (``phase[i].end == phase[i+1].start``), which is how the
+    breakdown model guarantees its phases sum to the observed latency.
+    ``select`` picks which matching event anchors each marker:
+    ``"last"`` for runs whose warm-up traffic already emitted the same
+    labels, ``"first"`` for a cold single transfer.
+    """
+    if select not in ("first", "last"):
+        raise ValueError(f"select must be 'first' or 'last', got {select!r}")
+    spans = []
+    for b in boundaries:
+        t0 = _mark(tracer, b.start, nodes, b.start_info, select)
+        t1 = _mark(tracer, b.end, nodes, b.end_info, select)
+        spans.append(Span(b.name, t0, t1, category=category,
+                          node=nodes[b.start[2]]))
+    return spans

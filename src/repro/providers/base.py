@@ -103,6 +103,7 @@ class SimulatedProvider(ViaProvider):
         self.mtu = mtu
         self.loss_possible = loss_possible
         self.vis: dict[int, VI] = {}
+        self.cqs: list[CompletionQueue] = []
         self.registry = MemoryRegistry(node.mem)
         self.connmgr = ConnectionManager(node.sim)
         node.nic.tlb.entries = choices.nic_tlb_entries
@@ -212,7 +213,9 @@ class SimulatedProvider(ViaProvider):
 
     def cq_create(self, handle, depth: int = 1024) -> Op:
         yield from handle.actor.busy(self.costs.cq_create, "sys")
-        return CompletionQueue(self.sim, depth)
+        cq = CompletionQueue(self.sim, depth)
+        self.cqs.append(cq)
+        return cq
 
     def cq_destroy(self, handle, cq: CompletionQueue) -> Op:
         yield from handle.actor.busy(self.costs.cq_destroy, "sys")
@@ -363,6 +366,7 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(c.post_cost, "user")
         db_kind = "sys" if self.choices.doorbell is DoorbellKind.SYSCALL else "user"
         yield from handle.actor.busy(c.doorbell_cost, db_kind)
+        self.node.nic.ring_doorbell()
         self.sim.trace("host", "doorbell", self.node.name,
                        vi=vi.vi_id, desc=desc.desc_id)
         if self.choices.data_path is DataPath.STAGED:
@@ -393,6 +397,7 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(c.post_cost, "user")
         db_kind = "sys" if self.choices.doorbell is DoorbellKind.SYSCALL else "user"
         yield from handle.actor.busy(c.doorbell_cost, db_kind)
+        self.node.nic.ring_doorbell()
         vi.recv_q.enqueue(desc)
         if self.engine.has_buffered(vi):
             self.notify_buffered(vi)

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Generator, Iterable
 
 from ..hw.link import Packet
 from ..hw.memory import page_span
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..sim import Event
 from ..via.constants import (
     ACK_WIRE_BYTES,
@@ -306,6 +307,10 @@ class NicEngine:
                 self._tx_packet(self._peer_node(vi), "via-data",
                                 len(frag.data), frag)
             self.messages_sent += 1
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.observe(f"via.{self.node.name}.msg_sent_bytes",
+                                desc.total_length, DEFAULT_SIZE_BUCKETS)
         finally:
             self.nic.send_engine.release()
         if vi.reliability is Reliability.UNRELIABLE:
@@ -468,6 +473,10 @@ class NicEngine:
         # ---- last fragment: message is complete ----
         vi.rx_state = None
         self.messages_received += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.observe(f"via.{self.node.name}.msg_recv_bytes",
+                            st.total_len, DEFAULT_SIZE_BUCKETS)
         reliable = vi.reliability is not Reliability.UNRELIABLE
         if reliable and vi.reliability is Reliability.RELIABLE_DELIVERY:
             yield from self._send_ack(vi, pl.seq, "ack")

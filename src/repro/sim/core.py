@@ -366,6 +366,7 @@ class Process(Event):
         # measurable (see benchmarks/bench_simulator_perf.py).
         self._target = None
         sim = self.sim
+        sim.ctx_switches += 1
         sim.active_process = self
         if event._ok:
             value = event._value
@@ -416,6 +417,7 @@ class Process(Event):
 
     def _step_send(self, value: Any) -> None:
         sim = self.sim
+        sim.ctx_switches += 1
         sim.active_process = self
         try:
             target = self._generator.send(value)
@@ -432,6 +434,7 @@ class Process(Event):
 
     def _step_throw(self, exc: BaseException) -> None:
         sim = self.sim
+        sim.ctx_switches += 1
         sim.active_process = self
         try:
             target = self._generator.throw(exc)
@@ -559,6 +562,13 @@ class Simulator:
         self.active_process: Process | None = None
         #: optional structured event log (see repro.sim.trace.Tracer)
         self.tracer = None
+        #: optional live metrics registry (see repro.obs.metrics); like
+        #: the tracer, instrumentation sites check for None and do
+        #: nothing else when disabled
+        self.metrics = None
+        #: kernel-level totals (always on: two plain int increments)
+        self.events_run = 0
+        self.ctx_switches = 0
 
     def trace(self, category: str, label: str, node: str = "", **info) -> None:
         """Emit a trace event if a tracer is attached (cheap when not)."""
@@ -689,6 +699,7 @@ class Simulator:
         cur: list | None = None   # bucket currently being drained
         cur_t = 0.0
         cur_i = 0
+        runs = 0                  # folded into self.events_run on exit
         try:
             while True:
                 if cur is not None:
@@ -712,6 +723,7 @@ class Simulator:
                         cur[cur_i] = None
                         entry = None
                         cur_i += 1
+                        runs += 1
                         callbacks = event.callbacks
                         event.callbacks = None
                         if callbacks:
@@ -753,6 +765,7 @@ class Simulator:
                         # an immediate kick's time is always <= now <= deadline
                         imm.popleft()
                         self._now = kick.time
+                        runs += 1
                         kick._fire()
                         self._recycle_kick(kick)
                         if sentinel:
@@ -777,6 +790,7 @@ class Simulator:
                     self._now = when
                     continue
                 self._now = when
+                runs += 1
                 try:
                     callbacks = event.callbacks
                 except AttributeError:      # a _Kick record (interrupt path)
@@ -804,6 +818,7 @@ class Simulator:
                 if sentinel:
                     return
         finally:
+            self.events_run += runs
             # On any early exit (single-step, run-until sentinel, deadline,
             # or a propagating exception) a partially drained bucket goes
             # back on the heap keyed by its new front entry.

@@ -42,6 +42,7 @@ class CompletionQueue:
         self.attached = 0
         self.destroyed = False
         self.total_notifications = 0
+        self.max_depth = 0
 
     def _check_live(self) -> None:
         if self.destroyed:
@@ -56,6 +57,8 @@ class CompletionQueue:
             )
         self.entries.append((wq, desc))
         self.total_notifications += 1
+        if len(self.entries) > self.max_depth:
+            self.max_depth = len(self.entries)
         self.signal.fire()
 
     def try_pop(self) -> tuple["WorkQueue", "Descriptor"] | None:

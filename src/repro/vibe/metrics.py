@@ -7,6 +7,8 @@ from typing import Any, Iterable
 
 __all__ = ["Measurement", "BenchResult", "merge_tables"]
 
+_MISSING = object()
+
 
 @dataclass
 class Measurement:
@@ -22,10 +24,21 @@ class Measurement:
 
     FIELDS = ("latency_us", "bandwidth_mbs", "cpu_send", "cpu_recv", "tps")
 
-    def get(self, name: str) -> Any:
+    def get(self, name: str, default: Any = _MISSING) -> Any:
+        """Look up a metric by name.
+
+        Unknown names raise :class:`KeyError` — the same contract as
+        :meth:`BenchResult.point` — unless a ``default`` is supplied
+        (dict.get-style), which tolerant callers such as table renderers
+        use for points that simply lack an extra metric.
+        """
         if name in self.FIELDS:
             return getattr(self, name)
-        return self.extra.get(name)
+        if name in self.extra:
+            return self.extra[name]
+        if default is not _MISSING:
+            return default
+        raise KeyError(f"no metric named {name!r}")
 
 
 @dataclass
@@ -36,9 +49,10 @@ class BenchResult:
     provider: str
     points: list[Measurement]
     params: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
 
     def series(self, metric: str) -> list[tuple[Any, Any]]:
-        return [(p.param, p.get(metric)) for p in self.points]
+        return [(p.param, p.get(metric, None)) for p in self.points]
 
     def point(self, param: Any) -> Measurement:
         for p in self.points:
@@ -50,7 +64,7 @@ class BenchResult:
     def metrics(self) -> list[str]:
         present = []
         for name in Measurement.FIELDS:
-            if any(p.get(name) is not None for p in self.points):
+            if any(p.get(name, None) is not None for p in self.points):
                 present.append(name)
         for p in self.points:
             for name in p.extra:
@@ -69,7 +83,7 @@ class BenchResult:
         for p in self.points:
             row = [str(p.param)]
             for name in metrics:
-                value = p.get(name)
+                value = p.get(name, None)
                 row.append(_fmt(value))
             rows.append(row)
         widths = [max(len(r[i]) for r in rows) for i in range(len(cols))]

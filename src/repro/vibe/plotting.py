@@ -38,9 +38,9 @@ def ascii_plot(results: Iterable[BenchResult], metric: str,
     results = list(results)
     series = []
     for res in results:
-        pts = [(p.param, p.get(metric)) for p in res.points
-               if isinstance(p.param, (int, float)) and p.get(metric)
-               is not None]
+        pts = [(p.param, p.get(metric, None)) for p in res.points
+               if isinstance(p.param, (int, float))
+               and p.get(metric, None) is not None]
         if pts:
             series.append((res.provider, pts))
     if not series:

@@ -107,6 +107,14 @@ def generate_report(out_dir: "str | pathlib.Path",
         sections.append((f"Fig. 7 — client/server, request {req} B (tps)",
                          render_figure(cs, "tps", "")))
 
+    # observability: one profiled ping-pong per provider
+    from ..obs.profile import profile_transfer
+
+    profiles = parallel_map(profile_transfer,
+                            [(p, 256, 0) for p in providers], jobs)
+    sections.append(("Profiled 256 B ping-pong (phase spans)",
+                     "\n\n".join(p.summary() for p in profiles)))
+
     # component breakdowns + LogGP
     bds = parallel_map(latency_breakdown,
                        [(p, 1024) for p in providers], jobs)
@@ -120,7 +128,10 @@ def generate_report(out_dir: "str | pathlib.Path",
     sections.append(("LogGP parameters (fitted)", "\n".join(loggp)))
 
     # assemble
+    from .. import __version__
+
     lines = ["# VIBe report", "",
+             f"Package: repro {__version__}.  "
              f"Providers: {', '.join(providers)}.  All numbers from the",
              "deterministic simulation; regenerate with `vibe report`.",
              ""]

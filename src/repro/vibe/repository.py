@@ -31,6 +31,7 @@ def result_to_dict(result: BenchResult) -> dict:
         "benchmark": result.benchmark,
         "provider": result.provider,
         "params": result.params,
+        "meta": result.meta,
         "points": [
             {
                 "param": p.param,
@@ -64,7 +65,7 @@ def result_from_dict(data: dict) -> BenchResult:
         for p in data["points"]
     ]
     return BenchResult(data["benchmark"], data["provider"], points,
-                       data.get("params", {}))
+                       data.get("params", {}), data.get("meta", {}))
 
 
 class ResultRepository:
@@ -120,7 +121,8 @@ class ResultRepository:
                 continue
             # label rows by platform, not by the provider they ran on
             results.append(BenchResult(result.benchmark, platform,
-                                       result.points, result.params))
+                                       result.points, result.params,
+                                       result.meta))
         if not results:
             return f"(no stored results for {benchmark!r})"
         return merge_tables(results, metric,
@@ -136,9 +138,9 @@ class ResultRepository:
         b = self.load(other, benchmark)
         out = []
         for pa in a.points:
-            va = pa.get(metric)
+            va = pa.get(metric, None)
             try:
-                vb = b.point(pa.param).get(metric)
+                vb = b.point(pa.param).get(metric, None)
             except KeyError:
                 continue
             if va in (None, 0) or vb is None:

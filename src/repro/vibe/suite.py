@@ -117,7 +117,27 @@ def run_benchmark(name: str, provider: str, **kwargs):
         ) from None
     if "jobs" in kwargs and name not in JOBS_AWARE:
         kwargs = {k: v for k, v in kwargs.items() if k != "jobs"}
-    return fn(provider, **kwargs)
+    result = fn(provider, **kwargs)
+    _stamp_meta(result, name, provider, kwargs)
+    return result
+
+
+def _stamp_meta(result, name: str, provider, kwargs: dict) -> None:
+    """Attach deterministic run metadata to every returned BenchResult.
+
+    Metadata carries no wall-clock timestamps, so a fanned-out run is
+    repr-identical to a serial one.
+    """
+    from ..obs.profile import run_metadata
+
+    provider_name = provider if isinstance(provider, str) else \
+        getattr(provider, "name", str(provider))
+    params = {k: repr(v) for k, v in sorted(kwargs.items()) if k != "jobs"}
+    params["benchmark"] = name
+    meta = run_metadata(provider_name, params)
+    for r in result if isinstance(result, list) else [result]:
+        if hasattr(r, "meta") and not r.meta:
+            r.meta = dict(meta)
 
 
 def run_all(providers=DEFAULT_PROVIDERS,

@@ -155,3 +155,43 @@ def test_reuse_schedule_rejects_bad_arguments():
         reuse_schedule(10, 1.1, 4)
     with pytest.raises(ValueError):
         reuse_schedule(10, 0.5, 0)
+
+
+# ---------------------------------------------------------------------------
+# observability exports: the profiled ping-pong's trace and metrics
+# files must be byte-identical across --jobs values and repeated runs
+# (the id counters it resets are the only process-global state)
+
+_PROFILE_PROVIDERS = ("mvia", "bvia", "clan", "iba")
+
+
+def _profile_exports(jobs):
+    from repro.obs.profile import (combined_metrics_json,
+                                   combined_trace_json, profile_transfer)
+    from repro.vibe.executor import parallel_map
+
+    profiles = parallel_map(profile_transfer,
+                            [(p, 256, 0) for p in _PROFILE_PROVIDERS], jobs)
+    return combined_trace_json(profiles), combined_metrics_json(profiles)
+
+
+def test_profile_exports_byte_identical_across_jobs():
+    assert _profile_exports(jobs=1) == _profile_exports(jobs=4)
+
+
+def test_profile_exports_byte_identical_across_repeats():
+    first = _profile_exports(jobs=1)
+    second = _profile_exports(jobs=1)
+    assert first == second
+
+
+def test_run_benchmark_meta_is_jobs_invariant():
+    """The metadata stamped onto BenchResults carries no wall-clock
+    state, so fanned-out results stay repr-identical to serial ones."""
+    from repro.vibe.suite import run_benchmark
+
+    serial = run_benchmark("base_latency", "clan", sizes=[4, 1024], jobs=1)
+    fanned = run_benchmark("base_latency", "clan", sizes=[4, 1024], jobs=4)
+    assert serial.meta["provider"] == "clan"
+    assert serial.meta["params"]["benchmark"] == "base_latency"
+    assert repr(serial) == repr(fanned)

@@ -1,0 +1,157 @@
+"""Property tests for the observability layer.
+
+Covers the two contracts the golden fixtures cannot: the
+:class:`~repro.sim.trace.Tracer` bookkeeping under arbitrary emit
+streams (capacity / ``dropped`` accounting, ``select``/``first``/
+``last`` consistency) and the :class:`~repro.obs.metrics.Histogram`
+invariants (bucket conservation, quantile monotonicity, merge
+associativity) that make metric snapshots safe to aggregate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.trace import Tracer
+
+# ---------------------------------------------------------------------------
+# Tracer
+
+_CATS = ("host", "nic", "wire", "via")
+_LABELS = ("post", "dma", "reap")
+_NODES = ("node0", "node1")
+
+emits = st.lists(
+    st.tuples(st.floats(0, 1e6, allow_nan=False), st.sampled_from(_CATS),
+              st.sampled_from(_LABELS), st.sampled_from(_NODES)),
+    max_size=60,
+)
+
+
+@given(stream=emits, capacity=st.one_of(st.none(), st.integers(0, 40)))
+@settings(max_examples=80, deadline=None)
+def test_tracer_capacity_and_dropped_accounting(stream, capacity):
+    tracer = Tracer(capacity=capacity)
+    for t, cat, label, node in stream:
+        tracer.emit(t, cat, label, node)
+    if capacity is None:
+        assert len(tracer) == len(stream)
+        assert tracer.dropped == 0
+    else:
+        assert len(tracer) == min(len(stream), capacity)
+        assert tracer.dropped == max(0, len(stream) - capacity)
+    # kept events are exactly the stream prefix, in emit order
+    assert [(e.t, e.category, e.label, e.node) for e in tracer.events] == \
+        stream[:len(tracer)]
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0
+
+
+@given(stream=emits, cat=st.sampled_from(_CATS),
+       label=st.one_of(st.none(), st.sampled_from(_LABELS)),
+       node=st.one_of(st.none(), st.sampled_from(_NODES)))
+@settings(max_examples=80, deadline=None)
+def test_tracer_select_first_last_consistent(stream, cat, label, node):
+    tracer = Tracer()
+    for t, c, lb, nd in stream:
+        tracer.emit(t, c, lb, nd)
+    kwargs = {"category": cat}
+    if label is not None:
+        kwargs["label"] = label
+    if node is not None:
+        kwargs["node"] = node
+    hits = tracer.select(**kwargs)
+    # select is a pure order-preserving filter of the event list
+    assert hits == [e for e in tracer.events
+                    if e.category == cat
+                    and (label is None or e.label == label)
+                    and (node is None or e.node == node)]
+    assert tracer.first(**kwargs) == (hits[0] if hits else None)
+    assert tracer.last(**kwargs) == (hits[-1] if hits else None)
+
+
+@given(stream=emits, since=st.floats(0, 1e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_tracer_select_since_filters_by_time(stream, since):
+    tracer = Tracer()
+    for t, c, lb, nd in stream:
+        tracer.emit(t, c, lb, nd)
+    assert tracer.select(since=since) == \
+        [e for e in tracer.events if e.t >= since]
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+
+BOUNDS = (1.0, 4.0, 16.0, 64.0)
+values = st.lists(st.floats(0, 1000, allow_nan=False, allow_infinity=False),
+                  max_size=80)
+
+
+def _filled(vals):
+    h = Histogram("h", BOUNDS)
+    for v in vals:
+        h.observe(v)
+    return h
+
+
+@given(vals=values)
+@settings(max_examples=100, deadline=None)
+def test_histogram_count_is_sum_of_buckets(vals):
+    h = _filled(vals)
+    assert h.count == sum(h.counts) == len(vals)
+    if vals:
+        assert h.vmin == min(vals)
+        assert h.vmax == max(vals)
+        assert h.total == sum(vals)
+
+
+@given(vals=values.filter(bool),
+       qs=st.lists(st.floats(0, 1), min_size=2, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_histogram_quantiles_monotone_and_bounded(vals, qs):
+    h = _filled(vals)
+    qs = sorted(qs)
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+    for est in estimates:
+        assert 0 <= est <= h.vmax
+    assert h.quantile(0.0) == h.vmin
+    assert h.quantile(1.0) == h.vmax
+
+
+# integer-valued samples: float addition over them is exact, so merge
+# associativity can be asserted on the full snapshot (sum included)
+int_values = st.lists(st.integers(0, 1000).map(float), max_size=60)
+
+
+@given(a=int_values, b=int_values, c=int_values)
+@settings(max_examples=80, deadline=None)
+def test_histogram_merge_associative_and_conserving(a, b, c):
+    left = _filled(a).merge(_filled(b)).merge(_filled(c))
+    right = _filled(a).merge(_filled(b).merge(_filled(c)))
+    assert left.snapshot() == right.snapshot()
+    assert left.count == len(a) + len(b) + len(c)
+    assert left.counts == [x + y + z for x, y, z in zip(
+        _filled(a).counts, _filled(b).counts, _filled(c).counts)]
+
+
+@given(vals=values.filter(bool))
+@settings(max_examples=60, deadline=None)
+def test_histogram_snapshot_quantiles_from_observed_range(vals):
+    snap = _filled(vals).snapshot()
+    assert snap["count"] == len(vals)
+    assert snap["p50"] <= snap["p90"] <= snap["p99"]
+
+
+@given(names=st.lists(st.sampled_from("abcd"), min_size=1, max_size=20),
+       by=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_registry_inc_accumulates_per_name(names, by):
+    reg = MetricsRegistry()
+    for n in names:
+        reg.inc(n, by)
+    snap = reg.snapshot()
+    for n in set(names):
+        assert snap[n]["value"] == names.count(n) * by
+    assert list(snap) == sorted(snap)

@@ -104,7 +104,11 @@ def test_measurement_get_and_fields():
     m = Measurement(param=4, latency_us=10.0, extra={"custom": 7})
     assert m.get("latency_us") == 10.0
     assert m.get("custom") == 7
-    assert m.get("missing") is None
+    # unknown names raise, matching BenchResult.point; a dict.get-style
+    # default opts back into tolerance
+    with pytest.raises(KeyError):
+        m.get("missing")
+    assert m.get("missing", None) is None
 
 
 def test_bench_result_table_and_series():
