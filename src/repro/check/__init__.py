@@ -1,0 +1,25 @@
+"""Online conformance checking for the simulated VIA stacks.
+
+Two complementary oracles (see ``invariants`` and ``differential``):
+
+- a zero-cost-when-disabled shadow checker asserting VIA-spec
+  invariants while a testbed runs (``Testbed(..., check=True)``);
+- a differential harness cross-checking structural results across all
+  four providers and against the LogGP model (``vibe check``).
+"""
+
+from .differential import ALL_PROVIDERS, WORKLOADS, logp_consistency, run_workload
+from .invariants import ConformanceChecker, ConformanceError, attach_checker
+from .runner import CheckReport, run_conformance
+
+__all__ = [
+    "ALL_PROVIDERS",
+    "WORKLOADS",
+    "CheckReport",
+    "ConformanceChecker",
+    "ConformanceError",
+    "attach_checker",
+    "logp_consistency",
+    "run_conformance",
+    "run_workload",
+]

@@ -1,0 +1,98 @@
+"""Conformance run orchestration and reporting.
+
+:func:`run_conformance` is the entry point behind ``vibe check`` and
+the pytest conformance suite: it runs every differential workload on
+every requested provider under the online invariant checker, compares
+structural signatures across providers, and (optionally) scores each
+provider's LogGP self-consistency.  All failures are collected rather
+than raised, so one broken provider still yields a full report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .differential import (
+    ALL_PROVIDERS,
+    WORKLOADS,
+    compare_signatures,
+    logp_consistency,
+    run_workload,
+)
+from .invariants import ConformanceError
+
+__all__ = ["CheckReport", "run_conformance"]
+
+
+@dataclass
+class CheckReport:
+    """Everything one conformance run learned."""
+
+    providers: tuple[str, ...]
+    workloads: tuple[str, ...]
+    #: workload -> provider -> structural signature
+    signatures: dict = field(default_factory=dict)
+    #: invariant violations / crashes, as "workload on provider: why"
+    violations: list = field(default_factory=list)
+    #: cross-provider structural divergences
+    mismatches: list = field(default_factory=list)
+    #: provider -> LogGP self-consistency result (empty when skipped)
+    logp: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.violations and not self.mismatches
+                and all(r["ok"] for r in self.logp.values()))
+
+    def summary(self) -> str:
+        lines = [
+            f"conformance: {len(self.workloads)} workloads x "
+            f"{len(self.providers)} providers "
+            f"({', '.join(self.providers)})"
+        ]
+        for w in self.workloads:
+            done = [p for p in self.providers if p in self.signatures.get(w, {})]
+            lines.append(f"  {w:<12} ran on {len(done)}/{len(self.providers)}")
+        if self.violations:
+            lines.append("invariant violations:")
+            lines.extend(f"  {v}" for v in self.violations)
+        if self.mismatches:
+            lines.append("cross-provider divergences:")
+            lines.extend(f"  {m}" for m in self.mismatches)
+        for p, r in self.logp.items():
+            verdict = "ok" if r["ok"] else "FAIL"
+            lines.append(
+                f"  LogGP[{p}]: rel_err={r['mean_rel_err']:.1%} "
+                f"bw_ratio={r['bw_ratio']} L={r['L']}us "
+                f"G={r['G']}us/B -> {verdict}"
+            )
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def run_conformance(
+    providers: tuple[str, ...] = ALL_PROVIDERS,
+    workloads: tuple[str, ...] | None = None,
+    seed: int = 0,
+    logp: bool = True,
+) -> CheckReport:
+    """Run the conformance suite; never raises, inspect ``report.ok``."""
+    names = tuple(workloads) if workloads else tuple(WORKLOADS)
+    report = CheckReport(providers=tuple(providers), workloads=names)
+    for w in names:
+        report.signatures[w] = {}
+        for p in providers:
+            try:
+                report.signatures[w][p] = run_workload(p, w, seed)
+            except ConformanceError as exc:
+                report.violations.append(f"{w} on {p}: {exc}")
+            except Exception as exc:  # a crash is also a conformance fail
+                report.violations.append(
+                    f"{w} on {p}: crashed with {type(exc).__name__}: {exc}"
+                )
+    report.mismatches = compare_signatures(report.signatures,
+                                           tuple(providers))
+    if logp:
+        for p in providers:
+            report.logp[p] = logp_consistency(p)
+    return report

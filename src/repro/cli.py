@@ -196,10 +196,19 @@ def cmd_profile(args) -> None:
         combined_trace_json,
         profile_transfer,
     )
+    from .via.constants import Reliability
 
+    reliability = None
+    if args.reliability:
+        reliability = Reliability(args.reliability)
+    elif args.loss_rate:
+        # an unreliable lossy ping-pong may never finish; default to the
+        # level whose retransmission machinery the flag exists to show
+        reliability = Reliability.RELIABLE_DELIVERY
     profiles = parallel_map(
         profile_transfer,
-        [(p, args.size, args.seed) for p in args.providers], args.jobs)
+        [(p, args.size, args.seed, args.loss_rate, reliability)
+         for p in args.providers], args.jobs)
     for i, p in enumerate(profiles):
         if i:
             print()
@@ -213,6 +222,20 @@ def cmd_profile(args) -> None:
         with open(args.metrics_out, "w") as fh:
             fh.write(combined_metrics_json(profiles))
         print(f"metrics snapshot written to {args.metrics_out}")
+
+
+def cmd_check(args) -> None:
+    from .check import ALL_PROVIDERS, run_conformance
+
+    providers = tuple(args.providers)
+    if providers == PROVIDERS:
+        # conformance should cover every stack unless explicitly narrowed
+        providers = ALL_PROVIDERS
+    report = run_conformance(providers, seed=args.seed,
+                             logp=not args.no_logp)
+    print(report.summary())
+    if not report.ok:
+        sys.exit(1)
 
 
 def cmd_save(args) -> None:
@@ -293,10 +316,25 @@ def build_parser() -> argparse.ArgumentParser:
              "metrics, Perfetto trace)")
     prof.add_argument("--size", type=int, default=256)
     prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--loss-rate", type=float, default=0.0,
+                      help="inject wire loss; implies reliable_delivery "
+                           "unless --reliability is given")
+    prof.add_argument("--reliability",
+                      choices=["unreliable", "reliable_delivery",
+                               "reliable_reception"],
+                      help="reliability level of the profiled VIs")
     prof.add_argument("--trace-out", metavar="FILE.json",
                       help="write a Perfetto-loadable Chrome trace")
     prof.add_argument("--metrics-out", metavar="FILE.json",
                       help="write the metrics registry snapshot as JSON")
+
+    chk = sub.add_parser(
+        "check",
+        help="conformance: spec invariants online, differential "
+             "cross-provider comparison, LogGP self-consistency")
+    chk.add_argument("--seed", type=int, default=0)
+    chk.add_argument("--no-logp", action="store_true",
+                     help="skip the LogGP self-consistency fit")
 
     save = sub.add_parser("save",
                           help="store results in a repository (paper §5)")
@@ -330,6 +368,7 @@ def main(argv: list[str] | None = None) -> None:
         "breakdown": cmd_breakdown,
         "trace": cmd_trace,
         "profile": cmd_profile,
+        "check": cmd_check,
         "save": cmd_save,
         "report": cmd_report,
         "compare": cmd_compare,

@@ -97,17 +97,42 @@ class TransferProfile:
         lines.append(f"  {'one-way total':<14s} {total:8.2f} us")
         lines.append(f"  events traced  {len(self.events):8d}")
         lines.append(f"  metrics        {len(self.registry):8d}")
+        retx = self._counter_total("via.", ".retransmissions")
+        naks = self._counter_total("via.", ".naks_sent")
+        dups = self._counter_total("via.", ".drops")
+        wire = self._counter_total("wire.", ".drops")
+        if retx or naks or dups or wire:
+            # only faulted runs grow this section, so lossless output
+            # stays byte-identical to earlier releases
+            lines.append(f"  reliability    retx={retx} naks={naks} "
+                         f"dup_drops={dups} wire_drops={wire}")
         return "\n".join(lines)
 
+    def _counter_total(self, prefix: str, suffix: str) -> int:
+        total = 0
+        for name in self.registry.names():
+            if name.startswith(prefix) and name.endswith(suffix):
+                total += int(self.registry.get(name).value)
+        return total
 
-def profile_transfer(provider, size: int = 256,
-                     seed: int = 0) -> TransferProfile:
-    """Run the canonical profiled poll-mode ping-pong on ``provider``."""
+
+def profile_transfer(provider, size: int = 256, seed: int = 0,
+                     loss_rate: float = 0.0,
+                     reliability=None) -> TransferProfile:
+    """Run the canonical profiled poll-mode ping-pong on ``provider``.
+
+    ``loss_rate`` injects wire loss and ``reliability`` picks the VI
+    level (a :class:`~repro.via.constants.Reliability`); combine them to
+    profile the retransmission machinery.  A lossy run with unreliable
+    VIs can drop the only message and never finish — callers must pick
+    a reliable level when ``loss_rate > 0``.
+    """
     from ..models.breakdown import PHASE_BOUNDARIES
     from ..providers.registry import Testbed, get_spec
 
     _reset_id_counters()
-    tb = Testbed(provider, seed=seed)
+    tb = Testbed(provider, seed=seed,
+                 loss_rate=loss_rate if loss_rate else None)
     tracer = Tracer()
     tb.sim.tracer = tracer                # attached before the handshake
     registry = MetricsRegistry()
@@ -118,7 +143,7 @@ def profile_transfer(provider, size: int = 256,
     def client():
         with rec.span("setup", node="node0"):
             h = tb.open("node0", "client")
-            vi = yield from h.create_vi()
+            vi = yield from h.create_vi(reliability=reliability)
             region = h.alloc(max(size, 4))
             mh = yield from h.register_mem(region)
         segs = [h.segment(region, mh, 0, size)]
@@ -135,7 +160,7 @@ def profile_transfer(provider, size: int = 256,
     def server():
         with rec.span("setup", node="node1"):
             h = tb.open("node1", "server")
-            vi = yield from h.create_vi()
+            vi = yield from h.create_vi(reliability=reliability)
             region = h.alloc(max(size, 4))
             mh = yield from h.register_mem(region)
         segs = [h.segment(region, mh, 0, size)]
@@ -158,8 +183,14 @@ def profile_transfer(provider, size: int = 256,
     phases = phase_spans(tracer, PHASE_BOUNDARIES,
                          nodes=("node0", "node1"), select="first")
     name = get_spec(provider).name
-    meta = run_metadata(name, {"size": size, "seed": seed,
-                               "benchmark": "profile_pingpong"})
+    params = {"size": size, "seed": seed, "benchmark": "profile_pingpong"}
+    # only faulted/non-default runs grow extra keys, so default metadata
+    # (and every golden fixture derived from it) keeps its exact bytes
+    if loss_rate:
+        params["loss_rate"] = loss_rate
+    if reliability is not None:
+        params["reliability"] = reliability.value
+    meta = run_metadata(name, params)
     return TransferProfile(
         provider=name, size=size, seed=seed, rtt_us=out["rtt"],
         events=list(tracer.events), spans=rec.spans + phases,

@@ -202,6 +202,9 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(
             c.dereg_base + c.dereg_per_page * mh.page_count, "sys"
         )
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_deregister(self, mh)
         self.registry.deregister(mh)
         # stale translations must never survive deregistration
         for vpage in mh.pages:

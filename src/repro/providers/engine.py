@@ -290,6 +290,9 @@ class NicEngine:
             self.sim.trace("nic", "tx_translated", self.node.name,
                            vi=vi.vi_id, desc=desc.desc_id)
 
+            chk = self.sim.checker
+            if chk is not None:
+                chk.on_local_dma(self.p, vi, desc)
             data = gather(self.node.mem, desc)
             frags = self._build_frags(vi, desc, data)
             reliable = vi.reliability is not Reliability.UNRELIABLE
@@ -398,6 +401,9 @@ class NicEngine:
 
     def _resend(self, state: _SendState) -> Op:
         c = self.costs
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_retransmit(state.vi)
         self.retransmissions += 1
         yield self.nic.send_engine.request()
         try:
@@ -487,6 +493,9 @@ class NicEngine:
             self.p.notify_buffered(vi)
         elif st.desc is not None:
             if st.status is CompletionStatus.SUCCESS and st.buffer is not None:
+                chk = self.sim.checker
+                if chk is not None:
+                    chk.on_local_dma(self.p, vi, st.desc)
                 scatter(self.node.mem, st.desc, bytes(st.buffer))
                 st.desc.control.immediate = st.immediate
             length = st.total_len if st.status is CompletionStatus.SUCCESS else 0
@@ -497,8 +506,21 @@ class NicEngine:
     def _duplicate(self, vi: VI, pl: DataFrag) -> bool:
         """Exactly-once filtering: a retransmission of an already-accepted
         message must not consume another descriptor.  Re-ack it so the
-        sender (whose ack was evidently lost) can complete."""
+        sender (whose ack was evidently lost) can complete.
+
+        Also rejects *future* messages on reliable VIs: if seq N was
+        lost (or NAKed) while seq N+1 was already in flight, accepting
+        N+1 early would deliver out of order and later filter the
+        retransmission of N as a duplicate — losing N while acking it.
+        Reliable levels must deliver in order, so N+1 is NAKed and the
+        sender retransmits it once N has gone through."""
         if pl.seq >= vi.expected_rx_seq:
+            if (pl.seq > vi.expected_rx_seq
+                    and vi.reliability is not Reliability.UNRELIABLE):
+                self.naks_sent += 1
+                self.drops += 1
+                self.sim.process(self._nak_later(vi, pl.seq), name="nak-ooo")
+                return True
             return False
         if vi.reliability is not Reliability.UNRELIABLE:
             self.sim.process(self._send_ack(vi, pl.seq, "ack"), name="re-ack")
@@ -511,6 +533,9 @@ class NicEngine:
         if desc is None:
             return self._unexpected(vi, pl)
         vi.expected_rx_seq = pl.seq + 1
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_deliver(vi, pl.seq)
         st = _RxState(seq=pl.seq, total_len=pl.total_len, nfrags=pl.nfrags,
                       desc=desc, buffer=bytearray(pl.total_len),
                       immediate=pl.immediate)
@@ -532,6 +557,9 @@ class NicEngine:
             return None
         vi.expected_rx_seq = pl.seq + 1
         if self.choices.unexpected is UnexpectedPolicy.BUFFER:
+            chk = self.sim.checker
+            if chk is not None:
+                chk.on_deliver(vi, pl.seq)
             return _RxState(seq=pl.seq, total_len=pl.total_len, nfrags=pl.nfrags,
                             desc=None, buffer=bytearray(pl.total_len),
                             immediate=pl.immediate, buffering=True)
@@ -580,6 +608,9 @@ class NicEngine:
                 return
             self._rdma_skip.pop(vi.vi_id, None)
             vi.expected_rx_seq = pl.seq + 1
+            chk = self.sim.checker
+            if chk is not None:
+                chk.on_deliver(vi, pl.seq)
         elif self._rdma_skip.get(vi.vi_id) == pl.seq:
             if pl.frag + 1 == pl.nfrags:
                 del self._rdma_skip[vi.vi_id]
@@ -600,6 +631,10 @@ class NicEngine:
             yield from self._translate_pages(pages)
         yield from self.nic.dma.transfer(len(pl.data))
         if pl.data:
+            chk = self.sim.checker
+            if chk is not None:
+                chk.on_rdma_dma(self.p, pl.remote_addr + pl.offset,
+                                len(pl.data), pl.remote_handle, write=True)
             self.node.mem.write(pl.remote_addr + pl.offset, pl.data)
         if pl.frag + 1 < pl.nfrags:
             return
@@ -641,6 +676,10 @@ class NicEngine:
 
     def _stream_read_resp(self, vi: VI, pl: RdmaReadReq) -> Op:
         c = self.costs
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_rdma_dma(self.p, pl.remote_addr, pl.length,
+                            pl.remote_handle, write=False)
         data = self.node.mem.read(pl.remote_addr, pl.length)
         sizes = fragment_sizes(len(data), self.mtu)
         yield self.nic.send_engine.request()
@@ -681,6 +720,9 @@ class NicEngine:
             self._pending_reads[pl.read_id] = (vi, desc, buf, received)
             return
         del self._pending_reads[pl.read_id]
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_local_dma(self.p, vi, desc)
         scatter(self.node.mem, desc, bytes(buf))
         yield from self._finish(vi.send_q, desc,
                                 CompletionStatus.SUCCESS, pl.total_len)
@@ -764,6 +806,9 @@ class NicEngine:
                 yield from self._finish(vi.recv_q, desc,
                                         CompletionStatus.LENGTH_ERROR, 0)
             else:
+                chk = self.sim.checker
+                if chk is not None:
+                    chk.on_local_dma(self.p, vi, desc)
                 scatter(self.node.mem, desc, msg.data)
                 desc.control.immediate = msg.immediate
                 yield from self._finish(vi.recv_q, desc,

@@ -86,6 +86,7 @@ class Testbed:
         mtu: int | None = None,
         leaf_groups: tuple[tuple[str, ...], ...] | None = None,
         uplink_bandwidth: float | None = None,
+        check: bool = False,
     ) -> None:
         spec = get_spec(provider)
         network = spec.network
@@ -119,6 +120,13 @@ class Testbed:
                 loss_possible=network.loss_rate > 0.0,
                 name=spec.name,
             )
+        #: conformance checker when requested (repro.check); None keeps
+        #: every hook site on its zero-cost path
+        self.checker = None
+        if check:
+            from ..check.invariants import attach_checker
+
+            self.checker = attach_checker(self)
 
     @property
     def name(self) -> str:

@@ -566,6 +566,9 @@ class Simulator:
         #: the tracer, instrumentation sites check for None and do
         #: nothing else when disabled
         self.metrics = None
+        #: optional conformance checker (see repro.check.invariants);
+        #: same None-when-disabled discipline as tracer/metrics
+        self.checker = None
         #: kernel-level totals (always on: two plain int increments)
         self.events_run = 0
         self.ctx_switches = 0

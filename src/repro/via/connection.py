@@ -69,6 +69,10 @@ class ConnectionManager:
         """Stop tracking an abandoned request (timeout cleanup)."""
         self._outstanding.pop(conn_id, None)
 
+    def outstanding_count(self) -> int:
+        """Client requests still awaiting a response (introspection)."""
+        return len(self._outstanding)
+
     # -- server side ---------------------------------------------------------
     def deliver(self, request: ConnRequest) -> None:
         """An incoming conn_req packet landed on this node."""

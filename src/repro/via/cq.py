@@ -55,6 +55,9 @@ class CompletionQueue:
             raise VipErrorResource(
                 f"CQ {self.cq_id} overflow (depth {self.depth})"
             )
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_cq_deposit(self, wq, desc)
         self.entries.append((wq, desc))
         self.total_notifications += 1
         if len(self.entries) > self.max_depth:

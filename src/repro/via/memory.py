@@ -93,6 +93,10 @@ class MemoryRegistry:
         handle.active = False
         del self._handles[handle.handle_id]
 
+    def is_registered(self, handle: MemoryHandle) -> bool:
+        """True while ``handle`` is the live registration for its id."""
+        return self._handles.get(handle.handle_id) is handle
+
     def lookup(self, handle_id: int) -> MemoryHandle:
         handle = self._handles.get(handle_id)
         if handle is None:

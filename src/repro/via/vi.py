@@ -52,6 +52,9 @@ class WorkQueue:
         self.posted.append(desc)
         self._claimable.append(desc)
         self.total_posted += 1
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_post(self, desc)
 
     def head(self) -> Descriptor | None:
         return self.posted[0] if self.posted else None
@@ -82,6 +85,10 @@ class WorkQueue:
         desc.control.length = length
         desc.completed_at = self.sim.now
         self.total_completed += 1
+        chk = self.sim.checker
+        if chk is not None:
+            # after the status writeback, before any CQ deposit
+            chk.on_complete(self, desc, status)
         if self.cq is not None:
             self.cq.notify(self, desc)
         else:
@@ -191,6 +198,9 @@ class VI:
                 f"VI {self.vi_id}: illegal transition "
                 f"{self.state.value} -> {new.value}"
             )
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_vi_transition(self, self.state, new)
         self.state = new
 
     @property

@@ -51,10 +51,11 @@ class TransferConfig:
     mtu: int | None = None        # override the fabric MTU
     loss_rate: float | None = None
     discriminator: int = 11
+    check: bool = False           # attach the conformance checker
 
     def testbed(self, provider: "str | ProviderSpec", seed: int = 0) -> Testbed:
         return Testbed(provider, seed=seed, loss_rate=self.loss_rate,
-                       mtu=self.mtu)
+                       mtu=self.mtu, check=self.check)
 
 
 def reuse_schedule(iters: int, reuse_fraction: float, pool: int) -> list[int]:

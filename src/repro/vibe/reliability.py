@@ -11,7 +11,7 @@ messages while the reliable levels retransmit and deliver everything.
 from __future__ import annotations
 
 from ..providers.registry import ProviderSpec, Testbed
-from ..via.constants import Reliability, WaitMode
+from ..via.constants import CompletionStatus, Reliability, WaitMode
 from ..via.descriptor import Descriptor
 from ..via.errors import VipTimeout
 from .harness import TransferConfig, run_bandwidth, run_latency
@@ -101,8 +101,12 @@ def _lossy_stream(provider, size, count, loss_rate, level, seed):
         for _ in range(count):
             yield from h.post_send(vi, Descriptor.send(segs))
             try:
-                yield from h.send_wait(vi, timeout=deadline)
+                desc = yield from h.send_wait(vi, timeout=deadline)
             except VipTimeout:
+                break
+            if desc.status is not CompletionStatus.SUCCESS:
+                # retransmissions exhausted: the VI is in ERROR and
+                # another post would raise VipStateError
                 break
         out["elapsed"] = tb.now - t0
 

@@ -69,3 +69,26 @@ def simple_recv(h, vi, region, mh, length: int):
 @pytest.fixture(params=["mvia", "bvia", "clan"])
 def provider_name(request):
     return request.param
+
+
+def set_wire_loss(tb: Testbed, rate: float) -> None:
+    """Set the loss rate of every channel in the fabric.
+
+    The connection handshake has no retransmission (only the data path
+    does), so loss tests establish connections lossless, then flip the
+    wire lossy for the data phase.
+    """
+    from repro.check.invariants import _iter_channels
+
+    for _label, channel in _iter_channels(tb):
+        channel.loss_rate = rate
+
+
+@pytest.fixture
+def checked_testbed():
+    """Factory for testbeds with the conformance checker attached."""
+
+    def make(provider: str = "mvia", **kwargs) -> Testbed:
+        return Testbed(provider, check=True, **kwargs)
+
+    return make

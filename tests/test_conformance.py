@@ -1,0 +1,99 @@
+"""Conformance layer: clean runs, zero perturbation, report, CLI."""
+
+import pytest
+
+from repro.check import (
+    ALL_PROVIDERS,
+    WORKLOADS,
+    logp_consistency,
+    run_conformance,
+    run_workload,
+)
+from repro.check.differential import compare_signatures
+from repro.cli import main
+from repro.providers import Testbed
+from repro.vibe.harness import TransferConfig, run_bandwidth, run_latency
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("provider", ALL_PROVIDERS)
+def test_workloads_pass_checker(provider, workload):
+    """Every workload survives the online invariant checker."""
+    sig = run_workload(provider, workload)
+    posts, completions, deliveries = sig["checker"]
+    assert posts > 0 and deliveries > 0
+    # everything posted was completed exactly once by quiesce
+    assert completions == posts
+
+
+def test_cross_provider_signatures_agree():
+    table = {"pingpong": {p: run_workload(p, "pingpong")
+                          for p in ALL_PROVIDERS}}
+    assert compare_signatures(table, ALL_PROVIDERS) == []
+
+
+def test_run_conformance_report():
+    rep = run_conformance(providers=("mvia", "iba"), logp=False)
+    assert rep.ok
+    assert set(rep.signatures) == set(WORKLOADS)
+    text = rep.summary()
+    assert "PASS" in text and "FAIL" not in text
+
+
+def test_compare_signatures_spots_divergence():
+    a = run_workload("mvia", "pingpong")
+    b = dict(a)
+    b["echo"] = "0" * 16
+    mismatches = compare_signatures({"pingpong": {"mvia": a, "bvia": b}},
+                                    ("mvia", "bvia"))
+    assert len(mismatches) == 1 and "echo" in mismatches[0]
+
+
+def test_logp_self_consistency():
+    res = logp_consistency("clan")
+    assert res["ok"], res
+    assert res["G"] > 0
+
+
+@pytest.mark.parametrize("provider", ALL_PROVIDERS)
+def test_checker_does_not_perturb_results(provider):
+    """A checked run must be bit-identical to an unchecked one: the
+    checker only reads, never schedules or consumes simulated time."""
+    lat = TransferConfig(size=512, iters=6, warmup=1)
+    lat_chk = TransferConfig(size=512, iters=6, warmup=1, check=True)
+    assert (run_latency(provider, lat_chk).latency_us
+            == run_latency(provider, lat).latency_us)
+    bw = TransferConfig(size=1024, count=30)
+    bw_chk = TransferConfig(size=1024, count=30, check=True)
+    assert (run_bandwidth(provider, bw_chk).bandwidth_mbs
+            == run_bandwidth(provider, bw).bandwidth_mbs)
+
+
+def test_checked_testbed_fixture(checked_testbed):
+    tb = checked_testbed("mvia")
+    assert tb.checker is not None
+    assert tb.sim.checker is tb.checker
+    plain = Testbed("mvia")
+    assert plain.checker is None and plain.sim.checker is None
+
+
+def test_cli_check_passes(capsys):
+    main(["--providers", "mvia", "check", "--no-logp"])
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_cli_check_exits_nonzero_on_failure(monkeypatch, capsys):
+    from repro.check.runner import CheckReport
+
+    def fake(providers, seed=0, logp=True):
+        rep = CheckReport(providers=tuple(providers),
+                          workloads=("pingpong",))
+        rep.violations.append("pingpong on mvia: seeded failure")
+        return rep
+
+    monkeypatch.setattr("repro.check.run_conformance", fake)
+    with pytest.raises(SystemExit) as exc:
+        main(["check"])
+    assert exc.value.code == 1
+    assert "FAIL" in capsys.readouterr().out

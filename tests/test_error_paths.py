@@ -1,0 +1,191 @@
+"""Error-path coverage: the unhappy branches the benchmarks route around.
+
+Four clusters, mirroring where the stack can fail:
+
+* ``loss_goodput`` under heavy loss — the ``VipTimeout`` break on the
+  receiver and the retransmission recovery on the reliable levels;
+* transport exhaustion — a black wire drives a reliable send through
+  all its retries into ``TRANSPORT_ERROR`` and the VI into ERROR,
+  after which further posts raise ``VipStateError``;
+* VI/connection state machine — ``VipStateError`` on illegal
+  transitions and operations in the wrong state;
+* memory protection — every ``VipProtectionError`` raise in
+  ``via/memory.py``, plus the engine's stale-fragment/duplicate
+  exactly-once filter.
+"""
+
+import pytest
+
+from repro.providers import Testbed
+from repro.providers.engine import DataFrag
+from repro.via import Descriptor
+from repro.via.constants import CompletionStatus, Reliability, ViState
+from repro.via.errors import VipProtectionError, VipStateError
+from repro.vibe.reliability import loss_goodput
+
+from conftest import connected_endpoints, run_pair, run_proc, set_wire_loss
+
+# empirically chosen: every handshake survives (it has no retransmission)
+# and the unreliable stream loses at least one message mid-run
+_LOSSY_SEED = 3
+
+
+def test_loss_goodput_heavy_loss_timeout_branch():
+    res = loss_goodput("mvia", size=1024, count=8, loss_rate=0.25,
+                       seed=_LOSSY_SEED)
+    by_level = {p.param: p.extra for p in res.points}
+    unrel = by_level["unreliable"]
+    # the receiver timed out waiting for a lost datagram and gave up
+    assert unrel["delivered"] < unrel["sent"]
+    assert unrel["retransmissions"] == 0
+    for level in ("reliable_delivery", "reliable_reception"):
+        rel = by_level[level]
+        # same wire, but the recovery machinery hides the losses
+        assert rel["delivered"] == rel["sent"]
+        assert rel["retransmissions"] > 0
+
+
+def _connected(provider="mvia", reliability=None, check=True,
+               loss_rate=None):
+    """Connected pair; ``loss_rate`` arms the retransmission machinery
+    (a construction-time flag) but the handshake itself runs lossless."""
+    tb = Testbed(provider, check=check, loss_rate=loss_rate)
+    if loss_rate is not None:
+        set_wire_loss(tb, 0.0)
+    c_setup, s_setup = connected_endpoints(tb, reliability=reliability)
+    got = {}
+
+    def c():
+        got["c"] = yield from c_setup()
+
+    def s():
+        got["s"] = yield from s_setup()
+
+    run_pair(tb, c(), s())
+    return tb, got["c"], got["s"]
+
+
+def test_transport_exhaustion_errors_the_vi():
+    """All retries lost: TRANSPORT_ERROR writeback, VI -> ERROR, and a
+    further post is refused with VipStateError."""
+    tb, (hc, vic, rc, mhc), _ = _connected(
+        reliability=Reliability.RELIABLE_DELIVERY, loss_rate=0.1)
+    set_wire_loss(tb, 1.0)
+    segs = [hc.segment(rc, mhc, 0, 64)]
+
+    def client():
+        yield from hc.post_send(vic, Descriptor.send(segs))
+        desc = yield from hc.send_wait(vic)
+        return desc
+
+    desc = run_proc(tb.sim, client())
+    assert desc.status is CompletionStatus.TRANSPORT_ERROR
+    assert vic.state is ViState.ERROR
+    with pytest.raises(VipStateError, match="needs connected"):
+        run_proc(tb.sim, hc.post_send(vic, Descriptor.send(segs)))
+
+
+def test_connect_on_connected_vi_raises():
+    tb, (hc, vic, _rc, _mhc), _ = _connected()
+    with pytest.raises(VipStateError, match="connected"):
+        run_proc(tb.sim, hc.connect(vic, tb.node_names[1], 77))
+
+
+def test_illegal_vi_transition_raises():
+    tb = Testbed("mvia")
+    h = tb.open(tb.node_names[0], "app")
+    vi = run_proc(tb.sim, h.create_vi())
+    with pytest.raises(VipStateError, match="illegal transition"):
+        vi.to_state(ViState.DISCONNECTED)
+
+
+def test_memory_protection_raises():
+    tb = Testbed("mvia")
+    h = tb.open(tb.node_names[0], "app")
+    p = tb.provider(tb.node_names[0])
+    region = h.alloc(4096)
+    with pytest.raises(VipProtectionError, match="positive"):
+        p.registry.register(region.base, 0, tag=h.ptag)
+    mh = run_proc(tb.sim, h.register_mem(region))
+    with pytest.raises(VipProtectionError, match="unknown memory handle"):
+        p.registry.lookup(mh.handle_id + 1000)
+    with pytest.raises(VipProtectionError, match="tag mismatch"):
+        p.registry.check_local(region.base, 64, mh, tag=h.ptag + 1)
+    with pytest.raises(VipProtectionError, match="outside handle"):
+        p.registry.check_local(region.base + 4096 - 8, 64, mh, tag=h.ptag)
+    with pytest.raises(VipProtectionError, match="RDMA read disabled"):
+        p.registry.check_rdma_target(region.base, 64, mh.handle_id,
+                                     write=False)
+    run_proc(tb.sim, h.deregister_mem(mh))
+    with pytest.raises(VipStateError, match="not registered"):
+        p.registry.deregister(mh)
+    with pytest.raises(VipProtectionError, match="deregistered"):
+        p.registry.check_local(region.base, 64, mh, tag=h.ptag)
+
+
+def test_rdma_write_disabled_target_raises():
+    tb = Testbed("mvia")
+    h = tb.open(tb.node_names[0], "app")
+    p = tb.provider(tb.node_names[0])
+    region = h.alloc(4096)
+    mh = run_proc(tb.sim, h.register_mem(region, enable_rdma_write=False))
+    with pytest.raises(VipProtectionError, match="RDMA write disabled"):
+        p.registry.check_rdma_target(region.base, 64, mh.handle_id,
+                                     write=True)
+
+
+def _frag(seq, frag, nfrags, dst_vi, data=b"x" * 8, offset=0):
+    return DataFrag(src_vi=0, dst_vi=dst_vi, seq=seq, frag=frag,
+                    nfrags=nfrags, offset=offset, total_len=nfrags * len(data),
+                    data=data, op="send")
+
+
+def test_stale_fragment_is_dropped_not_delivered():
+    """A non-first fragment with no reassembly in progress (its head was
+    dropped or NAKed) must be discarded without touching a descriptor."""
+    tb, _, (hs, vis, rs, mhs) = _connected(check=False)
+    eng = tb.provider(tb.node_names[1]).engine
+    run_proc(tb.sim, hs.post_recv(
+        vis, Descriptor.recv([hs.segment(rs, mhs, 0, 64)])))
+    before = eng.drops
+    assert vis.rx_state is None
+    run_proc(tb.sim, eng._rx_send(vis, _frag(seq=0, frag=1, nfrags=2,
+                                             dst_vi=vis.vi_id)))
+    assert eng.drops == before + 1
+    assert vis.recv_q.outstanding == 1          # descriptor untouched
+    assert vis.recv_q.claimable == 1
+    assert eng.messages_received == 0
+
+
+def test_duplicate_message_refiltered_and_reacked():
+    """Exactly-once: a full retransmission of an already-accepted message
+    is dropped (and re-acked on reliable VIs) instead of consuming a
+    fresh descriptor."""
+    tb, (hc, vic, rc, mhc), (hs, vis, rs, mhs) = _connected(
+        reliability=Reliability.RELIABLE_DELIVERY, check=False)
+
+    def c():
+        hc.write(rc, b"a" * 64)
+        yield from hc.post_send(vic, Descriptor.send(
+            [hc.segment(rc, mhc, 0, 64)]))
+        yield from hc.send_wait(vic)
+
+    def s():
+        yield from hs.post_recv(vis, Descriptor.recv(
+            [hs.segment(rs, mhs, 0, 64)]))
+        yield from hs.recv_wait(vis)
+
+    run_pair(tb, c(), s())
+    eng = tb.provider(tb.node_names[1]).engine
+    assert vis.expected_rx_seq == 1
+    run_proc(tb.sim, hs.post_recv(vis, Descriptor.recv(
+        [hs.segment(rs, mhs, 0, 64)])))
+    before = eng.drops
+    # replay the whole message (fragment 0 of seq 0) as a lost-ack
+    # retransmission would
+    run_proc(tb.sim, eng._rx_send(vis, _frag(seq=0, frag=0, nfrags=1,
+                                             dst_vi=vis.vi_id)))
+    tb.run()                                    # drain the re-ack
+    assert eng.drops == before + 1
+    assert vis.recv_q.outstanding == 1          # nothing consumed
+    assert eng.messages_received == 1           # still exactly once

@@ -1,0 +1,182 @@
+"""Workload fuzzing under the conformance checker.
+
+Hypothesis generates random *valid* benchmark programs — message
+sizes, windows, segment splits, buffer-reuse mixes, reliability
+levels, wait modes, loss rates — and runs them on every provider with
+the invariant checker attached.  ``VipError`` is legitimate VIA
+semantics and is tolerated; a :class:`ConformanceError` (or any
+simulator crash) is a stack bug and propagates.
+
+Lossy draws use a self-contained stream program that establishes the
+connection on a lossless wire first: the handshake has no
+retransmission, so a dropped connect packet is a legitimate (if
+unhelpful) deadlock rather than a conformance bug.  The data phase then
+runs lossy under a reliable level, and the received payload sequence is
+checked for exactly-once in-order delivery on top of the invariant
+hooks.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import ALL_PROVIDERS
+from repro.providers import Testbed
+from repro.via import Descriptor
+from repro.via.constants import CompletionStatus, Reliability, WaitMode
+from repro.via.errors import VipError, VipTimeout
+from repro.vibe.harness import TransferConfig, run_latency
+
+from conftest import run_pair, set_wire_loss
+
+_RELIABLE = (Reliability.RELIABLE_DELIVERY, Reliability.RELIABLE_RECEPTION)
+
+
+def _payload(i: int, size: int) -> bytes:
+    return bytes((i + j) % 256 for j in range(size))
+
+
+@st.composite
+def latency_config(draw):
+    provider = draw(st.sampled_from(ALL_PROVIDERS))
+    cfg = TransferConfig(
+        size=draw(st.integers(min_value=1, max_value=8192)),
+        iters=draw(st.integers(min_value=1, max_value=5)),
+        warmup=1,
+        mode=draw(st.sampled_from([WaitMode.POLL, WaitMode.BLOCK])),
+        reliability=draw(st.sampled_from((None,) + _RELIABLE
+                                         + (Reliability.UNRELIABLE,))),
+        use_recv_cq=draw(st.booleans()),
+        use_send_cq=draw(st.booleans()),
+        buffer_pool=draw(st.integers(min_value=1, max_value=3)),
+        reuse_fraction=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        segments=draw(st.integers(min_value=1, max_value=3)),
+        check=True,
+    )
+    return provider, cfg, draw(st.integers(min_value=0, max_value=3))
+
+
+@st.composite
+def lossy_stream_case(draw):
+    return {
+        "provider": draw(st.sampled_from(ALL_PROVIDERS)),
+        "size": draw(st.integers(min_value=1, max_value=4096)),
+        "count": draw(st.integers(min_value=1, max_value=10)),
+        "window": draw(st.integers(min_value=1, max_value=4)),
+        "level": draw(st.sampled_from(_RELIABLE)),
+        "loss": draw(st.sampled_from([0.02, 0.05, 0.1])),
+        "seed": draw(st.integers(min_value=0, max_value=3)),
+    }
+
+
+def run_lossy_stream(provider, size, count, window, level, loss, seed,
+                     deadline=50_000.0):
+    """Checked windowed stream: lossless handshake, lossy data phase.
+
+    Returns (payload digests the server received in order, number the
+    client believes it delivered).
+    """
+    tb = Testbed(provider, seed=seed, loss_rate=loss, check=True)
+    set_wire_loss(tb, 0.0)
+    ep: dict = {}
+
+    def c_setup():
+        h = tb.open(tb.node_names[0], "client")
+        vi = yield from h.create_vi(reliability=level)
+        bufs = []
+        for _ in range(window):
+            buf = h.alloc(max(size, 4))
+            mh = yield from h.register_mem(buf)
+            bufs.append((buf, mh))
+        yield from h.connect(vi, tb.node_names[1], 31)
+        ep["c"] = (h, vi, bufs)
+
+    def s_setup():
+        h = tb.open(tb.node_names[1], "server")
+        vi = yield from h.create_vi(reliability=level)
+        pool = []
+        for _ in range(count):
+            buf = h.alloc(max(size, 4))
+            mh = yield from h.register_mem(buf)
+            pool.append((buf, mh))
+            yield from h.post_recv(
+                vi, Descriptor.recv([h.segment(buf, mh, 0, size)]))
+        req = yield from h.connect_wait(31)
+        yield from h.accept(req, vi)
+        ep["s"] = (h, vi, pool)
+
+    run_pair(tb, c_setup(), s_setup())
+    set_wire_loss(tb, loss)
+    sent_ok = {"n": 0}
+    got: list = []
+
+    def c_data():
+        h, vi, bufs = ep["c"]
+        inflight = 0
+        for i in range(count):
+            if inflight >= window:
+                # a reliable send completes only on acknowledgement,
+                # so the i % window buffer is free again here
+                try:
+                    desc = yield from h.send_wait(vi, timeout=deadline)
+                except VipTimeout:
+                    return
+                inflight -= 1
+                if desc.status is not CompletionStatus.SUCCESS:
+                    return
+                sent_ok["n"] += 1
+            buf, mh = bufs[i % window]
+            h.write(buf, _payload(i, size))
+            segs = [h.segment(buf, mh, 0, size)]
+            yield from h.post_send(vi, Descriptor.send(segs))
+            inflight += 1
+        while inflight:
+            try:
+                desc = yield from h.send_wait(vi, timeout=deadline)
+            except VipTimeout:
+                return
+            inflight -= 1
+            if desc.status is CompletionStatus.SUCCESS:
+                sent_ok["n"] += 1
+
+    def s_data():
+        h, vi, pool = ep["s"]
+        for i in range(count):
+            try:
+                desc = yield from h.recv_wait(vi, timeout=deadline)
+            except VipTimeout:
+                return
+            if desc.status is not CompletionStatus.SUCCESS:
+                return
+            buf, _mh = pool[i]
+            got.append(hashlib.sha256(h.read(buf, size)).hexdigest())
+
+    run_pair(tb, c_data(), s_data())
+    tb.run()
+    tb.checker.check_quiesced(tb)
+    return got, sent_ok["n"]
+
+
+@given(latency_config())
+@settings(max_examples=15, deadline=None)
+def test_fuzzed_pingpong_conforms(case):
+    provider, cfg, seed = case
+    try:
+        m = run_latency(provider, cfg, seed=seed)
+        assert m.latency_us > 0
+    except VipError:
+        pass          # legitimate VIA semantics, not a conformance bug
+
+
+@given(lossy_stream_case())
+@settings(max_examples=10, deadline=None)
+def test_fuzzed_lossy_stream_delivers_exactly_once_in_order(case):
+    got, _sent_ok = run_lossy_stream(**case)
+    expected = [
+        hashlib.sha256(_payload(i, case["size"])).hexdigest()
+        for i in range(case["count"])
+    ]
+    # a reliable stream the server saw must be an exact in-order prefix
+    # of what the client sent: no loss surfaced, no dup, no reorder
+    assert got == expected[:len(got)]
