@@ -299,6 +299,11 @@ class ConformanceChecker:
         self._next_rx[vi.vi_id] = seq + 1
         self.deliveries += 1
 
+    def on_vi_reset(self, vi: "VI") -> None:
+        """The VI's sequence space restarts after error recovery; forget
+        the shadow delivery cursor so the fresh connection starts at 0."""
+        self._next_rx.pop(vi.vi_id, None)
+
     # -- end-of-run audit ---------------------------------------------------
     def check_quiesced(self, tb: "Testbed") -> None:
         """Full-state audit once the simulation has drained."""
@@ -330,12 +335,16 @@ class ConformanceChecker:
                     "outstanding at quiesce"
                 )
         for label, channel in _iter_channels(tb):
-            in_flight = (channel.sent_packets - channel.delivered_packets
+            # injected wire_duplicate faults deliver a packet twice, so
+            # duplicated copies count as extra sends in the ledger
+            in_flight = (channel.sent_packets + channel.dup_packets
+                         - channel.delivered_packets
                          - channel.dropped_packets)
             if in_flight != 0:
                 self._fail(
                     f"packet conservation broken on {label}: "
-                    f"{channel.sent_packets} sent != "
+                    f"{channel.sent_packets} sent + "
+                    f"{channel.dup_packets} duplicated != "
                     f"{channel.delivered_packets} delivered + "
                     f"{channel.dropped_packets} dropped "
                     f"({in_flight} unaccounted at quiesce)"

@@ -238,6 +238,25 @@ def cmd_check(args) -> None:
         sys.exit(1)
 
 
+def cmd_chaos(args) -> None:
+    from .faults import run_chaos
+
+    providers = tuple(args.providers)
+    if providers == PROVIDERS:
+        # chaos should batter every stack unless explicitly narrowed
+        providers = None  # run_chaos defaults to ALL_PROVIDERS
+    report = run_chaos(providers=providers,
+                       scenarios=tuple(args.scenario) if args.scenario else None,
+                       seed=args.seed, quick=args.quick)
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json())
+        print(f"chaos report written to {args.json_out}")
+    if not report.ok:
+        sys.exit(1)
+
+
 def cmd_save(args) -> None:
     from .vibe.repository import ResultRepository
 
@@ -336,6 +355,20 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--no-logp", action="store_true",
                      help="skip the LogGP self-consistency fit")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: named fault scenarios on every "
+             "provider under the online conformance checker")
+    chaos.add_argument("--quick", action="store_true",
+                       help="reduced message counts and deadlines "
+                            "(CI-sized; same scenario list)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scenario", action="append", metavar="NAME",
+                       help="run only this scenario (repeatable); "
+                            "default: all of them")
+    chaos.add_argument("--json-out", metavar="FILE.json",
+                       help="also write the report as JSON")
+
     save = sub.add_parser("save",
                           help="store results in a repository (paper §5)")
     save.add_argument("--repo", required=True)
@@ -369,6 +402,7 @@ def main(argv: list[str] | None = None) -> None:
         "trace": cmd_trace,
         "profile": cmd_profile,
         "check": cmd_check,
+        "chaos": cmd_chaos,
         "save": cmd_save,
         "report": cmd_report,
         "compare": cmd_compare,

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the VIBe testbed.
+
+The subsystem follows the same attribute discipline as ``sim.metrics``
+and ``sim.checker``: ``sim.faults`` defaults to ``None`` and every hook
+site in the hardware and engine models is a single ``is None`` check, so
+a run with no plan attached is byte-identical to a run built before this
+package existed.
+
+* :mod:`repro.faults.plan` — declarative, seedable, JSON-serializable
+  fault plans (:class:`FaultSpec` / :class:`FaultPlan`).
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that arms a
+  plan against a testbed.
+* :mod:`repro.faults.scenarios` — named chaos scenarios.
+* :mod:`repro.faults.chaos` — the campaign runner behind ``vibe chaos``.
+"""
+
+from .chaos import ChaosReport, ScenarioResult, run_chaos, run_scenario
+from .injector import FaultInjector, attach_faults
+from .plan import FaultPlan, FaultSpec
+from .scenarios import SCENARIOS, ChaosScenario, get_scenario, scenario_names
+
+__all__ = [
+    "SCENARIOS",
+    "ChaosReport",
+    "ChaosScenario",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ScenarioResult",
+    "attach_faults",
+    "get_scenario",
+    "run_chaos",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,223 @@
+"""The fault injector: arms a :class:`FaultPlan` against a testbed.
+
+Hook sites in the hardware and engine models consult ``sim.faults``
+exactly once per operation; when no plan is armed the attribute is
+``None`` and the run is byte-identical to an unfaulted one.  Decisions
+are deterministic: each spec gets its own ``random.Random`` stream
+derived from the plan seed and the spec's position, and windows are
+plain comparisons against ``sim.now`` — no toggle events are scheduled,
+so an armed-but-never-matching plan perturbs nothing but the fault
+processes it explicitly asks for (``tlb_flush`` storms, ``cpu_stall``
+holds).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .plan import DELIVERY_KINDS, HOST_KINDS, NIC_KINDS, WIRE_KINDS, FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "attach_faults"]
+
+_DEFAULT_DOORBELL_SCAN = 50.0  # µs until the recovery scan finds the descriptor
+
+
+def _matches(target: str | None, name: str) -> bool:
+    """``None`` matches everything; otherwise exact name or node prefix
+    (``"node0"`` matches ``"node0.up"``, ``"node0.nic"``, ...)."""
+    return target is None or name == target or name.startswith(target + ".")
+
+
+class FaultInjector:
+    """Interprets a :class:`FaultPlan` against one testbed.
+
+    Construction is inert; :meth:`arm` publishes the injector on
+    ``sim.faults`` and spawns the active-fault processes.  All hook
+    methods below are called from the hardware/engine models.
+    """
+
+    def __init__(self, testbed, plan: FaultPlan) -> None:
+        self.tb = testbed
+        self.sim = testbed.sim
+        self.plan = plan
+        self.armed = False
+        #: total injections per fault kind (harvested as ``faults.*``)
+        self.counters: dict[str, int] = {}
+        #: injections per spec index (for surgical tests)
+        self.injected: list[int] = [0] * len(plan.faults)
+        self._seen: list[int] = [0] * len(plan.faults)
+        self._rng: list[random.Random] = [
+            random.Random(plan.seed * 1_000_003 + i * 7_919 + 17)
+            for i in range(len(plan.faults))
+        ]
+        self._wire = [
+            (i, s) for i, s in enumerate(plan.faults) if s.kind in WIRE_KINDS
+        ]
+        self._nic = [
+            (i, s) for i, s in enumerate(plan.faults) if s.kind in NIC_KINDS
+        ]
+        self._host = [
+            (i, s) for i, s in enumerate(plan.faults) if s.kind in HOST_KINDS
+        ]
+        #: True when any fault can lose data in flight; the engine and
+        #: the connection handshake arm their retransmission machinery
+        #: off this flag
+        self.affects_delivery = any(
+            s.kind in DELIVERY_KINDS for s in plan.faults
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def arm(self) -> None:
+        """Publish on ``sim.faults`` and start the active-fault processes."""
+        if self.armed or not self.plan.faults:
+            return
+        self.armed = True
+        self.sim.faults = self
+        for i, spec in enumerate(self.plan.faults):
+            if spec.kind == "tlb_flush":
+                for node in self._matching_nodes(spec, suffix=".nic"):
+                    self.sim.process(
+                        self._tlb_storm(i, spec, node.nic),
+                        name=f"fault-tlb-{node.name}",
+                    )
+            elif spec.kind == "cpu_stall":
+                for node in self._matching_nodes(spec):
+                    self.sim.process(
+                        self._cpu_stall(i, spec, node.cpu),
+                        name=f"fault-stall-{node.name}",
+                    )
+
+    def _matching_nodes(self, spec: FaultSpec, suffix: str = ""):
+        for name in self.tb.node_names:
+            if _matches(spec.target, name + suffix) or _matches(spec.target, name):
+                yield self.tb.fabric.node(name)
+
+    # -- decision core ---------------------------------------------------
+
+    def _fires(self, index: int, spec: FaultSpec) -> bool:
+        """Window + rate + skip/count gate for one opportunity."""
+        if not spec.active(self.sim.now):
+            return False
+        if spec.count is not None and self.injected[index] >= spec.count:
+            return False
+        if spec.rate < 1.0 and self._rng[index].random() >= spec.rate:
+            return False
+        self._seen[index] += 1
+        if self._seen[index] <= spec.skip:
+            return False
+        self.injected[index] += 1
+        self.counters[spec.kind] = self.counters.get(spec.kind, 0) + 1
+        return True
+
+    # -- wire hooks (hw/link.py) -----------------------------------------
+
+    def wire_fate(self, channel, packet) -> tuple[str, float]:
+        """Decide what happens to ``packet`` on ``channel``.
+
+        Returns ``(fate, extra_delay)`` with fate one of ``"pass"``,
+        ``"drop"``, ``"corrupt"``, ``"dup"``; ``extra_delay`` carries
+        reorder jitter and applies to non-dropped packets.
+        """
+        fate = "pass"
+        extra = 0.0
+        for i, spec in self._wire:
+            if spec.kind != "partition" and not _matches(spec.target, channel.name):
+                continue
+            if spec.kind in ("link_down", "partition"):
+                if self._fires(i, spec):
+                    return "drop", 0.0
+            elif spec.kind == "wire_loss":
+                if fate == "pass" and self._fires(i, spec):
+                    fate = "drop"
+            elif spec.kind == "wire_corrupt":
+                if fate == "pass" and self._fires(i, spec):
+                    fate = "corrupt"
+            elif spec.kind == "wire_duplicate":
+                if fate == "pass" and self._fires(i, spec):
+                    fate = "dup"
+            elif spec.kind == "wire_reorder":
+                if self._fires(i, spec):
+                    extra += spec.magnitude
+        if fate == "drop":
+            extra = 0.0
+        return fate, extra
+
+    # -- NIC hooks (hw/nic.py, providers/base.py, providers/engine.py) ---
+
+    def doorbell_dropped(self, nic_name: str) -> float | None:
+        """``None`` when the ring goes through; otherwise the delay until
+        the NIC's recovery scan discovers the posted descriptor."""
+        for i, spec in self._nic:
+            if spec.kind != "doorbell_drop":
+                continue
+            if not _matches(spec.target, nic_name):
+                continue
+            if self._fires(i, spec):
+                return spec.magnitude if spec.magnitude > 0 else _DEFAULT_DOORBELL_SCAN
+        return None
+
+    def dma_abort(self, nic_name: str) -> bool:
+        """True when a data-movement DMA on this NIC should fail."""
+        for i, spec in self._nic:
+            if spec.kind != "dma_abort":
+                continue
+            if not _matches(spec.target, nic_name):
+                continue
+            if self._fires(i, spec):
+                return True
+        return False
+
+    # -- host hooks (hw/cpu.py) ------------------------------------------
+
+    def cpu_time(self, cpu_name: str, duration: float) -> float:
+        """Scale a CPU busy-time by any active jitter faults."""
+        for i, spec in self._host:
+            if spec.kind != "cpu_jitter":
+                continue
+            if not _matches(spec.target, cpu_name):
+                continue
+            if self._fires(i, spec):
+                duration *= 1.0 + spec.magnitude
+        return duration
+
+    # -- active-fault processes ------------------------------------------
+
+    def _tlb_storm(self, index: int, spec: FaultSpec, nic):
+        wait = spec.at - self.sim.now
+        if wait > 0:
+            yield self.sim.timeout(wait)
+        flushes = spec.count if spec.count is not None else 1
+        for n in range(flushes):
+            nic.tlb.flush()
+            self.injected[index] += 1
+            self.counters["tlb_flush"] = self.counters.get("tlb_flush", 0) + 1
+            self.sim.trace("fault", "tlb_flush", nic.name, n=n)
+            if n + 1 < flushes and spec.period > 0:
+                yield self.sim.timeout(spec.period)
+
+    def _cpu_stall(self, index: int, spec: FaultSpec, cpu):
+        wait = spec.at - self.sim.now
+        if wait > 0:
+            yield self.sim.timeout(wait)
+        yield cpu.resource.request()
+        self.injected[index] += 1
+        self.counters["cpu_stall"] = self.counters.get("cpu_stall", 0) + 1
+        self.sim.trace("fault", "cpu_stall", cpu.name, duration=spec.duration)
+        try:
+            yield self.sim.timeout(spec.duration)
+        finally:
+            cpu.resource.release()
+
+
+def attach_faults(testbed, plan: FaultPlan) -> FaultInjector:
+    """Build and arm a :class:`FaultInjector`; mirror of
+    ``repro.check.invariants.attach_checker``.
+
+    An empty plan arms nothing: ``sim.faults`` stays ``None`` and the
+    run is byte-identical to an unfaulted one.
+    """
+    injector = FaultInjector(testbed, plan)
+    testbed.injector = injector
+    injector.arm()
+    return injector

@@ -1,0 +1,191 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a seedable, JSON-serializable schedule of
+:class:`FaultSpec` entries.  Each spec names a fault *kind*, an optional
+component *target*, and an activity window; the injector interprets the
+rest of the fields per kind.  Plans are plain data — building one has no
+effect until it is armed against a testbed (see
+:func:`repro.faults.injector.attach_faults`).
+
+Fault kinds
+-----------
+
+Wire faults (target matches a channel name like ``"node0.up"`` or a
+node prefix like ``"node0"``; ``None`` matches every channel):
+
+``wire_loss``       drop matching packets with probability ``rate``
+``wire_corrupt``    flip bits in flight; the receiving NIC's CRC check
+                    drops the packet before any protocol processing
+``wire_duplicate``  deliver matching packets twice
+``wire_reorder``    delay matching packets by ``magnitude`` µs so they
+                    land behind later traffic
+``link_down``       drop *everything* on matching channels (flap: give
+                    the spec a ``duration``; the link comes back up when
+                    the window closes)
+``partition``       ``link_down`` on every channel (``target`` ignored)
+
+NIC faults (target matches ``"node0.nic"`` or the ``"node0"`` prefix):
+
+``doorbell_drop``   a rung doorbell is lost with probability ``rate``;
+                    the posted descriptor sits until the NIC's periodic
+                    recovery scan finds it after ``magnitude`` µs
+                    (default 50)
+``dma_abort``       a data-movement DMA fails with probability ``rate``;
+                    the fragment is treated as lost on the wire
+``tlb_flush``       flush the translation cache ``count`` times spaced
+                    ``period`` µs apart, starting at ``at``
+
+Host faults (target matches the node name):
+
+``cpu_stall``       occupy the host CPU for ``duration`` µs starting at
+                    ``at`` (descheduling / SMI analog)
+``cpu_jitter``      scale CPU busy-times by ``1 + magnitude`` with
+                    probability ``rate`` during the window
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+WIRE_KINDS = frozenset(
+    {
+        "wire_loss",
+        "wire_corrupt",
+        "wire_duplicate",
+        "wire_reorder",
+        "link_down",
+        "partition",
+    }
+)
+NIC_KINDS = frozenset({"doorbell_drop", "dma_abort", "tlb_flush"})
+HOST_KINDS = frozenset({"cpu_stall", "cpu_jitter"})
+ALL_KINDS = WIRE_KINDS | NIC_KINDS | HOST_KINDS
+
+#: kinds that can lose data in flight and therefore require the
+#: retransmission machinery (data-path RTO timers and the handshake
+#: retransmission loop) to be armed
+DELIVERY_KINDS = WIRE_KINDS | frozenset({"dma_abort"})
+
+#: kinds that need rate-based sampling
+_STOCHASTIC = frozenset(
+    {"wire_loss", "wire_corrupt", "wire_duplicate", "wire_reorder",
+     "doorbell_drop", "dma_abort", "cpu_jitter"}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.  See the module docstring for kind semantics.
+
+    ``skip`` ignores the first N matching opportunities and ``count``
+    caps the number of injections, which together allow surgical tests
+    ("drop exactly the third conn-request") without probabilities.
+    """
+
+    kind: str
+    at: float = 0.0
+    duration: float | None = None  # None = open-ended window
+    target: str | None = None  # component name / node prefix; None = all
+    rate: float = 1.0
+    magnitude: float = 0.0
+    count: int | None = None  # max injections (tlb_flush: storm length)
+    period: float = 0.0  # tlb_flush: spacing between flushes
+    skip: int = 0  # ignore the first N matching opportunities
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive (or None)")
+        if self.kind in _STOCHASTIC and not 0.0 < self.rate <= 1.0:
+            raise ValueError("rate must be in (0, 1]")
+        if self.kind == "wire_reorder" and self.magnitude <= 0:
+            raise ValueError("wire_reorder needs magnitude (delay in us)")
+        if self.kind == "cpu_jitter" and self.magnitude <= 0:
+            raise ValueError("cpu_jitter needs magnitude (scale factor)")
+        if self.kind == "cpu_stall" and self.duration is None:
+            raise ValueError("cpu_stall needs duration")
+        if self.kind == "tlb_flush" and self.count is not None and self.count < 1:
+            raise ValueError("tlb_flush count must be >= 1")
+        if self.count is not None and self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.skip < 0:
+            raise ValueError("skip must be >= 0")
+
+    @property
+    def end(self) -> float:
+        return float("inf") if self.duration is None else self.at + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.at <= now < self.end
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind}
+        defaults = {f.name: f.default for f in dataclasses.fields(self)}
+        for name, default in defaults.items():
+            if name == "kind":
+                continue
+            value = getattr(self, name)
+            if value != default:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seedable schedule of faults.
+
+    ``seed`` drives every stochastic decision the injector makes (one
+    independent stream per spec), so the same plan against the same
+    testbed replays the exact same fault sequence.
+    """
+
+    name: str = "plan"
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def affects_delivery(self) -> bool:
+        """True when any fault can lose data in flight."""
+        return any(s.kind in DELIVERY_KINDS for s in self.faults)
+
+    def shifted(self, offset: float) -> "FaultPlan":
+        """A copy with every window moved ``offset`` µs later — used to
+        schedule a plan relative to the start of a workload's data phase."""
+        moved = tuple(
+            dataclasses.replace(s, at=s.at + offset) for s in self.faults
+        )
+        return dataclasses.replace(self, faults=moved)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [s.to_dict() for s in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            name=data.get("name", "plan"),
+            seed=int(data.get("seed", 0)),
+            faults=tuple(FaultSpec.from_dict(s) for s in data.get("faults", ())),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

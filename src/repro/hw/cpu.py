@@ -47,12 +47,17 @@ class Rusage:
 class HostCPU:
     """A single host processor shared by the node's actors."""
 
-    def __init__(self, sim: Simulator, mem_copy_bw: float = 180.0) -> None:
+    def __init__(
+        self, sim: Simulator, mem_copy_bw: float = 180.0, name: str = "host"
+    ) -> None:
         """``mem_copy_bw`` is memcpy throughput in bytes/µs (MB/s);
-        ~180 MB/s is typical of the paper's Pentium-II era hosts."""
+        ~180 MB/s is typical of the paper's Pentium-II era hosts.
+        ``name`` identifies the CPU to the fault injector (the owning
+        node's name)."""
         if mem_copy_bw <= 0:
             raise ValueError("mem_copy_bw must be positive")
         self.sim = sim
+        self.name = name
         self.mem_copy_bw = mem_copy_bw
         self.resource = Resource(sim, capacity=1)
         self._actors: dict[str, CpuActor] = {}
@@ -129,6 +134,9 @@ class CpuActor:
             raise ValueError(f"negative busy duration: {duration}")
         if duration == 0.0:
             return
+        faults = self.sim.faults
+        if faults is not None:
+            duration = faults.cpu_time(self.cpu.name, duration)
         yield from self._acquire_cpu()
         try:
             yield self.sim.timeout(duration)

@@ -39,6 +39,9 @@ class Packet:
     size: int
     payload: Any = None
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: set by an injected wire_corrupt fault; the receiving NIC's CRC
+    #: check drops the packet before any protocol processing
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -78,6 +81,7 @@ class Channel:
         self.sent_packets = 0
         self.dropped_packets = 0
         self.delivered_packets = 0
+        self.dup_packets = 0
         self.sent_bytes = 0
 
     def serialization_time(self, packet: Packet) -> float:
@@ -104,7 +108,29 @@ class Channel:
             self.dropped_packets += 1
             self.sim.trace("wire", "dropped", self.name, pkt=packet.pkt_id)
             return
-        deliver = self.sim.timeout(self.prop_delay, packet)
+        delay = self.prop_delay
+        faults = self.sim.faults
+        if faults is not None:
+            fate, extra = faults.wire_fate(self, packet)
+            if fate == "drop":
+                self.dropped_packets += 1
+                self.sim.trace("wire", "fault_dropped", self.name,
+                               pkt=packet.pkt_id)
+                return
+            delay += extra
+            if fate == "corrupt":
+                packet.corrupted = True
+                self.sim.trace("wire", "fault_corrupted", self.name,
+                               pkt=packet.pkt_id)
+            elif fate == "dup":
+                # the duplicate trails the original by one frame time
+                self.dup_packets += 1
+                self.sim.trace("wire", "fault_duplicated", self.name,
+                               pkt=packet.pkt_id)
+                dup = self.sim.timeout(
+                    delay + self.serialization_time(packet), packet)
+                dup.callbacks.append(self._deliver)
+        deliver = self.sim.timeout(delay, packet)
         deliver.callbacks.append(self._deliver)
 
     def _deliver(self, event: Event) -> None:

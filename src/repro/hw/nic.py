@@ -132,11 +132,30 @@ class NIC:
         self.tx_packets = 0
         self.rx_packets = 0
         self.doorbells = 0
+        self.doorbells_dropped = 0
+        self.rx_crc_drops = 0
 
-    def ring_doorbell(self) -> None:
+    def ring_doorbell(self, droppable: bool = True) -> float | None:
         """Host-side notification that work was posted (cost is charged
-        by the provider; the NIC only counts the ring)."""
+        by the provider; the NIC only counts the ring).
+
+        Returns ``None`` when the ring is delivered.  Under an armed
+        ``doorbell_drop`` fault the ring may be lost: the call returns
+        the recovery-scan delay (µs until the NIC's periodic scan would
+        find the posted descriptor) for the caller to schedule around.
+        ``droppable=False`` exempts rings whose loss has no NIC-visible
+        effect (receive descriptors are discovered when data arrives).
+        """
+        if droppable:
+            faults = self.sim.faults
+            if faults is not None:
+                delay = faults.doorbell_dropped(self.name)
+                if delay is not None:
+                    self.doorbells_dropped += 1
+                    self.sim.trace("nic", "doorbell_dropped", self.name)
+                    return delay
         self.doorbells += 1
+        return None
 
     def attach_port(self, port: DuplexPort) -> None:
         self.port = port
@@ -151,6 +170,13 @@ class NIC:
     def deliver(self, packet: Packet) -> None:
         """Called by the fabric when a packet arrives for this NIC."""
         self.rx_packets += 1
+        if packet.corrupted:
+            # the CRC check fails in NIC hardware: the frame is dropped
+            # before any protocol processing; recovery (retransmission,
+            # handshake retry) is the protocol engine's problem
+            self.rx_crc_drops += 1
+            self.sim.trace("nic", "crc_drop", self.name, pkt=packet.pkt_id)
+            return
         if self.rx_handler is None:
             raise RuntimeError(
                 f"NIC {self.name} received a packet but no rx_handler is set"

@@ -25,7 +25,7 @@ class Node:
     ) -> None:
         self.sim = sim
         self.name = name
-        self.cpu = HostCPU(sim, mem_copy_bw=mem_copy_bw)
+        self.cpu = HostCPU(sim, mem_copy_bw=mem_copy_bw, name=name)
         self.mem = MemorySystem(page_size=page_size)
         self.nic = NIC(
             sim,

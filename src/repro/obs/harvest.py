@@ -49,6 +49,11 @@ def harvest_into(registry: MetricsRegistry, tb) -> MetricsRegistry:
     for name, provider in sorted(tb.providers.items()):
         _harvest_via(registry, name, provider)
 
+    injector = getattr(tb, "injector", None)
+    if injector is not None and injector.armed:
+        for kind, fired in sorted(injector.counters.items()):
+            registry.inc(f"faults.{kind}.injected", fired)
+
     switch = getattr(tb.fabric, "switch", None)
     if switch is not None:
         registry.inc("wire.switch.forwarded", switch.forwarded)
@@ -83,6 +88,12 @@ def _harvest_nic(registry: MetricsRegistry, node: str, nic) -> None:
     registry.inc(f"{prefix}.tlb.misses", nic.tlb.misses)
     registry.inc(f"{prefix}.tlb.evictions", nic.tlb.evictions)
     registry.set_gauge(f"{prefix}.tlb.hit_rate", nic.tlb.hit_rate)
+    # fault-path counters: published only when they fired so that
+    # fault-free harvests stay byte-identical to the pre-fault goldens
+    if nic.doorbells_dropped:
+        registry.inc(f"{prefix}.doorbells_dropped", nic.doorbells_dropped)
+    if nic.rx_crc_drops:
+        registry.inc(f"{prefix}.rx_crc_drops", nic.rx_crc_drops)
 
 
 def _harvest_via(registry: MetricsRegistry, node: str, provider) -> None:
@@ -93,6 +104,16 @@ def _harvest_via(registry: MetricsRegistry, node: str, provider) -> None:
     registry.inc(f"{prefix}.retransmissions", engine.retransmissions)
     registry.inc(f"{prefix}.naks_sent", engine.naks_sent)
     registry.inc(f"{prefix}.drops", engine.drops)
+    # recovery-path counters, only-when-nonzero (see _harvest_nic)
+    if engine.dma_aborts:
+        registry.inc(f"{prefix}.dma_aborts", engine.dma_aborts)
+    if provider.conn_retransmissions:
+        registry.inc(f"{prefix}.conn_retransmissions",
+                     provider.conn_retransmissions)
+    if provider.vi_errors:
+        registry.inc(f"{prefix}.vi_errors", provider.vi_errors)
+    if provider.recoveries:
+        registry.inc(f"{prefix}.recoveries", provider.recoveries)
     posted = {"send": 0, "recv": 0}
     completed = {"send": 0, "recv": 0}
     for vi in provider.vis.values():
@@ -117,3 +138,5 @@ def _harvest_channel(registry: MetricsRegistry, prefix: str, channel) -> None:
     registry.inc(f"{prefix}.bytes", channel.sent_bytes)
     registry.inc(f"{prefix}.drops", channel.dropped_packets)
     registry.inc(f"{prefix}.delivered", channel.delivered_packets)
+    if channel.dup_packets:
+        registry.inc(f"{prefix}.duplicated", channel.dup_packets)

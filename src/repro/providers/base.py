@@ -13,7 +13,7 @@ from typing import Any, Generator
 from ..hw.memory import page_span
 from ..hw.node import Node
 from ..sim import Event
-from ..via.connection import ConnectionManager, ConnRequest
+from ..via.connection import ConnectionManager, ConnRequest, backoff_schedule
 from ..via.constants import (
     CONTROL_WIRE_BYTES,
     DescriptorOp,
@@ -24,6 +24,8 @@ from ..via.constants import (
 from ..via.cq import CompletionQueue
 from ..via.descriptor import Descriptor
 from ..via.errors import (
+    VIP_CATASTROPHIC,
+    AsyncError,
     VipConnectionError,
     VipErrorResource,
     VipInvalidParameter,
@@ -108,6 +110,19 @@ class SimulatedProvider(ViaProvider):
         self.connmgr = ConnectionManager(node.sim)
         node.nic.tlb.entries = choices.nic_tlb_entries
         self.engine = NicEngine(self)
+        # -- fault/recovery bookkeeping ---------------------------------
+        #: handshake control packets retransmitted (client + server side)
+        self.conn_retransmissions = 0
+        #: VIs that entered ERROR via an asynchronous transport failure
+        self.vi_errors = 0
+        #: successful vi_reset recoveries
+        self.recoveries = 0
+        #: asynchronous errors recorded (VipErrorCallback analog)
+        self.async_errors: list[AsyncError] = []
+        self._error_callbacks: list = []
+        #: server side: conn_id -> the ack/reject payload we answered
+        #: with, resent when a duplicate conn_req shows our reply lost
+        self._conn_replies: dict = {}
 
     # -- introspection -----------------------------------------------------
     @property
@@ -235,6 +250,14 @@ class SimulatedProvider(ViaProvider):
                      size=CONTROL_WIRE_BYTES, payload=payload)
         yield from self.node.nic.transmit(pkt)
 
+    @property
+    def _recovery_armed(self) -> bool:
+        """Packets can be lost: run the retransmission machinery."""
+        if self.loss_possible:
+            return True
+        faults = self.sim.faults
+        return faults is not None and faults.affects_delivery
+
     def connect_request(self, handle, vi: VI, remote_host: str,
                         discriminator: int, timeout: float | None = None) -> Op:
         vi.require_state(ViState.IDLE)
@@ -246,9 +269,14 @@ class SimulatedProvider(ViaProvider):
         vi.to_state(ViState.CONNECT_PENDING)
         payload = _ConnReqPayload(conn_id, self.node.name, vi.vi_id,
                                   discriminator, vi.reliability)
-        yield from self._control_tx(remote_node, payload)
         try:
-            result = yield from self._wait_event(ev, timeout)
+            if self._recovery_armed:
+                result = yield from self._connect_with_retx(
+                    ev, remote_node, payload, timeout
+                )
+            else:
+                yield from self._control_tx(remote_node, payload)
+                result = yield from self._wait_event(ev, timeout)
         except (VipConnectionError, VipTimeout):
             self.connmgr.forget(conn_id)
             vi.to_state(ViState.IDLE)
@@ -257,6 +285,38 @@ class SimulatedProvider(ViaProvider):
         vi.peer = (server_node, server_vi_id)
         vi.to_state(ViState.CONNECTED)
         return vi
+
+    def _connect_with_retx(self, ev: Event, remote_node: str, payload,
+                           timeout: float | None) -> Op:
+        """Dial with deterministic exponential backoff.
+
+        Attempt k waits ``min(conn_rto * 2**k, conn_backoff_cap)`` µs for
+        the server's answer before retransmitting the conn_req; a
+        caller-supplied ``timeout`` additionally caps the whole exchange.  A rejection fails ``ev``
+        and raises VipConnectionError out of the yield.
+        """
+        c = self.costs
+        deadline = None if timeout is None else self.sim.now + timeout
+        waits = backoff_schedule(c.conn_rto, c.conn_max_retries,
+                                 cap=c.conn_backoff_cap)
+        for attempt, wait in enumerate(waits):
+            if attempt:
+                self.conn_retransmissions += 1
+                self.sim.trace("via", "conn_retx", self.node.name,
+                               conn=payload.conn_id, attempt=attempt)
+            yield from self._control_tx(remote_node, payload)
+            if deadline is not None:
+                wait = min(wait, deadline - self.sim.now)
+                if wait <= 0:
+                    raise VipTimeout(f"no response within {timeout} us")
+            yield self.sim.any_of([ev, self.sim.timeout(wait)])
+            if ev.triggered and ev.ok:
+                return ev.value
+            if deadline is not None and self.sim.now >= deadline:
+                raise VipTimeout(f"no response within {timeout} us")
+        raise VipConnectionError(
+            f"no response from {remote_node} after {len(waits)} attempts"
+        )
 
     def connect_wait(self, handle, discriminator: int,
                      timeout: float | None = None) -> Op:
@@ -267,10 +327,9 @@ class SimulatedProvider(ViaProvider):
     def connect_accept(self, handle, request: ConnRequest, vi: VI) -> Op:
         vi.require_state(ViState.IDLE)
         if vi.reliability is not request.reliability:
-            yield from self._control_tx(
-                request.client_node,
-                _ConnRejPayload(request.conn_id, "reliability mismatch"),
-            )
+            rej = _ConnRejPayload(request.conn_id, "reliability mismatch")
+            self._conn_replies[request.conn_id] = rej
+            yield from self._control_tx(request.client_node, rej)
             raise VipConnectionError(
                 f"reliability mismatch: client wants "
                 f"{request.reliability.value}, VI has {vi.reliability.value}"
@@ -278,17 +337,15 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(self.costs.conn_server, "sys")
         vi.peer = (request.client_node, request.client_vi_id)
         vi.to_state(ViState.CONNECTED)
-        yield from self._control_tx(
-            request.client_node,
-            _ConnAckPayload(request.conn_id, self.node.name, vi.vi_id),
-        )
+        ack = _ConnAckPayload(request.conn_id, self.node.name, vi.vi_id)
+        self._conn_replies[request.conn_id] = ack
+        yield from self._control_tx(request.client_node, ack)
         return vi
 
     def connect_reject(self, handle, request: ConnRequest) -> Op:
-        yield from self._control_tx(
-            request.client_node,
-            _ConnRejPayload(request.conn_id, "rejected by peer"),
-        )
+        rej = _ConnRejPayload(request.conn_id, "rejected by peer")
+        self._conn_replies[request.conn_id] = rej
+        yield from self._control_tx(request.client_node, rej)
 
     def disconnect(self, handle, vi: VI) -> Op:
         vi.require_state(ViState.CONNECTED)
@@ -301,16 +358,67 @@ class SimulatedProvider(ViaProvider):
         if peer is not None:
             yield from self._control_tx(peer[0], _DisconnectPayload(peer[1]))
 
+    # -- error recovery ------------------------------------------------------
+    def vi_reset(self, handle, vi: VI) -> Op:
+        """VipErrorReset analog: recover an ERROR/DISCONNECTED VI.
+
+        Purges the engine's per-VI protocol state (un-acked messages,
+        kernel buffers, duplicate-skip cursors) so the endpoint restarts
+        with a clean sequence space, then returns it to IDLE.  Any
+        unreaped completions are drained as part of the reset; the
+        application reconnects and reposts afterwards — the full VIPL
+        catastrophic-error recovery sequence.
+        """
+        yield from handle.actor.busy(self.costs.error_recovery, "sys")
+        for key in [k for k in self.engine._unacked if k[0] == vi.vi_id]:
+            self.engine._unacked[key].acked = True  # silence its timer
+            del self.engine._unacked[key]
+        self.engine._buffered.pop(vi.vi_id, None)
+        self.engine._rdma_skip.pop(vi.vi_id, None)
+        vi.reset()
+        self.recoveries += 1
+        self.sim.trace("via", "vi_reset", self.node.name, vi=vi.vi_id)
+        return vi
+
+    def register_error_callback(self, callback) -> None:
+        """VipErrorCallback analog: invoked with each AsyncError."""
+        self._error_callbacks.append(callback)
+
+    def post_async_error(self, vi: VI, code: str = VIP_CATASTROPHIC,
+                         detail: str = "") -> None:
+        """Record an asynchronous error and fire registered callbacks
+        (called by the engine when a VI enters ERROR)."""
+        err = AsyncError(code=code, node=self.node.name, vi_id=vi.vi_id,
+                         time_us=self.sim.now, detail=detail)
+        self.vi_errors += 1
+        self.async_errors.append(err)
+        self.sim.trace("via", "async_error", self.node.name,
+                       vi=vi.vi_id, code=code)
+        for cb in list(self._error_callbacks):
+            cb(err)
+
     def handle_control_packet(self, payload) -> None:
         """Engine callback for connection-management wire traffic."""
         if isinstance(payload, _ConnReqPayload):
-            self.connmgr.deliver(ConnRequest(
-                conn_id=payload.conn_id,
-                client_node=payload.client_node,
-                client_vi_id=payload.client_vi_id,
-                discriminator=payload.discriminator,
-                reliability=payload.reliability,
-            ))
+            reply = self._conn_replies.get(payload.conn_id)
+            if reply is not None:
+                # duplicate conn_req: our answer was evidently lost
+                self.conn_retransmissions += 1
+                self.sim.trace("via", "conn_reply_retx", self.node.name,
+                               conn=payload.conn_id)
+                self.sim.process(
+                    self._control_tx(payload.client_node, reply),
+                    name=f"conn-reack-{payload.conn_id}",
+                )
+            elif not self.connmgr.seen(payload.conn_id):
+                self.connmgr.deliver(ConnRequest(
+                    conn_id=payload.conn_id,
+                    client_node=payload.client_node,
+                    client_vi_id=payload.client_vi_id,
+                    discriminator=payload.discriminator,
+                    reliability=payload.reliability,
+                ))
+            # else: duplicate of a request still parked or mid-accept
         elif isinstance(payload, _ConnAckPayload):
             self.connmgr.resolve(payload.conn_id, payload.server_node,
                                  payload.server_vi_id)
@@ -369,7 +477,7 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(c.post_cost, "user")
         db_kind = "sys" if self.choices.doorbell is DoorbellKind.SYSCALL else "user"
         yield from handle.actor.busy(c.doorbell_cost, db_kind)
-        self.node.nic.ring_doorbell()
+        db_delay = self.node.nic.ring_doorbell()
         self.sim.trace("host", "doorbell", self.node.name,
                        vi=vi.vi_id, desc=desc.desc_id)
         if self.choices.data_path is DataPath.STAGED:
@@ -384,8 +492,21 @@ class SimulatedProvider(ViaProvider):
         vi.send_q.enqueue(desc)
         claimed = vi.send_q.claim()
         assert claimed is desc
-        self.sim.process(self.engine.send_message(vi, desc),
-                         name=f"send-vi{vi.vi_id}")
+        if db_delay is None:
+            self.sim.process(self.engine.send_message(vi, desc),
+                             name=f"send-vi{vi.vi_id}")
+        else:
+            # the doorbell was lost (injected fault): the descriptor
+            # sits until the NIC's periodic recovery scan finds it
+            self.sim.process(self._dispatch_after_scan(vi, desc, db_delay),
+                             name=f"db-scan-vi{vi.vi_id}")
+
+    def _dispatch_after_scan(self, vi: VI, desc: Descriptor,
+                             delay: float) -> Op:
+        yield self.sim.timeout(delay)
+        if not desc.posted:
+            return  # flushed by a disconnect/error before the scan ran
+        yield from self.engine.send_message(vi, desc)
 
     def post_recv(self, handle, vi: VI, desc: Descriptor) -> Op:
         vi.require_state(ViState.IDLE, ViState.CONNECT_PENDING,
@@ -400,7 +521,10 @@ class SimulatedProvider(ViaProvider):
         yield from handle.actor.busy(c.post_cost, "user")
         db_kind = "sys" if self.choices.doorbell is DoorbellKind.SYSCALL else "user"
         yield from handle.actor.busy(c.doorbell_cost, db_kind)
-        self.node.nic.ring_doorbell()
+        # receive doorbells only advertise descriptor availability; the
+        # engine discovers recv descriptors when data arrives, so a
+        # dropped ring here would have no NIC-visible effect
+        self.node.nic.ring_doorbell(droppable=False)
         vi.recv_q.enqueue(desc)
         if self.engine.has_buffered(vi):
             self.notify_buffered(vi)

@@ -142,6 +142,18 @@ class CostModel:
     rto: float = 1_000.0        # retransmission timeout
     max_retries: int = 8
 
+    # -- connection-recovery machinery --------------------------------------
+    conn_rto: float = 4_000.0   # handshake retransmission base timeout;
+                                # must exceed conn_server + wire RTT of
+                                # every provider or lossless handshakes
+                                # would retransmit spuriously
+    conn_max_retries: int = 6   # handshake retransmissions before giving up
+    conn_backoff_cap: float = 8_000.0  # ceiling on the exponential backoff:
+                                # keeps reconnect latency bounded after an
+                                # error-recovery redial instead of letting
+                                # the schedule balloon to 2**6 * conn_rto
+    error_recovery: float = 5.0  # host-side VI reset after an async error
+
     # -- limits -------------------------------------------------------------
     max_transfer_size: int = 65536
     max_segments: int = 16

@@ -14,7 +14,7 @@ knobs plus the provider's :class:`~repro.providers.costs.CostModel`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Iterable
 
 from ..hw.link import Packet
@@ -113,7 +113,10 @@ class _RxState:
     nfrags: int
     desc: Descriptor | None          # bound receive descriptor (None = drop/buffer)
     buffer: bytearray | None
-    received: int = 0
+    #: fragment indices placed so far; a set (not a count) so that
+    #: retransmitted or wire-duplicated fragments of the in-flight
+    #: message are absorbed idempotently
+    frags_seen: set = field(default_factory=set)
     status: CompletionStatus = CompletionStatus.SUCCESS
     immediate: int | None = None
     buffering: bool = False          # unexpected message being kernel-buffered
@@ -203,6 +206,7 @@ class NicEngine:
         self.retransmissions = 0
         self.naks_sent = 0
         self.drops = 0
+        self.dma_aborts = 0
 
     # -- small helpers -------------------------------------------------------
     @property
@@ -248,6 +252,23 @@ class NicEngine:
         self.sim.trace("via", "completed", self.node.name,
                        desc=desc.desc_id, queue=wq.kind,
                        status=status.value)
+
+    def _dma(self, nbytes: int) -> Op:
+        """A data-movement DMA that an injected ``dma_abort`` fault can
+        fail.  Returns False when the transfer aborted partway (the bus
+        setup time is charged, nothing moves) — callers treat the
+        fragment as lost, which the reliable levels recover via RTO/NAK.
+        Control DMAs (descriptor fetches, table-entry fetches) and RDMA
+        placement are not abortable in this model.
+        """
+        faults = self.sim.faults
+        if faults is not None and faults.dma_abort(self.nic.name):
+            self.dma_aborts += 1
+            self.sim.trace("nic", "dma_abort", self.node.name)
+            yield self.sim.timeout(self.nic.dma.per_transfer_cost)
+            return False
+        yield from self.nic.dma.transfer(nbytes)
+        return True
 
     def _tx_packet(self, dst_node: str, kind: str, size: int, payload) -> None:
         """Fire-and-forget transmission (its own process, FIFO behind others)."""
@@ -299,11 +320,13 @@ class NicEngine:
             if reliable:
                 state = _SendState(vi, desc, frags, self._peer_node(vi))
                 self._unacked[(vi.vi_id, frags[0].seq)] = state
-                if self.p.loss_possible:
+                if self.p._recovery_armed:
                     self.sim.process(self._retransmit_timer(state),
                                      name=f"rto-vi{vi.vi_id}")
             for frag in frags:
-                yield from self.nic.dma.transfer(len(frag.data))
+                ok = yield from self._dma(len(frag.data))
+                if not ok:
+                    continue  # fragment lost at the I/O bus
                 yield self.sim.timeout(c.nic_tx_per_frag)
                 self.sim.trace("nic", "frag_out", self.node.name,
                                vi=vi.vi_id, seq=frag.seq, frag=frag.frag)
@@ -398,6 +421,9 @@ class NicEngine:
                 del self._unacked[key]
             vi.send_q.flush()
             vi.recv_q.flush()
+            self.p.post_async_error(
+                vi, detail=f"retries exhausted after {state.retries} attempts"
+            )
 
     def _resend(self, state: _SendState) -> Op:
         c = self.costs
@@ -408,7 +434,9 @@ class NicEngine:
         yield self.nic.send_engine.request()
         try:
             for frag in state.frags:
-                yield from self.nic.dma.transfer(len(frag.data))
+                ok = yield from self._dma(len(frag.data))
+                if not ok:
+                    continue  # lost again; the next retry covers it
                 yield self.sim.timeout(c.nic_tx_per_frag)
                 self._tx_packet(state.dst_node, "via-data", len(frag.data), frag)
         finally:
@@ -456,12 +484,34 @@ class NicEngine:
         c = self.costs
         st: _RxState | None = vi.rx_state
         if pl.frag == 0:
-            if self._duplicate(vi, pl):
+            if st is not None and st.seq == pl.seq:
+                # retransmitted (or wire-duplicated) first fragment of
+                # the in-flight message: resume reassembly — the
+                # frags_seen set and idempotent placement absorb the
+                # replayed fragments without re-binding a descriptor
+                pass
+            elif self._duplicate(vi, pl):
                 return
-            st = self._bind_rx(vi, pl)
-            vi.rx_state = st
+            elif (st is not None
+                    and vi.reliability is not Reliability.UNRELIABLE):
+                # the next message arrived while an earlier reassembly
+                # still has a hole (a fragment lost at placement): binding
+                # it would orphan the claimed descriptor and the resend of
+                # the older message would then be mis-filtered as a
+                # duplicate.  In-order delivery must finish the in-flight
+                # message first, so NAK this one like any future seq.
+                self.naks_sent += 1
+                self.drops += 1
+                self.sim.process(self._nak_later(vi, pl.seq), name="nak-hole")
+                return
+            else:
+                st = self._bind_rx(vi, pl)
+                vi.rx_state = st
         if st is None or st.seq != pl.seq:
             # stale fragment of a dropped/retried message
+            self.drops += 1
+            return
+        if pl.frag in st.frags_seen:
             self.drops += 1
             return
         # placement (skipped when dropping or when a length error occurred)
@@ -471,10 +521,12 @@ class NicEngine:
                     and st.desc is not None):
                 pages = self._placement_pages(st.desc, pl.offset, len(pl.data))
                 yield from self._translate_pages(pages)
-            yield from self.nic.dma.transfer(len(pl.data))
+            ok = yield from self._dma(len(pl.data))
+            if not ok:
+                return  # placement failed: fragment effectively lost
             st.buffer[pl.offset : pl.offset + len(pl.data)] = pl.data
-        st.received += 1
-        if st.received < pl.nfrags:
+        st.frags_seen.add(pl.frag)
+        if len(st.frags_seen) < pl.nfrags:
             return
         # ---- last fragment: message is complete ----
         vi.rx_state = None
@@ -764,13 +816,13 @@ class NicEngine:
                                     CompletionStatus.SUCCESS,
                                     state.desc.total_length)
         elif pl.kind == "nak_retry":
-            state.retries += 1
-            if state.retries > c.max_retries:
-                state.acked = True  # stop the timer
-                yield from self._transport_failure(state)
-            else:
-                yield self.sim.timeout(c.rto / 4)  # retry backoff
-                yield from self._resend(state)
+            # a NAK is proof the peer is reachable, so it does not count
+            # toward the catastrophic-failure budget: the receiver just
+            # cannot accept this message yet (no descriptor posted, or an
+            # earlier message still has a hole).  The RTO timer measures
+            # sustained non-progress and remains the sole failure trigger.
+            yield self.sim.timeout(c.rto / 4)  # retry backoff
+            yield from self._resend(state)
         elif pl.kind == "nak_prot":
             state.acked = True
             del self._unacked[(pl.dst_vi, pl.seq)]

@@ -87,6 +87,7 @@ class Testbed:
         leaf_groups: tuple[tuple[str, ...], ...] | None = None,
         uplink_bandwidth: float | None = None,
         check: bool = False,
+        faults=None,
     ) -> None:
         spec = get_spec(provider)
         network = spec.network
@@ -127,6 +128,14 @@ class Testbed:
             from ..check.invariants import attach_checker
 
             self.checker = attach_checker(self)
+        #: fault injector when a FaultPlan is supplied (repro.faults);
+        #: same discipline — None (or an empty plan) keeps every hook
+        #: site on its zero-cost path
+        self.injector = None
+        if faults is not None:
+            from ..faults.injector import attach_faults
+
+            attach_faults(self, faults)
 
     @property
     def name(self) -> str:

@@ -569,6 +569,10 @@ class Simulator:
         #: optional conformance checker (see repro.check.invariants);
         #: same None-when-disabled discipline as tracer/metrics
         self.checker = None
+        #: optional fault injector (see repro.faults.injector); same
+        #: None-when-disabled discipline — hook sites in the hardware
+        #: and engine models read this once and skip on None
+        self.faults = None
         #: kernel-level totals (always on: two plain int increments)
         self.events_run = 0
         self.ctx_switches = 0

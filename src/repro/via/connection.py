@@ -16,9 +16,37 @@ from ..sim import Event, Simulator
 from .constants import Reliability
 from .errors import VipConnectionError
 
-__all__ = ["ConnRequest", "ConnectionManager"]
+__all__ = ["ConnRequest", "ConnectionManager", "backoff_schedule"]
 
 _conn_ids = itertools.count(1)
+
+
+def backoff_schedule(
+    base: float,
+    retries: int,
+    factor: float = 2.0,
+    cap: float | None = None,
+) -> list[float]:
+    """Deterministic exponential backoff for handshake retransmission.
+
+    Returns ``retries + 1`` waits: attempt ``k`` (0-based) waits
+    ``min(base * factor**k, cap)`` µs for a response before the next
+    retransmission — or, for the last entry, before giving up.  Pure and
+    seedless so the retransmission schedule is a testable golden.
+    """
+    if base <= 0:
+        raise ValueError("base must be positive")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if factor < 1.0:
+        raise ValueError("factor must be >= 1")
+    waits = []
+    for k in range(retries + 1):
+        wait = base * factor**k
+        if cap is not None:
+            wait = min(wait, cap)
+        waits.append(wait)
+    return waits
 
 
 @dataclass
@@ -44,6 +72,9 @@ class ConnectionManager:
         # client side: conn_id -> event fired with (server_node, server_vi_id)
         # or failed with VipConnectionError
         self._outstanding: dict[int, Event] = {}
+        # server side: conn_ids ever delivered, so a retransmitted
+        # conn_req is not parked as a second request
+        self._seen: set[int] = set()
 
     # -- client side ---------------------------------------------------------
     def new_request_id(self) -> int:
@@ -74,9 +105,19 @@ class ConnectionManager:
         return len(self._outstanding)
 
     # -- server side ---------------------------------------------------------
+    def seen(self, conn_id: int) -> bool:
+        """Whether this conn_id was already delivered (duplicate filter)."""
+        return conn_id in self._seen
+
+    def pending_count(self, discriminator: int) -> int:
+        """Requests parked on ``discriminator`` with nobody waiting —
+        lets a busy server notice a client redial after an error."""
+        return len(self._pending.get(discriminator, ()))
+
     def deliver(self, request: ConnRequest) -> None:
         """An incoming conn_req packet landed on this node."""
         disc = request.discriminator
+        self._seen.add(request.conn_id)
         waiters = self._waiters.get(disc)
         if waiters:
             waiters.popleft().succeed(request)

@@ -10,7 +10,11 @@ API-level misuse and environmental failures.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 __all__ = [
+    "AsyncError",
+    "VIP_CATASTROPHIC",
     "VipError",
     "VipInvalidParameter",
     "VipErrorResource",
@@ -57,3 +61,25 @@ class VipConnectionError(VipError):
 
 class VipNotSupported(VipError):
     """VIP_ERROR_NOT_SUPPORTED: optional feature absent in this provider."""
+
+
+#: asynchronous error code: the VI entered ERROR and needs the full
+#: recovery path (drain, reset, reconnect, repost)
+VIP_CATASTROPHIC = "catastrophic"
+
+
+@dataclass(frozen=True)
+class AsyncError:
+    """An asynchronous provider error (VipErrorCallback analog).
+
+    VIPL reports errors that cannot be attributed to a synchronous call
+    — a transport failure detected by NIC firmware, say — through a
+    registered error callback.  Providers record these and invoke any
+    callbacks registered with ``register_error_callback``.
+    """
+
+    code: str  # e.g. VIP_CATASTROPHIC
+    node: str
+    vi_id: int
+    time_us: float
+    detail: str = ""

@@ -23,6 +23,7 @@ from .connection import ConnRequest
 from .constants import Reliability, ViState, WaitMode
 from .cq import CompletionQueue
 from .descriptor import DataSegment, Descriptor
+from .errors import VipNotSupported
 from .memory import MemoryHandle
 from .nameservice import NameService
 from .vi import VI
@@ -155,6 +156,23 @@ class ViaProvider(abc.ABC):
     @abc.abstractmethod
     def disconnect(self, handle: "NicHandle", vi: VI) -> Op:
         """VipDisconnect: tear the connection down, flush queues."""
+
+    # -- error recovery ------------------------------------------------------
+    def vi_reset(self, handle: "NicHandle", vi: VI) -> Op:
+        """VipErrorReset analog: return an ERROR/DISCONNECTED VI to IDLE.
+
+        Completions must already be drained.  Optional: the base raises
+        VIP_ERROR_NOT_SUPPORTED.
+        """
+        raise VipNotSupported(f"{self.name} does not implement VI reset")
+        yield  # pragma: no cover - unreachable; makes this a generator
+
+    def register_error_callback(self, callback) -> None:
+        """VipErrorCallback analog: ``callback(AsyncError)`` is invoked
+        on asynchronous provider errors (e.g. a VI entering ERROR)."""
+        raise VipNotSupported(
+            f"{self.name} does not implement error callbacks"
+        )
 
     # -- data transfer ---------------------------------------------------------------
     @abc.abstractmethod
@@ -324,6 +342,9 @@ class NicHandle:
 
     def disconnect(self, vi: VI) -> Op:
         return self.provider.disconnect(self, vi)
+
+    def reset_vi(self, vi: VI) -> Op:
+        return self.provider.vi_reset(self, vi)
 
     def post_send(self, vi: VI, desc: Descriptor) -> Op:
         return self.provider.post_send(self, vi, desc)

@@ -207,6 +207,49 @@ class VI:
     def is_connected(self) -> bool:
         return self.state is ViState.CONNECTED
 
+    # -- error recovery ------------------------------------------------------
+    def drain(self) -> list[Descriptor]:
+        """Pop every completed-but-unreaped descriptor from both queues.
+
+        First step of the VIPL catastrophic-error recovery sequence: the
+        application must consume all completions (most of them FLUSHED
+        or error-status) before the VI can be reset.  Queues bound to a
+        CQ drain through the CQ instead and are skipped here.
+        """
+        drained: list[Descriptor] = []
+        for wq in (self.send_q, self.recv_q):
+            if wq.cq is None:
+                while wq.completed:
+                    drained.append(wq.completed.popleft())
+        return drained
+
+    def reset(self) -> list[Descriptor]:
+        """Return an ERROR/DISCONNECTED VI to IDLE (VipErrorReset analog).
+
+        Clears the peer binding and all engine sequencing state so the
+        endpoint can dial (or accept) a fresh connection; both sides of
+        a re-established connection restart their sequence spaces from
+        zero.  Work must already be flushed — resetting with descriptors
+        still posted would silently orphan them.
+        """
+        self.require_state(ViState.ERROR, ViState.DISCONNECTED)
+        for wq in (self.send_q, self.recv_q):
+            if wq.posted:
+                raise VipStateError(
+                    f"VI {self.vi_id}: reset with {len(wq.posted)} "
+                    f"descriptor(s) still on the {wq.kind} queue"
+                )
+        drained = self.drain()
+        self.peer = None
+        self.next_send_seq = 0
+        self.rx_state = None
+        self.expected_rx_seq = 0
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_vi_reset(self)
+        self.to_state(ViState.IDLE)
+        return drained
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<VI {self.vi_id} on {self.node_name} {self.state.value} "

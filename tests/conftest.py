@@ -72,12 +72,7 @@ def provider_name(request):
 
 
 def set_wire_loss(tb: Testbed, rate: float) -> None:
-    """Set the loss rate of every channel in the fabric.
-
-    The connection handshake has no retransmission (only the data path
-    does), so loss tests establish connections lossless, then flip the
-    wire lossy for the data phase.
-    """
+    """Set the loss rate of every channel in the fabric."""
     from repro.check.invariants import _iter_channels
 
     for _label, channel in _iter_channels(tb):

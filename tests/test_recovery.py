@@ -1,0 +1,256 @@
+"""VI error recovery: handshake retransmission, VipErrorReset, and the
+full drain / reset / reconnect / repost sequence on every provider.
+
+The handshake backoff schedule is a golden: it is pure and seedless so
+a timing change shows up here before it silently shifts every recovery
+latency in the chaos campaign.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, attach_faults
+from repro.providers import Testbed, get_spec
+from repro.providers.costs import CostModel
+from repro.via import CompletionStatus, Descriptor, Reliability, ViState
+from repro.via.connection import backoff_schedule
+from repro.via.errors import VipStateError, VipTimeout
+
+from conftest import connected_endpoints, run_pair, simple_send
+
+ALL_PROVIDERS = ("mvia", "bvia", "clan", "iba")
+
+
+# ---------------------------------------------------------------------------
+# Backoff schedule goldens
+# ---------------------------------------------------------------------------
+
+def test_backoff_schedule_golden():
+    assert backoff_schedule(400.0, 6) == [
+        400.0, 800.0, 1600.0, 3200.0, 6400.0, 12800.0, 25600.0]
+
+
+def test_backoff_schedule_cap_golden():
+    assert backoff_schedule(4_000.0, 6, cap=8_000.0) == [
+        4_000.0, 8_000.0, 8_000.0, 8_000.0, 8_000.0, 8_000.0, 8_000.0]
+
+
+def test_backoff_schedule_degenerate_and_invalid():
+    assert backoff_schedule(100.0, 0) == [100.0]
+    assert backoff_schedule(100.0, 2, factor=1.0) == [100.0, 100.0, 100.0]
+    with pytest.raises(ValueError):
+        backoff_schedule(0.0, 3)
+    with pytest.raises(ValueError):
+        backoff_schedule(100.0, -1)
+    with pytest.raises(ValueError):
+        backoff_schedule(100.0, 3, factor=0.5)
+
+
+def test_cost_model_recovery_defaults():
+    import dataclasses
+
+    defaults = {f.name: f.default for f in dataclasses.fields(CostModel)}
+    assert defaults["conn_rto"] == 4_000.0
+    assert defaults["conn_max_retries"] == 6
+    assert defaults["conn_backoff_cap"] == 8_000.0
+    # the base timeout must exceed every provider's server-side accept
+    # turnaround, or lossless handshakes would retransmit spuriously
+    for p in ALL_PROVIDERS:
+        assert get_spec(p).costs.conn_rto > get_spec(p).costs.conn_server
+
+
+# ---------------------------------------------------------------------------
+# Handshake retransmission under surgically injected loss
+# ---------------------------------------------------------------------------
+
+def _handshake_under(plan_faults, provider="clan"):
+    """Connect + one reliable ping with the given faults armed from t=0;
+    returns the testbed (for counter inspection)."""
+    plan = FaultPlan(name="handshake", faults=plan_faults)
+    tb = Testbed(provider, seed=0, check=True, faults=plan)
+    cs, ss = connected_endpoints(
+        tb, reliability=Reliability.RELIABLE_DELIVERY)
+    out = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        desc = yield from simple_send(h, vi, region, mh, b"hello")
+        out["status"] = desc.status
+
+    def server():
+        h, vi, region, mh = yield from ss()
+        segs = [h.segment(region, mh, 0, 8)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        yield from h.recv_wait(vi)
+        out["data"] = h.read(region, 5)
+
+    run_pair(tb, client(), server())
+    tb.run()  # drain the backoff timers before the quiesce audit
+    tb.checker.check_quiesced(tb)
+    assert out["status"] is CompletionStatus.SUCCESS
+    assert out["data"] == b"hello"
+    return tb
+
+
+def test_lost_conn_request_is_retransmitted():
+    """Drop exactly the first packet the client ever sends (the
+    conn_req): the backoff machinery must redial and connect."""
+    tb = _handshake_under(
+        (FaultSpec(kind="wire_loss", target="node0.up", count=1),))
+    client = tb.providers["node0"]
+    assert client.conn_retransmissions >= 1
+
+
+def test_lost_conn_ack_is_replayed_by_the_server():
+    """Drop the server's first reply (the conn_ack): the client's redial
+    presents a conn_id the server has seen, so it replays the stored
+    answer instead of accepting twice."""
+    tb = _handshake_under(
+        (FaultSpec(kind="wire_loss", target="node1.up", count=1),))
+    server = tb.providers["node1"]
+    assert server.conn_retransmissions >= 1  # the replayed reply
+
+
+def test_lossless_handshake_never_retransmits():
+    """With delivery-affecting faults armed but never firing, the retx
+    machinery is live yet a clean handshake uses attempt zero only."""
+    tb = _handshake_under(
+        (FaultSpec(kind="wire_loss", at=1e12),))
+    for p in tb.providers.values():
+        assert p.conn_retransmissions == 0
+
+
+# ---------------------------------------------------------------------------
+# Full catastrophic-error recovery on every provider
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("provider", ALL_PROVIDERS)
+def test_reconnect_after_error_round_trip(provider):
+    """Blackout mid-stream: the send exhausts its retries and the VI
+    lands in ERROR; both endpoints then run the VIPL recovery sequence
+    (drain, reset, reconnect, repost) and the resend goes through."""
+    spec = get_spec(provider).with_costs(rto=100.0, max_retries=2)
+    tb = Testbed(spec, seed=1, check=True)
+    disc = 9
+    cs, _ = connected_endpoints(tb, disc=disc,
+                                reliability=Reliability.RELIABLE_DELIVERY)
+    out = {}
+
+    def client():
+        h, vi, region, mh = yield from cs()
+        # arm the blackout only once the connection is up: the window is
+        # relative to "now", so the schedule is provider-independent
+        attach_faults(tb, FaultPlan(name="blackout", faults=(
+            FaultSpec(kind="link_down", target="node0.up",
+                      duration=2_000.0),)).shifted(tb.sim.now))
+        h.write(region, b"doomed")
+        segs = [h.segment(region, mh, 0, 6)]
+        yield from h.post_send(vi, Descriptor.send(segs))
+        first = yield from h.send_wait(vi, timeout=60_000.0)
+        out["first"] = first.status
+        out["state_after_error"] = vi.state
+        # -- VIPL recovery sequence --------------------------------------
+        while (yield from h.send_done(vi)) is not None:
+            pass  # drain any flushed work
+        yield from h.reset_vi(vi)
+        out["state_after_reset"] = vi.state
+        yield from h.connect(vi, "node1", disc, timeout=60_000.0)
+        h.write(region, b"again!")
+        yield from h.post_send(vi, Descriptor.send(segs))
+        second = yield from h.send_wait(vi, timeout=60_000.0)
+        out["second"] = second.status
+        yield from h.disconnect(vi)
+
+    def server():
+        h = tb.open("node1", "server")
+        vi = yield from h.create_vi(reliability=Reliability.RELIABLE_DELIVERY)
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        segs = [h.segment(region, mh, 0, 6)]
+        yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(disc)
+        yield from h.accept(req, vi)
+        connmgr = tb.providers["node1"].connmgr
+        while True:
+            try:
+                desc = yield from h.recv_wait(vi, timeout=500.0)
+            except VipTimeout:
+                if connmgr.pending_count(disc):
+                    # the client redialed after the blackout: tear down
+                    # the dead connection and serve the fresh one
+                    if vi.state is ViState.CONNECTED:
+                        yield from h.disconnect(vi)
+                    while (yield from h.recv_done(vi)) is not None:
+                        pass
+                    yield from h.reset_vi(vi)
+                    yield from h.post_recv(vi, Descriptor.recv(segs))
+                    req = yield from h.connect_wait(disc)
+                    yield from h.accept(req, vi)
+                continue
+            if desc.status is CompletionStatus.SUCCESS:
+                out["data"] = h.read(region, 6)
+                return
+
+    run_pair(tb, client(), server())
+    tb.run()
+    tb.checker.check_quiesced(tb)
+    assert out["first"] is CompletionStatus.TRANSPORT_ERROR
+    assert out["state_after_error"] is ViState.ERROR
+    assert out["state_after_reset"] is ViState.IDLE
+    assert out["second"] is CompletionStatus.SUCCESS
+    assert out["data"] == b"again!"
+    assert tb.providers["node0"].recoveries == 1
+    assert tb.providers["node1"].recoveries == 1
+    assert tb.providers["node0"].vi_errors >= 1
+
+
+# ---------------------------------------------------------------------------
+# VipErrorReset state discipline
+# ---------------------------------------------------------------------------
+
+def test_vi_reset_requires_error_or_disconnected():
+    tb = Testbed("mvia")
+
+    def body():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi()
+        with pytest.raises(VipStateError):
+            vi.reset()  # IDLE is not a recoverable state
+
+    tb.run(tb.spawn(body(), "t"))
+
+
+def test_vi_reset_refuses_posted_work():
+    """A descriptor still *posted* (not flushed) would be orphaned."""
+    tb = Testbed("mvia")
+
+    def body():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi()
+        region = h.alloc(64)
+        mh = yield from h.register_mem(region)
+        vi.recv_q.enqueue(Descriptor.recv([h.segment(region, mh, 0, 8)]))
+        vi.to_state(ViState.CONNECTED)
+        vi.to_state(ViState.ERROR)
+        with pytest.raises(VipStateError, match="still on the recv queue"):
+            vi.reset()
+
+    tb.run(tb.spawn(body(), "t"))
+
+
+def test_vi_reset_clears_sequencing_state():
+    tb = Testbed("mvia")
+
+    def body():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi()
+        vi.to_state(ViState.CONNECTED)
+        vi.peer = ("node1", 7)
+        vi.next_send_seq = 5
+        vi.expected_rx_seq = 9
+        vi.to_state(ViState.ERROR)
+        vi.reset()
+        assert vi.state is ViState.IDLE
+        assert vi.peer is None
+        assert vi.next_send_seq == 0 and vi.expected_rx_seq == 0
+
+    tb.run(tb.spawn(body(), "t"))
