@@ -6,6 +6,13 @@ and writes ``BENCH_simkernel.json``::
     python benchmarks/record_baseline.py                 # record
     python benchmarks/record_baseline.py --check PATH    # CI smoke
 
+``--cluster`` switches to the cluster-serving baseline
+(``BENCH_cluster.json``): simulated requests pushed through an 8-client
+star cluster per wall-second, plus each provider's saturation-knee
+offered load from the quick rate grid.  The knees are exact simulation
+outputs — byte-deterministic — so ``--check`` requires them to match
+the baseline bit-for-bit while throughput gets the usual tolerance.
+
 Raw events/sec are machine-dependent, so each figure is also stored
 *normalized* by a pure-Python calibration loop timed on the same
 machine; ``--check`` compares normalized throughput against the
@@ -29,9 +36,13 @@ from repro.sim import Simulator               # noqa: E402
 from repro.via import Descriptor              # noqa: E402
 
 DEFAULT_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_simkernel.json"
+CLUSTER_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_cluster.json"
 
 EVENTS_N = 20_000
 MESSAGES_N = 300
+
+#: one cluster throughput cell: 8 clients x 16 requests at a mid rate
+CLUSTER_REQUESTS_N = 128
 
 
 def _calibrate(repeats: int = 5) -> float:
@@ -115,6 +126,63 @@ def measure(repeats: int = 5) -> dict:
     }
 
 
+def _cluster_workload() -> None:
+    from repro.cluster import ClusterConfig, run_cluster_once
+
+    cfg = ClusterConfig(nodes=4, clients=8, requests=16)
+    pt = run_cluster_once("clan", cfg, 8_000.0)
+    assert pt["completed"] == CLUSTER_REQUESTS_N
+
+
+def measure_cluster(repeats: int = 3) -> dict:
+    from repro.check import ALL_PROVIDERS
+    from repro.cluster import QUICK_RATE_GRID, ClusterConfig, run_cluster
+
+    calib = _calibrate()
+    requests = _rate(_cluster_workload, CLUSTER_REQUESTS_N, repeats)
+    report = run_cluster(ALL_PROVIDERS, ClusterConfig(),
+                         rates=QUICK_RATE_GRID)
+    assert report.ok, "knee sweep hit violations; baseline not recorded"
+    return {
+        "calibration_ops_per_sec": calib,
+        "requests_per_wallsec": requests,
+        "requests_per_wallsec_normalized": requests / calib,
+        "requests_n": CLUSTER_REQUESTS_N,
+        "rate_grid": list(QUICK_RATE_GRID),
+        "knee_rps": {p: report.results[p]["knee_rps"]
+                     for p in ALL_PROVIDERS},
+        "peak_goodput_rps": {p: report.results[p]["peak_goodput_rps"]
+                             for p in ALL_PROVIDERS},
+    }
+
+
+def check_cluster(baseline_path: pathlib.Path, tolerance: float,
+                  repeats: int) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    fresh = measure_cluster(repeats)
+    failed = False
+    key = "requests_per_wallsec_normalized"
+    old, new = baseline[key], fresh[key]
+    drop = 1.0 - new / old
+    status = "FAIL" if drop > tolerance else "ok"
+    failed |= drop > tolerance
+    print(f"{status:>4}  {key}: baseline {old:.3f}, "
+          f"now {new:.3f} ({-drop:+.1%})")
+    # the knees are simulation outputs, not timings: exact match required
+    for metric in ("knee_rps", "peak_goodput_rps"):
+        for prov, old_v in baseline[metric].items():
+            new_v = fresh[metric][prov]
+            ok = new_v == old_v
+            failed |= not ok
+            print(f"{'ok' if ok else 'FAIL':>4}  {metric}[{prov}]: "
+                  f"baseline {old_v}, now {new_v}")
+    if failed:
+        print(f"cluster baseline regressed against {baseline_path}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def check(baseline_path: pathlib.Path, tolerance: float,
           repeats: int) -> int:
     baseline = json.loads(baseline_path.read_text())
@@ -144,12 +212,20 @@ def main(argv: list[str] | None = None) -> int:
                     help="allowed normalized-throughput drop (default 0.30)")
     ap.add_argument("--repeats", type=int, default=5,
                     help="timing repeats, best-of (default 5)")
+    ap.add_argument("--cluster", action="store_true",
+                    help="record/check the cluster-serving baseline "
+                         "(BENCH_cluster.json) instead of the kernel one")
     args = ap.parse_args(argv)
 
+    if args.cluster and args.out == DEFAULT_OUT:
+        args.out = CLUSTER_OUT
     if args.check:
+        if args.cluster:
+            return check_cluster(args.check, args.tolerance, args.repeats)
         return check(args.check, args.tolerance, args.repeats)
 
-    result = measure(args.repeats)
+    result = measure_cluster(args.repeats) if args.cluster \
+        else measure(args.repeats)
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.out}")
     for k, v in result.items():

@@ -257,6 +257,35 @@ def cmd_chaos(args) -> None:
         sys.exit(1)
 
 
+def cmd_cluster(args) -> None:
+    from .check import ALL_PROVIDERS
+    from .cluster import QUICK_RATE_GRID, ClusterConfig, run_cluster
+
+    providers = (ALL_PROVIDERS if args.provider == "all"
+                 else tuple(args.provider.split(",")))
+    cfg = ClusterConfig(
+        topology=args.topology, nodes=args.nodes, servers=args.servers,
+        clients=args.clients, requests=args.requests,
+        req_size=args.req_size, resp_size=args.resp_size,
+        window=args.window, arrival=args.arrival, service=args.service,
+        mode=args.mode, think_us=args.think_us, seed=args.seed,
+    )
+    rates = None
+    if args.rate:
+        rates = tuple(float(r) for r in args.rate.split(","))
+    elif args.quick:
+        rates = QUICK_RATE_GRID
+    report = run_cluster(providers, cfg, rates=rates, jobs=args.jobs,
+                         check=args.check)
+    print(report.summary())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(report.to_json())
+        print(f"cluster report written to {args.json_out}")
+    if not report.ok:
+        sys.exit(1)
+
+
 def cmd_save(args) -> None:
     from .vibe.repository import ResultRepository
 
@@ -369,6 +398,49 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json-out", metavar="FILE.json",
                        help="also write the report as JSON")
 
+    clus = sub.add_parser(
+        "cluster",
+        help="N-node serving cluster: capacity sweep across offered "
+             "loads, per-provider saturation knee")
+    clus.add_argument("--provider", default="all",
+                      help='comma-separated providers, or "all" '
+                           "(default: all four)")
+    clus.add_argument("--topology", default="star",
+                      choices=["star", "dumbbell", "fattree"])
+    clus.add_argument("--nodes", type=int, default=4,
+                      help="total nodes; the first --servers of them "
+                           "run servers (default 4)")
+    clus.add_argument("--servers", type=int, default=1)
+    clus.add_argument("--clients", type=int, default=8,
+                      help="client processes, round-robin over the "
+                           "non-server nodes (default 8)")
+    clus.add_argument("--rate", metavar="RPS[,RPS...]",
+                      help="offered-load grid in requests/s "
+                           "(default: geometric 2k..64k)")
+    clus.add_argument("--requests", type=int, default=16,
+                      help="requests per client per point (default 16)")
+    clus.add_argument("--req-size", type=int, default=128)
+    clus.add_argument("--resp-size", type=int, default=1024)
+    clus.add_argument("--window", type=int, default=4,
+                      help="per-client outstanding-request bound")
+    clus.add_argument("--arrival", default="poisson",
+                      choices=["poisson", "uniform", "burst"])
+    clus.add_argument("--service", default="fixed:20", metavar="SPEC",
+                      help="server service-time model: fixed:T, exp:M, "
+                           "bytes:C or none (default fixed:20)")
+    clus.add_argument("--mode", default="open",
+                      choices=["open", "closed"])
+    clus.add_argument("--think-us", type=float, default=0.0,
+                      help="closed-loop think time between requests")
+    clus.add_argument("--seed", type=int, default=0)
+    clus.add_argument("--check", action="store_true",
+                      help="run every point under the online "
+                           "conformance checker")
+    clus.add_argument("--quick", action="store_true",
+                      help="3-point rate grid (CI-sized)")
+    clus.add_argument("--json-out", metavar="FILE.json",
+                      help="also write the report as JSON")
+
     save = sub.add_parser("save",
                           help="store results in a repository (paper §5)")
     save.add_argument("--repo", required=True)
@@ -403,6 +475,7 @@ def main(argv: list[str] | None = None) -> None:
         "profile": cmd_profile,
         "check": cmd_check,
         "chaos": cmd_chaos,
+        "cluster": cmd_cluster,
         "save": cmd_save,
         "report": cmd_report,
         "compare": cmd_compare,

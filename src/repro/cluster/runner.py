@@ -1,0 +1,277 @@
+"""Capacity sweeps: drive a cluster across offered loads, find the knee.
+
+One *point* is a full simulation: a topology stood up fresh, servers
+and clients spawned, a fixed number of requests pushed through at one
+offered load, and the latency distribution plus goodput extracted.
+A *sweep* runs one point per (provider, rate) cell, fanned out through
+the suite's parallel executor — every point is an independent
+simulation with a :func:`~repro.vibe.executor.task_seed`-derived seed,
+so the report is byte-identical for any ``--jobs`` value.
+
+The saturation knee is the largest offered load a provider still
+*delivers*: the last point whose goodput stays within
+``_KNEE_EFFICIENCY`` of the offered rate.  Beyond it goodput plateaus
+while open-loop latency grows without bound — the curve the ROADMAP's
+"heavy traffic" question needs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from ..obs.metrics import Histogram
+from ..vibe.executor import parallel_map, task_seed
+from .server import ClusterServer, make_service
+from .topology import build_testbed, make_topology
+from .workload import LATENCY_BUCKETS, ClusterClient, StartGate
+
+__all__ = ["ClusterConfig", "ClusterReport", "RATE_GRID",
+           "QUICK_RATE_GRID", "find_knee", "run_cluster",
+           "run_cluster_once"]
+
+#: default total offered loads (requests/s) for a capacity sweep —
+#: geometric, wide enough to cross every provider's knee
+RATE_GRID = (2_000.0, 4_000.0, 8_000.0, 16_000.0, 32_000.0, 64_000.0)
+QUICK_RATE_GRID = (2_000.0, 8_000.0, 32_000.0)
+
+#: a point is "delivering" while goodput >= this fraction of offered
+_KNEE_EFFICIENCY = 0.9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything one cluster run needs besides provider and rate."""
+
+    topology: str = "star"
+    nodes: int = 4
+    servers: int = 1
+    clients: int = 8          # client processes, round-robin over nodes
+    requests: int = 16        # per client
+    req_size: int = 128
+    resp_size: int = 1024
+    window: int = 4
+    arrival: str = "poisson"
+    burst: int = 8
+    service: str = "fixed:20"
+    mode: str = "open"        # "open" (rate-driven) | "closed"
+    think_us: float = 0.0
+    seed: int = 0
+    deadline_us: float = 30_000_000.0
+
+
+def run_cluster_once(provider: str, cfg: ClusterConfig,
+                     rate_rps: float | None = None,
+                     check: bool = False, fault_plan=None) -> dict:
+    """Run one cluster simulation; returns a deterministic point dict.
+
+    ``rate_rps`` is the *total* offered load across all clients (open
+    loop); ``None`` or ``mode="closed"`` runs closed-loop.
+    """
+    topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
+    tb = build_testbed(provider, topo, seed=cfg.seed, check=check,
+                       faults=fault_plan)
+    service = make_service(cfg.service)
+    open_loop = cfg.mode == "open" and rate_rps is not None
+    interval_us = (cfg.clients * 1e6 / rate_rps) if open_loop else None
+    hist = Histogram("latency_us", LATENCY_BUCKETS)
+    # clients only: servers serve reactively and never join the gate
+    gate = StartGate(tb.sim, cfg.clients)
+
+    per_server = [0] * cfg.servers
+    for i in range(cfg.clients):
+        per_server[i % cfg.servers] += 1
+    servers = [
+        ClusterServer(
+            tb, topo.servers[s], per_server[s],
+            per_server[s] * cfg.requests,
+            discriminator=4000 + s,
+            window=cfg.window, service=service,
+            req_size=cfg.req_size, resp_size=cfg.resp_size,
+            seed=task_seed(cfg.seed, "server", s),
+            deadline_us=cfg.deadline_us,
+        )
+        for s in range(cfg.servers)
+    ]
+    clients = [
+        ClusterClient(
+            tb, topo.clients[i % len(topo.clients)], i,
+            topo.servers[i % cfg.servers],
+            n_requests=cfg.requests, interval_us=interval_us,
+            arrival=cfg.arrival, burst=cfg.burst,
+            req_size=cfg.req_size, resp_size=cfg.resp_size,
+            window=cfg.window, think_us=cfg.think_us,
+            discriminator=4000 + (i % cfg.servers),
+            seed=task_seed(cfg.seed, "client", i),
+            hist=hist, deadline_us=cfg.deadline_us, gate=gate,
+        )
+        for i in range(cfg.clients)
+    ]
+
+    procs = [tb.spawn(s.body(), f"server-{i}") for i, s in enumerate(servers)]
+    procs += [tb.spawn(c.body(), f"client-{c.cid}") for c in clients]
+    violations: list[str] = []
+    try:
+        for proc in procs:
+            tb.run(proc)
+        tb.run()  # drain stray timers (RTO etc.)
+        if check:
+            tb.checker.check_quiesced(tb)
+    except Exception as exc:  # conformance violation or crash
+        violations.append(f"{type(exc).__name__}: {exc}")
+
+    completed = sum(c.stats["completed"] for c in clients)
+    failed = sum(c.stats["failed"] for c in clients)
+    served = sum(s.stats["served"] for s in servers)
+    # goodput over the aggregate completion window (first to last
+    # response anywhere in the cluster): interior by construction, so
+    # the warmup ramp and one slow client's tail don't bias the rate
+    finishes = [t for c in clients for t in c.finish_times]
+    elapsed = (max(finishes) - min(finishes)) if len(finishes) > 1 else 0.0
+    goodput = (completed - 1) * 1e6 / elapsed if elapsed > 0 else 0.0
+    # the nominal rate overstates what the sampled Poisson schedules
+    # actually offered over the measured window; the knee compares
+    # goodput against this realized rate instead
+    sched = [t for c in clients for t in c.schedule]
+    span = (max(sched) - min(sched)) if len(sched) > 1 else 0.0
+    realized = (len(sched) - 1) * 1e6 / span if span > 0 else 0.0
+    ports = _port_stats(tb)
+    providers = list(tb.providers.values())
+    return {
+        "provider": provider,
+        "offered_rps": round(rate_rps, 3) if open_loop else None,
+        "realized_rps": round(realized, 3) if open_loop else None,
+        "goodput_rps": round(goodput, 3),
+        "p50_us": round(hist.quantile(0.50), 3),
+        "p99_us": round(hist.quantile(0.99), 3),
+        "p999_us": round(hist.quantile(0.999), 3),
+        "mean_us": round(hist.total / hist.count, 3) if hist.count else 0.0,
+        "completed": completed,
+        "failed": failed,
+        "served": served,
+        "elapsed_us": round(elapsed, 3),
+        "port_drops": ports["drops"],
+        "port_contended": ports["contended"],
+        "port_backpressured": ports["backpressured"],
+        "retransmissions": sum(p.engine.retransmissions for p in providers),
+        "recoveries": sum(p.recoveries for p in providers),
+        "violations": violations,
+    }
+
+
+def _port_stats(tb) -> dict:
+    """Sum output-port counters over whatever fabric the testbed has."""
+    totals = {"drops": 0, "contended": 0, "backpressured": 0}
+    switch = getattr(tb.fabric, "switch", None)
+    ports = list(switch._ports.values()) if switch is not None else []
+    for leaf in getattr(tb.fabric, "leaves", ()):
+        ports.extend(leaf.local_ports.values())
+    for port in ports:
+        totals["drops"] += port.drops
+        totals["contended"] += port.contended
+        totals["backpressured"] += port.backpressured
+    return totals
+
+
+def find_knee(points: list[dict]) -> dict:
+    """The saturation knee of one provider's sweep.
+
+    Returns ``{"knee_rps": ..., "peak_goodput_rps": ...}``: the largest
+    offered load still delivered at >= ``_KNEE_EFFICIENCY`` efficiency,
+    and the best goodput seen anywhere (the plateau height).
+    """
+    peak = max((p["goodput_rps"] for p in points), default=0.0)
+    knee = 0.0
+    for p in sorted(points, key=lambda p: p["offered_rps"] or 0.0):
+        target = p.get("realized_rps") or p["offered_rps"]
+        if target and p["goodput_rps"] >= _KNEE_EFFICIENCY * target:
+            knee = p["offered_rps"]
+    return {"knee_rps": knee, "peak_goodput_rps": peak}
+
+
+def _point_worker(provider: str, cfg: ClusterConfig,
+                  rate: float | None, check: bool) -> dict:
+    # each cell gets its own derived seed so points are independent
+    # draws, yet reproducible for any execution order
+    cell_cfg = replace(cfg, seed=task_seed(cfg.seed, provider, rate))
+    return run_cluster_once(provider, cell_cfg, rate, check=check)
+
+
+@dataclass
+class ClusterReport:
+    """A full capacity sweep: per-provider curves plus their knees."""
+
+    config: dict
+    providers: tuple
+    rates: tuple
+    results: dict = field(default_factory=dict)  # provider -> curve dict
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and not any(
+            pt["violations"]
+            for curve in self.results.values() for pt in curve["points"])
+
+    def summary(self) -> str:
+        cfg = self.config
+        lines = [
+            f"cluster: {cfg['topology']} x{cfg['nodes']} nodes, "
+            f"{cfg['clients']} clients x {cfg['requests']} reqs, "
+            f"req {cfg['req_size']} B -> resp {cfg['resp_size']} B, "
+            f"service {cfg['service']}",
+        ]
+        for prov in self.providers:
+            curve = self.results[prov]
+            lines.append(
+                f"  {prov}: knee {curve['knee_rps']:.0f} rps, "
+                f"peak goodput {curve['peak_goodput_rps']:.0f} rps")
+            lines.append(
+                f"    {'offered':>9} {'goodput':>9} {'p50_us':>9} "
+                f"{'p99_us':>10} {'p999_us':>10} {'drops':>6} {'retx':>5}")
+            for pt in curve["points"]:
+                offered = (f"{pt['offered_rps']:.0f}"
+                           if pt["offered_rps"] else "closed")
+                lines.append(
+                    f"    {offered:>9} {pt['goodput_rps']:>9.0f} "
+                    f"{pt['p50_us']:>9.1f} {pt['p99_us']:>10.1f} "
+                    f"{pt['p999_us']:>10.1f} {pt['port_drops']:>6} "
+                    f"{pt['retransmissions']:>5}")
+        for prov in self.providers:
+            for pt in self.results[prov]["points"]:
+                for v in pt["violations"]:
+                    lines.append(f"  {prov}: {v}")
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "config": self.config,
+                "providers": list(self.providers),
+                "rates": list(self.rates),
+                "ok": self.ok,
+                "results": self.results,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def run_cluster(providers: tuple, cfg: ClusterConfig,
+                rates: tuple | None = None, jobs: int = 1,
+                check: bool = False) -> ClusterReport:
+    """Sweep every (provider, rate) cell; never raises, inspect ``ok``."""
+    if cfg.mode == "closed":
+        rates = (None,)
+    elif rates is None:
+        rates = RATE_GRID
+    tasks = [(p, cfg, r, check) for p in providers for r in rates]
+    points = parallel_map(_point_worker, tasks, jobs)
+    report = ClusterReport(config=asdict(cfg), providers=tuple(providers),
+                           rates=tuple(r for r in rates if r is not None))
+    for i, prov in enumerate(providers):
+        curve_pts = points[i * len(rates):(i + 1) * len(rates)]
+        curve = {"points": curve_pts}
+        curve.update(find_knee(curve_pts))
+        report.results[prov] = curve
+    return report

@@ -1,0 +1,201 @@
+"""The cluster server: one CQ-dispatch event loop, many VIs.
+
+The paper's multi-VI benchmarks (Fig. 6) measure how per-VI cost grows
+with endpoint count on an otherwise idle node.  :class:`ClusterServer`
+is that experiment under load: one VI per connected client, all
+completions funnelled into a single recv CQ, one event loop draining it
+— the canonical VIA serving architecture.  Request handling charges a
+pluggable service time on the host CPU (the application work), then
+posts the response on the same VI.
+
+Service-time models are seeded callables so every run is deterministic;
+:func:`make_service` parses the CLI spec format (``fixed:20``,
+``exp:50``, ``bytes:0.02``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable
+
+from ..via.constants import CompletionStatus, Reliability, WaitMode
+from ..via.descriptor import Descriptor
+from ..via.errors import VipError, VipTimeout
+
+__all__ = ["ClusterServer", "make_service"]
+
+#: how often the dispatch loop wakes to re-check its deadline when idle
+_IDLE_POLL_US = 5_000.0
+
+ServiceModel = Callable[[random.Random, int], float]
+
+
+def make_service(spec: str) -> ServiceModel:
+    """Parse a service-time spec into a ``(rng, request_size) -> us`` model.
+
+    * ``fixed:T``  — constant ``T`` us per request
+    * ``exp:M``    — exponential with mean ``M`` us (seeded, deterministic)
+    * ``bytes:C``  — ``C`` us per request byte (size-proportional work)
+    * ``none``     — zero service time (pure VIPL overhead)
+    """
+    kind, _, arg = spec.partition(":")
+    if kind == "none":
+        return lambda rng, size: 0.0
+    try:
+        value = float(arg)
+    except ValueError:
+        raise ValueError(f"bad service spec {spec!r}: {arg!r} is not a "
+                         "number") from None
+    if value < 0:
+        raise ValueError(f"bad service spec {spec!r}: negative time")
+    if kind == "fixed":
+        return lambda rng, size: value
+    if kind == "exp":
+        return lambda rng, size: rng.expovariate(1.0 / value) if value else 0.0
+    if kind == "bytes":
+        return lambda rng, size: value * size
+    raise ValueError(f"unknown service model {kind!r}; "
+                     "expected fixed:T, exp:M, bytes:C or none")
+
+
+class ClusterServer:
+    """A request/response server multiplexing one VI per client.
+
+    Spawn :meth:`body` as a simulation process.  The server accepts
+    ``n_clients`` connections on ``discriminator``, pre-posts ``window``
+    receives per VI, then dispatches from one shared recv CQ until it
+    has served ``total_requests`` requests or the deadline passes —
+    whichever comes first, so a partitioned client can never wedge it.
+    """
+
+    def __init__(
+        self,
+        tb,
+        node: str,
+        n_clients: int,
+        total_requests: int,
+        *,
+        discriminator: int = 4000,
+        window: int = 4,
+        service: ServiceModel | None = None,
+        req_size: int = 128,
+        resp_size: int = 1024,
+        reliability: Reliability = Reliability.RELIABLE_DELIVERY,
+        wait_mode: WaitMode = WaitMode.BLOCK,
+        seed: int = 0,
+        deadline_us: float = 30_000_000.0,
+    ) -> None:
+        self.tb = tb
+        self.node = node
+        self.n_clients = n_clients
+        self.total_requests = total_requests
+        self.discriminator = discriminator
+        self.window = window
+        self.service = service or make_service("none")
+        self.req_size = req_size
+        self.resp_size = resp_size
+        self.reliability = reliability
+        self.wait_mode = wait_mode
+        self.rng = random.Random(seed)
+        self.deadline_us = deadline_us
+        self.stats = {"accepted": 0, "served": 0, "errors": 0}
+        #: absolute completion timestamps, for served-during-outage checks
+        self.served_at: list[float] = []
+
+    def _accept_one(self, h, req, state):
+        """Bind one conn request to a fresh VI with pre-posted recvs.
+
+        A client that gave up on a parked dial and redialled re-binds
+        to a fresh VI (its abandoned one just goes quiet), so a slow
+        connection storm can never starve the later arrivals.
+        """
+        recv_cq, send_cq, slot, slots_by_wq, peers = state
+        vi = yield from h.create_vi(self.reliability,
+                                    send_cq=send_cq, recv_cq=recv_cq)
+        buf = h.alloc(self.window * slot)
+        mh = yield from h.register_mem(buf)
+        slots: deque[int] = deque()
+        for w in range(self.window):
+            yield from h.post_recv(
+                vi, Descriptor.recv([h.segment(buf, mh, w * slot, slot)]))
+            slots.append(w * slot)
+        slots_by_wq[vi.recv_q] = (vi, buf, mh, slots)
+        yield from h.accept(req, vi)
+        self.stats["accepted"] += 1
+        peers[(req.client_node, req.client_vi_id)] = vi
+
+    def body(self):
+        tb = self.tb
+        h = tb.open(self.node, "server")
+        depth = max(64, self.n_clients * self.window * 2)
+        recv_cq = yield from h.create_cq(depth=depth)
+        send_cq = yield from h.create_cq(depth=depth)
+        slot = max(self.req_size, 8)
+        resp_slot = max(self.resp_size, 8)
+        resp_buf = h.alloc(resp_slot)
+        resp_mh = yield from h.register_mem(resp_buf)
+        deadline = tb.now + self.deadline_us
+        connmgr = tb.providers[self.node].connmgr
+
+        # fast path: accept until every distinct client endpoint has a
+        # binding (or the deadline says some never will)
+        slots_by_wq: dict = {}
+        peers: dict = {}
+        state = (recv_cq, send_cq, slot, slots_by_wq, peers)
+        while len(peers) < self.n_clients and tb.now < deadline:
+            try:
+                req = yield from h.connect_wait(
+                    self.discriminator, timeout=deadline - tb.now)
+            except VipTimeout:
+                break
+            yield from self._accept_one(h, req, state)
+
+        # dispatch: the server never joins the start gate — it serves
+        # reactively, and keeps accepting parked redials between
+        # completions so a client whose earlier dial went stale while
+        # we were busy still gets connected (no accept, no traffic)
+        while (self.stats["served"] < self.total_requests
+               and tb.now < deadline):
+            while connmgr.pending_count(self.discriminator):
+                req = yield from h.connect_wait(self.discriminator,
+                                                timeout=0.0)
+                yield from self._accept_one(h, req, state)
+            budget = min(_IDLE_POLL_US, deadline - tb.now)
+            try:
+                wq, desc = yield from h.cq_wait(
+                    recv_cq, mode=self.wait_mode, timeout=budget)
+            except VipTimeout:
+                continue
+            vi, buf, mh, slots = slots_by_wq[wq]
+            off = slots.popleft()
+            if desc.status is not CompletionStatus.SUCCESS:
+                self.stats["errors"] += 1
+                continue
+            service_us = self.service(self.rng, desc.control.length)
+            if service_us > 0.0:
+                yield from h.actor.busy(service_us, "user")
+            try:
+                yield from h.post_send(
+                    vi, Descriptor.send(
+                        [h.segment(resp_buf, resp_mh, 0, self.resp_size)]))
+                yield from h.post_recv(
+                    vi, Descriptor.recv([h.segment(buf, mh, off, slot)]))
+                slots.append(off)
+            except VipError:
+                # the client's VI died (e.g. its link is down and the
+                # response RTO exhausted); keep serving everyone else
+                self.stats["errors"] += 1
+                continue
+            self.stats["served"] += 1
+            self.served_at.append(tb.now)
+            while True:  # reap acked responses without blocking
+                done = yield from h.cq_done(send_cq)
+                if done is None:
+                    break
+
+        # drain whatever send completions are still in flight
+        while True:
+            done = yield from h.cq_done(send_cq)
+            if done is None:
+                break

@@ -1,0 +1,304 @@
+"""Traffic generators: seeded open-loop and closed-loop clients.
+
+An *open-loop* client draws a request arrival schedule up front
+(Poisson, deterministic, or bursty — all from a per-client seeded RNG)
+and issues requests at those instants regardless of how fast responses
+come back, bounded only by its descriptor window: exactly the
+load-generator discipline that exposes a saturation knee, because
+offered load does not throttle itself when the server slows down.
+Per-request latency is measured from the *scheduled* arrival to the
+response, so client-side queueing behind a full window counts — the
+standard open-loop correction for coordinated omission.
+
+A *closed-loop* client (``interval_us=None``) issues one request at a
+time with optional think time: offered load adapts to service speed,
+which is what capacity calibration and the chaos cells want.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim import Signal
+from ..via.constants import CompletionStatus, Reliability, WaitMode
+from ..via.descriptor import Descriptor
+from ..via.errors import VipConnectionError, VipError, VipTimeout
+
+__all__ = ["ClusterClient", "StartGate", "arrival_offsets",
+           "LATENCY_BUCKETS"]
+
+#: request-latency histogram bounds: 1 us .. ~33 s, x1.5 geometric —
+#: fine enough that p50/p99/p999 interpolation is meaningful both at
+#: light load (tens of us) and deep in overload (seconds)
+LATENCY_BUCKETS = tuple(1.0 * 1.5 ** i for i in range(43))
+
+ARRIVALS = ("poisson", "uniform", "burst")
+
+
+def arrival_offsets(kind: str, n: int, interval_us: float,
+                    rng: random.Random, burst: int = 8) -> list[float]:
+    """Cumulative arrival offsets (us from the start gate) for ``n``
+    requests at a mean rate of one per ``interval_us``."""
+    if kind not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {kind!r}; "
+                         f"known: {ARRIVALS}")
+    if interval_us <= 0:
+        raise ValueError("interval must be positive")
+    if kind == "uniform":
+        return [i * interval_us for i in range(n)]
+    if kind == "poisson":
+        offsets = []
+        t = 0.0
+        for _ in range(n):
+            t += rng.expovariate(1.0 / interval_us)
+            offsets.append(t)
+        return offsets
+    # burst: groups of `burst` arrive together, groups spaced so the
+    # mean rate still matches interval_us
+    offsets = []
+    for i in range(n):
+        offsets.append((i // burst) * burst * interval_us)
+    return offsets
+
+
+class StartGate:
+    """Barrier separating the connection phase from the measured run.
+
+    Every participant calls ``yield from gate.arrive()`` once its setup
+    is done; the last arrival releases everyone and stamps :attr:`t0`,
+    the common schedule origin.
+    """
+
+    def __init__(self, sim, expected: int) -> None:
+        self.sim = sim
+        self.expected = expected
+        self.ready = 0
+        self.t0: float | None = None
+        self._signal = Signal(sim)
+
+    def arrive(self):
+        self.ready += 1
+        if self.ready >= self.expected:
+            self.t0 = self.sim.now
+            self._signal.fire()
+            return
+        yield self._signal.wait()
+
+    def released(self):
+        """Wait (as a process fragment) until the gate has fired —
+        e.g. to arm mid-campaign fault plans relative to :attr:`t0`."""
+        if self.t0 is None:
+            yield self._signal.wait()
+
+    def abandon(self) -> None:
+        """A participant gives up before reaching the gate (e.g. its
+        connection never came up): shrink the quorum so the rest of the
+        cluster still starts instead of waiting forever."""
+        self.expected -= 1
+        if self.ready >= self.expected and self.t0 is None:
+            self.t0 = self.sim.now
+            self._signal.fire()
+
+
+class ClusterClient:
+    """One request/response traffic source (spawn :meth:`body`)."""
+
+    def __init__(
+        self,
+        tb,
+        node: str,
+        cid: int,
+        server: str,
+        *,
+        n_requests: int,
+        interval_us: float | None = None,
+        arrival: str = "poisson",
+        burst: int = 8,
+        req_size: int = 128,
+        resp_size: int = 1024,
+        window: int = 4,
+        think_us: float = 0.0,
+        discriminator: int = 4000,
+        reliability: Reliability = Reliability.RELIABLE_DELIVERY,
+        wait_mode: WaitMode = WaitMode.BLOCK,
+        seed: int = 0,
+        hist=None,
+        deadline_us: float = 30_000_000.0,
+        gate: StartGate | None = None,
+    ) -> None:
+        self.tb = tb
+        self.node = node
+        self.cid = cid
+        self.server = server
+        self.n_requests = n_requests
+        self.interval_us = interval_us
+        self.arrival = arrival
+        self.burst = burst
+        self.req_size = req_size
+        self.resp_size = resp_size
+        self.window = max(1, window)
+        self.think_us = think_us
+        self.discriminator = discriminator
+        self.reliability = reliability
+        self.wait_mode = wait_mode
+        self.rng = random.Random(seed)
+        self.hist = hist
+        self.deadline_us = deadline_us
+        self.gate = gate
+        self.stats = {"sent": 0, "completed": 0, "failed": 0,
+                      "connected": False, "done_at": 0.0}
+        #: absolute completion timestamps (for served-during-outage checks)
+        self.finish_times: list[float] = []
+        #: absolute scheduled arrival instants (open loop only) — the
+        #: runner computes the *realized* offered rate from these
+        self.schedule: list[float] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _record(self, latency_us: float) -> None:
+        self.stats["completed"] += 1
+        self.finish_times.append(self.tb.now)
+        if self.hist is not None:
+            self.hist.observe(latency_us)
+
+    def _drain_sends(self, h, vi):
+        while True:
+            done = yield from h.send_done(vi)
+            if done is None:
+                break
+
+    def body(self):
+        tb = self.tb
+        h = tb.open(self.node, f"cli{self.cid}")
+        vi = yield from h.create_vi(self.reliability)
+        resp_slot = max(self.resp_size, 8)
+        buf = h.alloc(self.window * resp_slot + max(self.req_size, 8))
+        mh = yield from h.register_mem(buf)
+        req_off = self.window * resp_slot
+        deadline = tb.now + self.deadline_us
+
+        posted = 0
+        for w in range(self.window):
+            yield from h.post_recv(vi, Descriptor.recv(
+                [h.segment(buf, mh, w * resp_slot, resp_slot)]))
+            posted += 1
+        slots = list(range(self.window))
+
+        while True:  # dial until accepted; handshake loss redials
+            try:
+                yield from h.connect(vi, self.server, self.discriminator,
+                                     timeout=deadline - tb.now)
+                break
+            except VipTimeout:
+                self.stats["failed"] = self.n_requests
+                if self.gate is not None:
+                    self.gate.abandon()
+                return
+            except VipConnectionError:
+                if tb.now >= deadline:
+                    self.stats["failed"] = self.n_requests
+                    if self.gate is not None:
+                        self.gate.abandon()
+                    return
+        self.stats["connected"] = True
+
+        if self.gate is not None:
+            yield from self.gate.arrive()
+
+        try:
+            if self.interval_us is None:
+                yield from self._run_closed(h, vi, buf, mh, req_off,
+                                            resp_slot, slots, deadline)
+            else:
+                yield from self._run_open(h, vi, buf, mh, req_off,
+                                          resp_slot, slots, deadline)
+        except VipError:
+            pass  # a dead VI ends this client's run; stats already tell
+        self.stats["failed"] = self.n_requests - self.stats["completed"]
+        self.stats["done_at"] = tb.now
+        yield from self._drain_sends(h, vi)
+        if self.stats["failed"] == 0 and vi.is_connected:
+            yield from h.disconnect(vi)
+
+    def _req_desc(self, h, buf, mh, req_off):
+        return Descriptor.send([h.segment(buf, mh, req_off, self.req_size)])
+
+    def _consume(self, h, vi, buf, mh, resp_slot, slots, issue_time,
+                 deadline):
+        """Process fragment: wait one response, record its latency."""
+        budget = deadline - self.tb.now
+        if budget <= 0:
+            raise VipTimeout("client deadline exceeded")
+        desc = yield from h.recv_wait(vi, mode=self.wait_mode,
+                                      timeout=budget)
+        s = slots.pop(0)
+        if desc.status is CompletionStatus.SUCCESS:
+            self._record(self.tb.now - issue_time)
+        else:
+            self.stats["failed"] += 1
+        yield from h.post_recv(vi, Descriptor.recv(
+            [h.segment(buf, mh, s * resp_slot, resp_slot)]))
+        slots.append(s)
+
+    def _run_closed(self, h, vi, buf, mh, req_off, resp_slot, slots,
+                    deadline):
+        tb = self.tb
+        for _ in range(self.n_requests):
+            if tb.now >= deadline:
+                break
+            issued = tb.now
+            yield from h.post_send(vi, self._req_desc(h, buf, mh, req_off))
+            self.stats["sent"] += 1
+            yield from self._drain_sends(h, vi)
+            try:
+                yield from self._consume(h, vi, buf, mh, resp_slot, slots,
+                                         issued, deadline)
+            except VipTimeout:
+                break
+            if self.think_us > 0.0:
+                yield tb.sim.timeout(self.think_us)
+
+    def _run_open(self, h, vi, buf, mh, req_off, resp_slot, slots,
+                  deadline):
+        tb = self.tb
+        t0 = self.gate.t0 if self.gate is not None else tb.now
+        issue_at = [t0 + off for off in arrival_offsets(
+            self.arrival, self.n_requests, self.interval_us, self.rng,
+            self.burst)]
+        self.schedule = issue_at
+        sent = recvd = 0
+        while recvd < self.n_requests and tb.now < deadline:
+            while (sent < self.n_requests and sent - recvd < self.window
+                   and tb.now >= issue_at[sent]):
+                yield from h.post_send(vi,
+                                       self._req_desc(h, buf, mh, req_off))
+                self.stats["sent"] += 1
+                sent += 1
+                yield from self._drain_sends(h, vi)
+            window_open = (sent < self.n_requests
+                           and sent - recvd < self.window)
+            if window_open and tb.now < issue_at[sent]:
+                # idle until the next scheduled arrival, but consume any
+                # response that lands first so receives repost promptly
+                budget = issue_at[sent] - tb.now
+                try:
+                    desc = yield from h.recv_wait(vi, mode=self.wait_mode,
+                                                  timeout=budget)
+                except VipTimeout:
+                    continue
+                s = slots.pop(0)
+                if desc.status is CompletionStatus.SUCCESS:
+                    self._record(tb.now - issue_at[recvd])
+                else:
+                    self.stats["failed"] += 1
+                recvd += 1
+                yield from h.post_recv(vi, Descriptor.recv(
+                    [h.segment(buf, mh, s * resp_slot, resp_slot)]))
+                slots.append(s)
+            elif not window_open or sent >= self.n_requests:
+                try:
+                    yield from self._consume(h, vi, buf, mh, resp_slot,
+                                             slots, issue_at[recvd],
+                                             deadline)
+                except VipTimeout:
+                    break
+                recvd += 1

@@ -109,6 +109,10 @@ class ChaosReport:
 def run_scenario(provider: str, sc: ChaosScenario, seed: int = 0,
                  quick: bool = False) -> ScenarioResult:
     """Run one scenario on one provider under the conformance checker."""
+    if sc.workload == "cluster":
+        from .cluster_cell import run_cluster_scenario
+
+        return run_cluster_scenario(provider, sc, seed=seed, quick=quick)
     count = min(sc.count, 8) if quick else sc.count
     deadline_us = min(sc.deadline_us, 150_000.0) if quick else sc.deadline_us
     window = min(sc.window, count)

@@ -40,6 +40,9 @@ class ChaosScenario:
     #: reliable scenarios must deliver every message; unreliable ones
     #: only promise invariant-clean loss
     expect_delivery: bool = True
+    #: "stream" = the classic two-node windowed stream;
+    #: "cluster" = an N-client serving cluster (repro.faults.cluster_cell)
+    workload: str = "stream"
 
     def plan(self, seed: int) -> FaultPlan:
         return FaultPlan(name=self.name, seed=seed, faults=self.faults)
@@ -123,6 +126,17 @@ SCENARIOS: tuple[ChaosScenario, ...] = (
         description="server host CPU frozen for 3 ms",
         faults=(FaultSpec(kind="cpu_stall", target="node1",
                           at=300.0, duration=3000.0),),
+    ),
+    ChaosScenario(
+        name="many_clients",
+        description="5-client cluster; one client's uplink down 2.5 ms "
+                    "mid-campaign, the server keeps serving the rest",
+        # "c1.up" is the uplink of client node c1 in the star topology;
+        # 2.5 ms forces RTO retransmission without exhausting it (no VI
+        # error), and the at-offset is relative to the start gate
+        faults=(FaultSpec(kind="link_down", target="c1.up",
+                          at=400.0, duration=2500.0),),
+        workload="cluster",
     ),
     ChaosScenario(
         name="unreliable_loss",

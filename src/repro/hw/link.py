@@ -84,6 +84,11 @@ class Channel:
         self.dup_packets = 0
         self.sent_bytes = 0
 
+    @property
+    def queue_depth(self) -> int:
+        """Packets parked behind the line (the sender-side FIFO depth)."""
+        return self._line.queued
+
     def serialization_time(self, packet: Packet) -> float:
         return self.per_packet_cost + (packet.size + self.header_bytes) / self.bandwidth
 

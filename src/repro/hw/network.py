@@ -8,28 +8,42 @@ overhead, switch discipline); provider-level differences live in
 ``repro.providers``.
 
 Switch model: every packet traverses sender-uplink -> switch ->
-receiver-downlink.  The uplink serialises at line rate (this is the
-bandwidth bottleneck).  Store-and-forward fabrics (Ethernet) serialise
-again on the downlink, which adds one frame time to latency — visible in
-the paper's GigE latency numbers.  Cut-through fabrics (Myrinet,
-Giganet) forward with only a small fixed switch latency; the downlink is
-modelled at an effectively infinite rate so no second serialisation is
-charged (wormhole backpressure across multiple contending senders is out
-of scope for the two-node VIBe testbed and documented as such).
+receiver-downlink, and every downlink sits behind an :class:`OutputPort`
+— the switch's per-destination FIFO queue.  The uplink serialises at
+line rate (this is the single-flow bandwidth bottleneck).
+Store-and-forward fabrics (Ethernet) serialise again on the downlink,
+which adds one frame time to latency — visible in the paper's GigE
+latency numbers — and tail-drop when the port's finite frame buffer
+overflows.  Cut-through fabrics (Myrinet, Giganet) forward a lone frame
+with only a small fixed switch latency plus a residual forwarding skew
+(the downlink transmission pipelines with the uplink reception), but
+the downlink wire still drains at line rate: when several senders
+converge on one destination the port accumulates *backlog* and frames
+queue behind it (the wormhole-backpressure analog), so multi-sender
+traffic serialises at line rate instead of the old infinite-rate
+downlink.  Uncontended traffic — in particular every two-node run — is
+byte-identical to the pre-contention model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Generator
 
-from ..sim import Simulator
+from ..sim import Event, Simulator
 from .link import Channel, DuplexPort, Packet
 from .node import Node
 
-__all__ = ["NetworkParams", "HostParams", "Switch", "Fabric",
+__all__ = ["NetworkParams", "HostParams", "OutputPort", "Switch", "Fabric",
            "MYRINET", "GIGE", "GIGANET"]
 
-_CUT_THROUGH_SPEEDUP = 1000.0  # downlink rate multiplier for cut-through
+#: Rate multiple at which a cut-through port *completes* a frame once its
+#: bits have arrived from the uplink: the residual crossbar forwarding
+#: skew.  The downlink transmission overlaps the uplink reception, so a
+#: lone frame is only charged this skew (~0.1% of a line frame time);
+#: line-rate occupancy under contention is accounted separately by
+#: :class:`OutputPort` backlog tracking.
+_CUT_THROUGH_SKEW = 1000.0
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,10 @@ class NetworkParams:
     switch_latency: float       # fixed forwarding delay in the switch
     store_and_forward: bool     # Ethernet-style full-frame buffering
     loss_rate: float = 0.0      # injected drop probability (per packet)
+    #: switch output-port buffer, in MTU-sized frames.  Store-and-forward
+    #: ports tail-drop past this depth; cut-through ports count frames
+    #: beyond it as backpressured (wormhole flow control never drops).
+    port_buffer_frames: int = 64
 
     def with_loss(self, loss_rate: float) -> "NetworkParams":
         return replace(self, loss_rate=loss_rate)
@@ -53,6 +71,11 @@ class NetworkParams:
         if mtu < 64:
             raise ValueError("mtu must be >= 64 bytes")
         return replace(self, mtu=mtu)
+
+    def with_port_buffer(self, frames: int) -> "NetworkParams":
+        if frames < 1:
+            raise ValueError("port buffer must hold at least one frame")
+        return replace(self, port_buffer_frames=frames)
 
 
 @dataclass(frozen=True)
@@ -102,6 +125,86 @@ GIGANET = NetworkParams(
 )
 
 
+class OutputPort:
+    """One switch output port: a FIFO queue in front of a downlink.
+
+    The port is where multi-sender contention becomes visible.  Two
+    disciplines, chosen by ``params.store_and_forward``:
+
+    * **Store-and-forward** (Ethernet): the downlink channel itself
+      serialises the full frame, so queueing delay emerges from the
+      channel's line resource.  The port adds the *finite buffer*: a
+      frame arriving to find ``port_buffer_frames`` predecessors parked
+      behind the line is tail-dropped, deterministically (counted in
+      :attr:`drops`, traced as ``port_drop``).  Recovering dropped
+      frames is the reliability layer's job — arm it via
+      ``Testbed(loss_possible=True)`` on contended topologies.
+
+    * **Cut-through** (Myrinet, Giganet): the downlink channel only
+      charges the residual forwarding skew (``_CUT_THROUGH_SKEW`` times
+      line rate), because a lone frame's downlink transmission pipelines
+      with its uplink reception.  The wire still drains one frame per
+      ``(size + header) / bandwidth``, so the port tracks *backlog* —
+      outstanding wire time, drained in real time and topped up by each
+      arrival.  A frame arriving to positive backlog waits it out before
+      touching the channel: concurrent senders therefore serialise at
+      line rate.  A single uplink can never build backlog (its own
+      serialisation spaces arrivals at least one frame-time apart), so
+      uncontended paths take zero extra simulation events and stay
+      byte-identical to the pre-contention model.  Backlog beyond the
+      buffer is counted as :attr:`backpressured` (wormhole flow control
+      spills upstream rather than dropping).
+    """
+
+    def __init__(self, sim: Simulator, channel: Channel,
+                 params: NetworkParams, name: str = "port") -> None:
+        self.sim = sim
+        self.channel = channel
+        self.name = name
+        self.cut_through = not params.store_and_forward
+        self.capacity_frames = params.port_buffer_frames
+        self._line_rate = params.bandwidth
+        self._header_bytes = params.header_bytes
+        #: the finite buffer expressed as wire time (cut-through only)
+        self._buffer_us = (params.port_buffer_frames
+                           * (params.mtu + params.header_bytes)
+                           / params.bandwidth)
+        self._backlog = 0.0       # outstanding wire time at _last_at
+        self._last_at = 0.0       # timestamp of the last arrival
+        self.forwarded = 0
+        self.contended = 0        # frames that waited out backlog
+        self.backpressured = 0    # frames past the buffer (cut-through)
+        self.drops = 0            # frames tail-dropped (store-and-forward)
+        self.max_backlog_us = 0.0
+
+    def forward(self, packet: Packet) -> Generator[Event, Any, None]:
+        """Process fragment: queue the packet through the port."""
+        self.forwarded += 1
+        if self.cut_through:
+            now = self.sim.now
+            backlog = self._backlog - (now - self._last_at)
+            if backlog < 0.0:
+                backlog = 0.0
+            self._last_at = now
+            self._backlog = backlog + (
+                (packet.size + self._header_bytes) / self._line_rate)
+            if backlog > 0.0:
+                self.contended += 1
+                if backlog > self.max_backlog_us:
+                    self.max_backlog_us = backlog
+                if backlog > self._buffer_us:
+                    self.backpressured += 1
+                    self.sim.trace("wire", "port_backpressure", self.name,
+                                   pkt=packet.pkt_id)
+                yield self.sim.timeout(backlog)
+        elif self.channel.queue_depth >= self.capacity_frames:
+            self.drops += 1
+            self.sim.trace("wire", "port_drop", self.name,
+                           pkt=packet.pkt_id)
+            return
+        yield from self.channel.send(packet)
+
+
 class Switch:
     """A single switch forwarding between node ports by destination name."""
 
@@ -109,22 +212,28 @@ class Switch:
         self.sim = sim
         self.params = params
         self._downlinks: dict[str, Channel] = {}
+        self._ports: dict[str, OutputPort] = {}
         self.forwarded = 0
 
     def attach(self, node_name: str, downlink: Channel) -> None:
         self._downlinks[node_name] = downlink
+        self._ports[node_name] = OutputPort(
+            self.sim, downlink, self.params, name=f"{node_name}.downport")
+
+    def port(self, node_name: str) -> OutputPort:
+        return self._ports[node_name]
 
     def receive(self, packet: Packet) -> None:
         """Sink for uplink channels: forward after the switch latency."""
-        downlink = self._downlinks.get(packet.dst)
-        if downlink is None:
+        port = self._ports.get(packet.dst)
+        if port is None:
             raise KeyError(f"switch has no port for destination {packet.dst!r}")
         self.forwarded += 1
-        self.sim.process(self._forward(packet, downlink), name=f"fwd-{packet.pkt_id}")
+        self.sim.process(self._forward(packet, port), name=f"fwd-{packet.pkt_id}")
 
-    def _forward(self, packet: Packet, downlink: Channel):
+    def _forward(self, packet: Packet, port: OutputPort):
         yield self.sim.timeout(self.params.switch_latency)
-        yield from downlink.send(packet)
+        yield from port.forward(packet)
 
 
 class Fabric:
@@ -149,8 +258,10 @@ class Fabric:
         down_hdr = network.header_bytes
         down_ppc = network.per_packet_cost
         if not network.store_and_forward:
-            # Cut-through: no second serialisation charge (see module doc).
-            down_bw *= _CUT_THROUGH_SPEEDUP
+            # Cut-through: the downlink channel charges only the residual
+            # forwarding skew; line-rate occupancy under contention is
+            # the OutputPort's job (see OutputPort docstring).
+            down_bw *= _CUT_THROUGH_SKEW
             down_hdr = 0
             down_ppc = 0.0
         for i, name in enumerate(node_names):

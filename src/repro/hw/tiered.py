@@ -19,29 +19,42 @@ import random
 
 from ..sim import Simulator
 from .link import Channel, DuplexPort, Packet
-from .network import HostParams, NetworkParams, _CUT_THROUGH_SPEEDUP
+from .network import _CUT_THROUGH_SKEW, HostParams, NetworkParams, OutputPort
 from .node import Node
 
 __all__ = ["TieredFabric"]
 
 
 class _LeafSwitch:
-    """Connects its local nodes; forwards the rest to the spine."""
+    """Connects its local nodes; forwards the rest to the spine.
+
+    Node-facing downlinks sit behind :class:`OutputPort` queues (the
+    contention point when many senders converge on one node); the
+    leaf→spine uplink is a plain full-rate channel whose line resource
+    already queues — the shared-core model.
+    """
 
     def __init__(self, sim: Simulator, params: NetworkParams, name: str) -> None:
         self.sim = sim
         self.params = params
         self.name = name
         self.local_down: dict[str, Channel] = {}
+        self.local_ports: dict[str, OutputPort] = {}
         self.uplink: Channel | None = None     # to the spine
         self.forwarded_local = 0
         self.forwarded_up = 0
 
+    def attach_local(self, node_name: str, downlink: Channel) -> None:
+        self.local_down[node_name] = downlink
+        self.local_ports[node_name] = OutputPort(
+            self.sim, downlink, self.params,
+            name=f"{node_name}.downport")
+
     def receive(self, packet: Packet) -> None:
-        if packet.dst in self.local_down:
+        port = self.local_ports.get(packet.dst)
+        if port is not None:
             self.forwarded_local += 1
-            self.sim.process(self._forward(packet,
-                                           self.local_down[packet.dst]),
+            self.sim.process(self._forward_port(packet, port),
                              name=f"{self.name}-fwd")
         else:
             self.forwarded_up += 1
@@ -52,6 +65,10 @@ class _LeafSwitch:
     def _forward(self, packet: Packet, channel: Channel):
         yield self.sim.timeout(self.params.switch_latency)
         yield from channel.send(packet)
+
+    def _forward_port(self, packet: Packet, port: OutputPort):
+        yield self.sim.timeout(self.params.switch_latency)
+        yield from port.forward(packet)
 
 
 class _SpineSwitch:
@@ -111,7 +128,10 @@ class TieredFabric:
         down_hdr = network.header_bytes
         down_ppc = network.per_packet_cost
         if not network.store_and_forward:
-            down_bw *= _CUT_THROUGH_SPEEDUP
+            # same cut-through discipline as the flat Fabric: the channel
+            # charges only the forwarding skew, the OutputPort accounts
+            # line-rate occupancy under contention
+            down_bw *= _CUT_THROUGH_SKEW
             down_hdr = 0
             down_ppc = 0.0
 
@@ -150,7 +170,7 @@ class TieredFabric:
                 uplink.sink = leaf.receive
                 downlink.sink = node.nic.deliver
                 node.nic.attach_port(DuplexPort(uplink, name=f"{name}.port"))
-                leaf.local_down[name] = downlink
+                leaf.attach_local(name, downlink)
                 self.spine.down_by_node[name] = spine_down
                 self.nodes[name] = node
                 self.leaf_of[name] = li

@@ -160,11 +160,14 @@ class CommGroup:
 
 
 def connect_group(tb, node_names: list[str], eager_size: int = 4096,
-                  wait_mode: WaitMode = WaitMode.POLL):
+                  wait_mode: WaitMode = WaitMode.POLL,
+                  reliability=None):
     """Wire a fully-connected communicator; one setup generator per rank.
 
     Each returned generator yields its :class:`CommGroup` once every
-    pairwise channel is connected.
+    pairwise channel is connected.  ``reliability`` sets the level of
+    every pairwise VI — collectives on a lossy fabric need
+    ``RELIABLE_DELIVERY``, or a single dropped signal wedges a barrier.
     """
     n = len(node_names)
 
@@ -177,7 +180,7 @@ def connect_group(tb, node_names: list[str], eager_size: int = 4096,
         accepted: dict[int, MsgEndpoint] = {}
 
         def acceptor(j: int):
-            vi = yield from h.create_vi()
+            vi = yield from h.create_vi(reliability)
             msg = MsgEndpoint(h, vi, eager_size=eager_size,
                               wait_mode=wait_mode)
             yield from msg.setup()
@@ -191,7 +194,7 @@ def connect_group(tb, node_names: list[str], eager_size: int = 4096,
                 tb.spawn(acceptor(j), f"acc-{i}-{j}")
         for j in range(n):
             if j < i:
-                vi = yield from h.create_vi()
+                vi = yield from h.create_vi(reliability)
                 msg = MsgEndpoint(h, vi, eager_size=eager_size,
                                   wait_mode=wait_mode)
                 yield from msg.setup()

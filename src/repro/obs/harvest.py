@@ -66,6 +66,9 @@ def harvest_into(registry: MetricsRegistry, tb) -> MetricsRegistry:
             down = switch._downlinks.get(name)
             if down is not None:
                 _harvest_channel(registry, f"wire.{name}.down", down)
+            port = switch._ports.get(name)
+            if port is not None:
+                _harvest_port(registry, f"wire.{name}.port", port)
     return registry
 
 
@@ -131,6 +134,18 @@ def _harvest_via(registry: MetricsRegistry, node: str, provider) -> None:
             max_depth = cq.max_depth
     registry.inc(f"{prefix}.cq.notifications", notifications)
     registry.set_gauge(f"{prefix}.cq.max_depth", max_depth)
+
+
+def _harvest_port(registry: MetricsRegistry, prefix: str, port) -> None:
+    # contention counters, only-when-nonzero (see _harvest_nic): an
+    # uncontended run's snapshot stays byte-identical to the pre-port era
+    if port.contended:
+        registry.inc(f"{prefix}.contended", port.contended)
+        registry.set_gauge(f"{prefix}.max_backlog_us", port.max_backlog_us)
+    if port.backpressured:
+        registry.inc(f"{prefix}.backpressured", port.backpressured)
+    if port.drops:
+        registry.inc(f"{prefix}.drops", port.drops)
 
 
 def _harvest_channel(registry: MetricsRegistry, prefix: str, channel) -> None:

@@ -88,6 +88,7 @@ class Testbed:
         uplink_bandwidth: float | None = None,
         check: bool = False,
         faults=None,
+        loss_possible: bool | None = None,
     ) -> None:
         spec = get_spec(provider)
         network = spec.network
@@ -111,6 +112,13 @@ class Testbed:
         self.nameservice = NameService()
         self.providers: dict[str, SimulatedProvider] = {}
         effective_mtu = min(network.mtu, spec.costs.max_transfer_size)
+        if loss_possible is None:
+            # store-and-forward output ports tail-drop under contention,
+            # which two nodes can never produce; larger clusters must arm
+            # the recovery machinery or pass loss_possible=False to opt out
+            loss_possible = (network.loss_rate > 0.0
+                             or (network.store_and_forward
+                                 and len(node_names) > 2))
         for name in node_names:
             self.providers[name] = SimulatedProvider(
                 node=self.fabric.node(name),
@@ -118,7 +126,7 @@ class Testbed:
                 choices=spec.choices,
                 costs=spec.costs,
                 mtu=effective_mtu,
-                loss_possible=network.loss_rate > 0.0,
+                loss_possible=loss_possible,
                 name=spec.name,
             )
         #: conformance checker when requested (repro.check); None keeps

@@ -124,7 +124,16 @@ class ConnectionManager:
             if not waiters:
                 del self._waiters[disc]
         else:
-            self._pending.setdefault(disc, deque()).append(request)
+            # a VI dials one connection at a time, so a fresh conn_id
+            # from an endpoint supersedes any parked request of theirs:
+            # the client has given up on it and would ignore its ack
+            pending = self._pending.setdefault(disc, deque())
+            endpoint = (request.client_node, request.client_vi_id)
+            stale = [r for r in pending
+                     if (r.client_node, r.client_vi_id) == endpoint]
+            for r in stale:
+                pending.remove(r)
+            pending.append(request)
 
     def wait_for(self, discriminator: int) -> Event:
         """Event whose value is the next ConnRequest on ``discriminator``."""

@@ -1,0 +1,247 @@
+"""Tests for the cluster subsystem: topologies, workload, server, sweep."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.check import ALL_PROVIDERS
+from repro.cluster import (
+    ClusterClient,
+    ClusterConfig,
+    ClusterServer,
+    StartGate,
+    arrival_offsets,
+    find_knee,
+    make_service,
+    make_topology,
+    run_cluster,
+    run_cluster_once,
+)
+from repro.cluster.topology import build_testbed
+
+SMALL = ClusterConfig(nodes=4, clients=4, requests=4, window=2,
+                      service="fixed:20")
+
+
+# -- topology ---------------------------------------------------------------
+
+def test_star_topology_names_and_roles():
+    topo = make_topology("star", 6, 2)
+    assert topo.servers == ("s0", "s1")
+    assert topo.clients == ("c0", "c1", "c2", "c3")
+    assert topo.nodes == topo.servers + topo.clients
+    assert topo.n_nodes == 6
+    assert topo.leaf_groups is None
+
+
+def test_dumbbell_splits_servers_from_clients():
+    topo = make_topology("dumbbell", 5, 1)
+    assert topo.leaf_groups == (("s0",), ("c0", "c1", "c2", "c3"))
+    assert topo.uplink_factor == 1.0
+
+
+def test_fattree_round_robins_nodes_with_full_bisection():
+    topo = make_topology("fattree", 8, 1)
+    assert topo.leaf_groups is not None
+    assert len(topo.leaf_groups) == 4
+    spread = [n for g in topo.leaf_groups for n in g]
+    assert sorted(spread) == sorted(topo.nodes)
+    assert topo.uplink_factor == max(len(g) for g in topo.leaf_groups)
+
+
+@pytest.mark.parametrize("kind,nodes,servers", [
+    ("ring", 4, 1),      # unknown kind
+    ("star", 2, 2),      # no room for a client node
+    ("star", 4, 0),      # need at least one server
+])
+def test_make_topology_rejects_bad_shapes(kind, nodes, servers):
+    with pytest.raises(ValueError):
+        make_topology(kind, nodes, servers)
+
+
+# -- service models ---------------------------------------------------------
+
+def test_make_service_models():
+    rng = random.Random(0)
+    assert make_service("fixed:20")(rng, 128) == 20.0
+    assert make_service("none")(rng, 128) == 0.0
+    assert make_service("bytes:0.5")(rng, 128) == 64.0
+    exp = make_service("exp:50")
+    draws = [exp(rng, 128) for _ in range(200)]
+    assert all(d >= 0 for d in draws)
+    assert 25 < sum(draws) / len(draws) < 100  # mean near 50
+
+
+@pytest.mark.parametrize("spec", ["fixed:abc", "fixed:-5", "warp:9", "exp:"])
+def test_make_service_rejects_bad_specs(spec):
+    with pytest.raises(ValueError):
+        make_service(spec)
+
+
+# -- arrival schedules ------------------------------------------------------
+
+def test_arrival_offsets_uniform_and_burst():
+    uni = arrival_offsets("uniform", 4, 100.0, random.Random(0))
+    assert uni == [0.0, 100.0, 200.0, 300.0]
+    bur = arrival_offsets("burst", 6, 100.0, random.Random(0), burst=3)
+    assert bur == [0.0, 0.0, 0.0, 300.0, 300.0, 300.0]
+
+
+def test_arrival_offsets_poisson_is_seeded():
+    a = arrival_offsets("poisson", 16, 50.0, random.Random(7))
+    b = arrival_offsets("poisson", 16, 50.0, random.Random(7))
+    assert a == b
+    assert a == sorted(a) and a[0] > 0.0
+
+
+def test_arrival_offsets_validates():
+    with pytest.raises(ValueError):
+        arrival_offsets("weibull", 4, 100.0, random.Random(0))
+    with pytest.raises(ValueError):
+        arrival_offsets("uniform", 4, 0.0, random.Random(0))
+
+
+# -- the start gate ---------------------------------------------------------
+
+def test_start_gate_abandon_shrinks_the_quorum():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    gate = StartGate(sim, 3)
+    order = []
+
+    def member(i):
+        yield from gate.arrive()
+        order.append(i)
+
+    sim.process(member(0))
+    sim.process(member(1))
+    sim.run()
+    assert gate.t0 is None           # quorum of 3, only 2 arrived
+    gate.abandon()                   # the third can never make it
+    sim.run()
+    assert gate.t0 == 0.0 and sorted(order) == [0, 1]
+
+
+# -- knee detection ---------------------------------------------------------
+
+def test_find_knee_last_efficient_point():
+    points = [
+        {"offered_rps": 1000.0, "realized_rps": 990.0, "goodput_rps": 989.0},
+        {"offered_rps": 2000.0, "realized_rps": 1980.0, "goodput_rps": 1975.0},
+        {"offered_rps": 4000.0, "realized_rps": 3950.0, "goodput_rps": 2100.0},
+    ]
+    knee = find_knee(points)
+    assert knee["knee_rps"] == 2000.0
+    assert knee["peak_goodput_rps"] == 2100.0
+
+
+def test_find_knee_closed_loop_points():
+    points = [{"offered_rps": None, "realized_rps": None,
+               "goodput_rps": 1234.0}]
+    knee = find_knee(points)
+    assert knee["knee_rps"] == 0.0
+    assert knee["peak_goodput_rps"] == 1234.0
+
+
+# -- end-to-end cluster runs ------------------------------------------------
+
+@pytest.mark.parametrize("provider", ALL_PROVIDERS)
+def test_closed_loop_roundtrip_per_provider(provider):
+    cfg = ClusterConfig(nodes=4, clients=4, requests=4, window=2,
+                        mode="closed")
+    pt = run_cluster_once(provider, cfg, None, check=True)
+    assert pt["violations"] == []
+    assert pt["completed"] == 16 and pt["failed"] == 0
+    assert pt["served"] == 16
+    assert pt["offered_rps"] is None and pt["goodput_rps"] > 0
+
+
+def test_open_loop_point_reports_realized_rate():
+    pt = run_cluster_once("mvia", SMALL, 4000.0, check=True)
+    assert pt["violations"] == []
+    assert pt["completed"] == 16
+    assert pt["offered_rps"] == 4000.0
+    assert pt["realized_rps"] is not None and pt["realized_rps"] > 0
+    assert pt["p99_us"] >= pt["p50_us"] > 0
+
+
+@pytest.mark.parametrize("topology", ["dumbbell", "fattree"])
+def test_multi_switch_topologies_roundtrip(topology):
+    cfg = ClusterConfig(topology=topology, nodes=6, clients=5, requests=3,
+                        window=2, mode="closed")
+    pt = run_cluster_once("bvia", cfg, None, check=True)
+    assert pt["violations"] == []
+    assert pt["completed"] == 15 and pt["failed"] == 0
+
+
+def test_contention_appears_at_the_server_port():
+    # 6 clients bursting 4 KiB requests converge on the server node's
+    # switch output port; on a cut-through fabric (clan/Giganet) the
+    # simultaneous frames must serialise, counted as contention
+    cfg = ClusterConfig(nodes=7, clients=6, requests=8, window=4,
+                        arrival="burst", burst=8, req_size=4096,
+                        resp_size=64, service="none")
+    pt = run_cluster_once("clan", cfg, 64_000.0)
+    assert pt["completed"] == 48
+    assert pt["port_contended"] > 0
+
+
+def test_run_cluster_sweep_structure():
+    report = run_cluster(("mvia",), SMALL, rates=(4000.0, 16000.0))
+    assert report.ok
+    curve = report.results["mvia"]
+    assert [p["offered_rps"] for p in curve["points"]] == [4000.0, 16000.0]
+    assert "knee_rps" in curve and "peak_goodput_rps" in curve
+    data = json.loads(report.to_json())
+    assert data["ok"] is True
+    assert data["rates"] == [4000.0, 16000.0]
+    summary = report.summary()
+    assert "PASS" in summary and "mvia" in summary
+
+
+def test_build_testbed_star_matches_flat_fabric():
+    topo = make_topology("star", 4, 1)
+    tb = build_testbed("mvia", topo, seed=0)
+    assert tb.node_names == ("s0", "c0", "c1", "c2")
+
+
+# -- the many_clients chaos cell --------------------------------------------
+
+def test_many_clients_chaos_cell_serves_through_the_outage():
+    from repro.faults.chaos import run_scenario
+    from repro.faults.scenarios import get_scenario
+
+    sc = get_scenario("many_clients")
+    assert sc.workload == "cluster"
+    r = run_scenario("mvia", sc, seed=0, quick=True)
+    assert r.ok, (r.violations, r.note)
+    assert r.delivered == r.expected == 40
+    assert r.retransmissions > 0          # the link_down actually bit
+    assert "served during the outage" in r.note
+    served = int(r.note.split()[0])
+    assert served > 0                     # the server never stalled
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_cluster_writes_json_report(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "cluster.json"
+    main(["cluster", "--provider", "mvia", "--nodes", "4", "--clients", "4",
+          "--requests", "4", "--window", "2", "--rate", "4000",
+          "--json-out", str(out)])
+    captured = capsys.readouterr().out
+    assert "PASS" in captured
+    data = json.loads(out.read_text())
+    assert data["ok"] is True
+    assert data["providers"] == ["mvia"]
+    assert len(data["results"]["mvia"]["points"]) == 1
+
+
+def test_cluster_client_and_server_are_exported():
+    assert ClusterClient is not None and ClusterServer is not None

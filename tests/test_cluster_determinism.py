@@ -1,0 +1,50 @@
+"""The cluster sweep must be byte-deterministic for any execution plan.
+
+Same seed => byte-identical JSON report; the parallel executor must not
+change a single byte relative to the serial run.  These are the cluster
+counterparts of the suite-wide determinism fixtures.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import ClusterConfig, run_cluster, run_cluster_once
+
+CFG = ClusterConfig(nodes=4, clients=4, requests=4, window=2)
+RATES = (4_000.0, 16_000.0)
+
+
+def test_same_seed_same_point():
+    a = run_cluster_once("mvia", CFG, 8_000.0)
+    b = run_cluster_once("mvia", CFG, 8_000.0)
+    assert a == b
+
+
+def test_different_seed_different_schedule():
+    from dataclasses import replace
+
+    a = run_cluster_once("mvia", CFG, 8_000.0)
+    b = run_cluster_once("mvia", replace(CFG, seed=1), 8_000.0)
+    # Poisson arrivals reshuffle, so the latency curve must move
+    assert a["realized_rps"] != b["realized_rps"]
+
+
+def test_report_json_is_byte_identical_across_runs():
+    a = run_cluster(("mvia", "bvia"), CFG, rates=RATES)
+    b = run_cluster(("mvia", "bvia"), CFG, rates=RATES)
+    assert a.to_json() == b.to_json()
+
+
+def test_parallel_sweep_matches_serial_byte_for_byte():
+    serial = run_cluster(("mvia", "bvia"), CFG, rates=RATES, jobs=1)
+    fanned = run_cluster(("mvia", "bvia"), CFG, rates=RATES, jobs=2)
+    assert serial.to_json() == fanned.to_json()
+
+
+def test_chaos_cluster_cell_is_deterministic():
+    from repro.faults.chaos import run_scenario
+    from repro.faults.scenarios import get_scenario
+
+    sc = get_scenario("many_clients")
+    a = run_scenario("clan", sc, seed=3, quick=True)
+    b = run_scenario("clan", sc, seed=3, quick=True)
+    assert a.to_dict() == b.to_dict()

@@ -102,3 +102,87 @@ def test_nodes_get_host_params():
     node = fab.node("node0")
     assert node.cpu.mem_copy_bw == 50.0
     assert node.nic.tlb.entries == 8
+
+
+# -- output-port contention model ----------------------------------------
+# Two-node goldens: the port model must add nothing to uncontended paths.
+# These exact values predate OutputPort and must never drift.
+TWO_NODE_GOLDENS = {
+    "myrinet": 7.40625,
+    "gige": 20.216,
+    "giganet": 9.95892857142857,
+}
+
+
+def test_two_node_delivery_pinned_to_seed_goldens():
+    assert deliver_one(MYRINET) == TWO_NODE_GOLDENS["myrinet"]
+    assert deliver_one(GIGE) == TWO_NODE_GOLDENS["gige"]
+    assert deliver_one(GIGANET) == TWO_NODE_GOLDENS["giganet"]
+
+
+def _converge(params, senders=4, size=16000, per_sender=1):
+    """N senders flood one sink concurrently; returns (arrivals, port)."""
+    sim = Simulator()
+    names = tuple("abcdefgh"[:senders]) + ("sink",)
+    fab = Fabric(sim, params, node_names=names)
+    got = []
+    fab.node("sink").nic.rx_handler = lambda p: got.append(sim.now)
+
+    def send(src):
+        for _ in range(per_sender):
+            yield from fab.node(src).nic.transmit(
+                Packet(src, "sink", "data", size))
+
+    for s in names[:-1]:
+        sim.process(send(s))
+    sim.run()
+    return sorted(got), fab.switch.port("sink")
+
+
+def test_cut_through_converging_senders_drain_at_line_rate():
+    arrivals, port = _converge(MYRINET)
+    frame = (16000 + MYRINET.header_bytes) / MYRINET.bandwidth
+    deltas = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    # all four frames land, serialised by the output port at exactly
+    # one frame time apart — not the old infinite-rate downlink
+    assert len(arrivals) == 4
+    for d in deltas:
+        assert d == pytest.approx(frame, rel=1e-9)
+    assert port.contended == 3
+    assert port.drops == 0 and port.backpressured == 0
+    assert port.max_backlog_us == pytest.approx(3 * frame, rel=1e-9)
+
+
+def test_cut_through_single_sender_never_contends():
+    _, port = _converge(MYRINET, senders=1, per_sender=8)
+    assert port.forwarded == 8
+    assert port.contended == 0
+    assert port.max_backlog_us == 0.0
+
+
+def test_store_and_forward_tail_drops_past_port_buffer():
+    arrivals, port = _converge(GIGE.with_port_buffer(1), senders=4,
+                               size=1400, per_sender=4)
+    assert port.forwarded == 16
+    assert port.drops > 0
+    assert len(arrivals) == 16 - port.drops
+    # determinism: same run, same drops
+    arrivals2, port2 = _converge(GIGE.with_port_buffer(1), senders=4,
+                                 size=1400, per_sender=4)
+    assert arrivals2 == arrivals and port2.drops == port.drops
+
+
+def test_cut_through_backpressure_counted_past_buffer():
+    params = MYRINET.with_port_buffer(1)
+    _, port = _converge(params, senders=6, size=30000)
+    assert port.contended > 0
+    assert port.backpressured > 0   # backlog beyond one frame of buffer
+    assert port.drops == 0          # wormhole flow control never drops
+
+
+def test_with_port_buffer_builder_validates():
+    small = GIGE.with_port_buffer(2)
+    assert small.port_buffer_frames == 2
+    assert GIGE.port_buffer_frames == 64
+    with pytest.raises(ValueError):
+        GIGE.with_port_buffer(0)
