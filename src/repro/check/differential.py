@@ -267,7 +267,8 @@ WORKLOADS = {
 # signatures and comparison
 # ---------------------------------------------------------------------------
 
-def run_workload(provider: str, workload: str, seed: int = 0) -> dict:
+def run_workload(provider: str, workload: str, seed: int = 0,
+                 check: bool = True, fidelity: str = "packet") -> dict:
     """Run one workload on one provider under the checker.
 
     Returns the structural signature: workload-specific digests plus
@@ -275,13 +276,19 @@ def run_workload(provider: str, workload: str, seed: int = 0) -> dict:
     totals, fault counters, checker totals).  Raises
     :class:`~repro.check.invariants.ConformanceError` on any invariant
     violation, including the end-of-run quiesce audit.
+
+    ``check=False`` skips the conformance checker (an armed checker
+    forces every message down the packet path, so fast-forward
+    equivalence tests compare unchecked runs); ``fidelity`` selects the
+    simulation mode as on :class:`~repro.providers.registry.Testbed`.
     """
-    tb = Testbed(provider, seed=seed, check=True)
+    tb = Testbed(provider, seed=seed, check=check, fidelity=fidelity)
     sig = dict(WORKLOADS[workload](tb))
     tb.run()          # drain teardown events before the quiesce audit
-    tb.checker.check_quiesced(tb)
-    chk = tb.checker
-    sig["checker"] = (chk.posts, chk.completions, chk.deliveries)
+    if check:
+        tb.checker.check_quiesced(tb)
+        chk = tb.checker
+        sig["checker"] = (chk.posts, chk.completions, chk.deliveries)
     for name, p in sorted(tb.providers.items()):
         e = p.engine
         sig[f"{name}.messages"] = (e.messages_sent, e.messages_received)

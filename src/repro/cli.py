@@ -120,7 +120,13 @@ def cmd_run(args) -> None:
         from .providers.custom import load_spec
 
         provider = load_spec(args.provider_spec)
-    result = run_benchmark(args.benchmark, provider, jobs=args.jobs)
+    kwargs = {}
+    if args.fidelity != "packet":
+        # only non-default fidelity is forwarded, so default runs keep
+        # their exact result metadata (fidelity never reaches params)
+        kwargs["fidelity"] = args.fidelity
+    result = run_benchmark(args.benchmark, provider, jobs=args.jobs,
+                           **kwargs)
     if isinstance(result, list):
         for r in result:
             print(r.table())
@@ -207,7 +213,8 @@ def cmd_profile(args) -> None:
         reliability = Reliability.RELIABLE_DELIVERY
     profiles = parallel_map(
         profile_transfer,
-        [(p, args.size, args.seed, args.loss_rate, reliability)
+        [(p, args.size, args.seed, args.loss_rate, reliability,
+          args.fidelity)
          for p in args.providers], args.jobs)
     for i, p in enumerate(profiles):
         if i:
@@ -269,6 +276,7 @@ def cmd_cluster(args) -> None:
         req_size=args.req_size, resp_size=args.resp_size,
         window=args.window, arrival=args.arrival, service=args.service,
         mode=args.mode, think_us=args.think_us, seed=args.seed,
+        fidelity=args.fidelity,
     )
     rates = None
     if args.rate:
@@ -342,6 +350,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--provider", default="clan")
     run.add_argument("--provider-spec", metavar="JSON",
                      help="run against a user-defined provider spec file")
+    run.add_argument("--fidelity", default="packet",
+                     choices=["packet", "auto", "flow"],
+                     help="simulation fidelity: packet = every event, "
+                          "auto/flow = batch clean steady-state bursts "
+                          "(data-transfer benchmarks only)")
 
     sub.add_parser("list", help="list benchmark names")
 
@@ -371,6 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["unreliable", "reliable_delivery",
                                "reliable_reception"],
                       help="reliability level of the profiled VIs")
+    prof.add_argument("--fidelity", default="packet",
+                      choices=["packet", "auto", "flow"],
+                      help="auto/flow fast-forwards clean bursts and "
+                           "reports the skipped fraction (disables the "
+                           "per-event trace)")
     prof.add_argument("--trace-out", metavar="FILE.json",
                       help="write a Perfetto-loadable Chrome trace")
     prof.add_argument("--metrics-out", metavar="FILE.json",
@@ -433,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     clus.add_argument("--think-us", type=float, default=0.0,
                       help="closed-loop think time between requests")
     clus.add_argument("--seed", type=int, default=0)
+    clus.add_argument("--fidelity", default="packet",
+                      choices=["packet", "auto", "flow"],
+                      help="auto/flow fast-forwards uncontended "
+                           "steady-state transfers")
     clus.add_argument("--check", action="store_true",
                       help="run every point under the online "
                            "conformance checker")

@@ -58,6 +58,7 @@ class ClusterConfig:
     think_us: float = 0.0
     seed: int = 0
     deadline_us: float = 30_000_000.0
+    fidelity: str = "packet"  # "packet" | "auto" | "flow"
 
 
 def run_cluster_once(provider: str, cfg: ClusterConfig,
@@ -70,7 +71,7 @@ def run_cluster_once(provider: str, cfg: ClusterConfig,
     """
     topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
     tb = build_testbed(provider, topo, seed=cfg.seed, check=check,
-                       faults=fault_plan)
+                       faults=fault_plan, fidelity=cfg.fidelity)
     service = make_service(cfg.service)
     open_loop = cfg.mode == "open" and rate_rps is not None
     interval_us = (cfg.clients * 1e6 / rate_rps) if open_loop else None

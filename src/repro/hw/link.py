@@ -17,9 +17,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
+import numpy as np
+
 from ..sim import Event, Resource, Simulator
 
-__all__ = ["Packet", "Channel", "Link", "DuplexPort"]
+__all__ = ["Packet", "Burst", "Channel", "Link", "DuplexPort"]
 
 _packet_ids = itertools.count(1)
 
@@ -46,6 +48,26 @@ class Packet:
     def __post_init__(self) -> None:
         if self.size < 0:
             raise ValueError("packet size must be >= 0")
+
+
+@dataclass
+class Burst:
+    """A multi-packet record carried through the wire model as one unit.
+
+    The struct-of-arrays staging (numpy ``float64`` arrays, one slot per
+    packet) holds the per-packet timestamps a burst-aware observer needs
+    without materialising per-packet events: ``t_start``/``t_end`` bound
+    each packet's serialisation window and ``t_deliver`` is its arrival
+    at the channel sink.  Only :meth:`Channel.plan_burst` fills them.
+    """
+
+    packets: list
+    t_start: np.ndarray | None = None
+    t_end: np.ndarray | None = None
+    t_deliver: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.packets)
 
 
 class Channel:
@@ -78,6 +100,11 @@ class Channel:
         self.name = name
         self.sink: Callable[[Packet], None] | None = None
         self._line = Resource(sim, capacity=1)
+        #: virtual line occupancy left behind by an arithmetic burst:
+        #: packet-level senders arriving before this instant wait it out
+        #: (FIFO, by wait-start order), exactly as if the line resource
+        #: had been held for real.  Stays 0.0 in pure packet mode.
+        self._ff_busy_until = 0.0
         self.sent_packets = 0
         self.dropped_packets = 0
         self.delivered_packets = 0
@@ -100,50 +127,149 @@ class Channel:
         """
         if self.sink is None:
             raise RuntimeError(f"{self.name}: no sink attached")
+        # hot path: one locals load for the simulator, observers read
+        # once — the armed-but-dormant path costs zero extra attribute
+        # lookups per packet beyond the single _ff_busy_until compare
+        sim = self.sim
+        busy = self._ff_busy_until
+        if busy > 0.0:
+            wait = busy - sim._now
+            if wait > 0.0:
+                yield sim.timeout(wait)
         yield self._line.request()
         try:
-            yield self.sim.timeout(self.serialization_time(packet))
+            yield sim.timeout(self.serialization_time(packet))
         finally:
             self._line.release()
         self.sent_packets += 1
         self.sent_bytes += packet.size
-        self.sim.trace("wire", "serialized", self.name, pkt=packet.pkt_id,
-                       kind=packet.kind, size=packet.size)
+        tracer = sim.tracer
+        if tracer is not None:
+            sim.trace("wire", "serialized", self.name, pkt=packet.pkt_id,
+                      kind=packet.kind, size=packet.size)
         if self.loss_rate and self.rng.random() < self.loss_rate:
             self.dropped_packets += 1
-            self.sim.trace("wire", "dropped", self.name, pkt=packet.pkt_id)
+            sim.trace("wire", "dropped", self.name, pkt=packet.pkt_id)
             return
         delay = self.prop_delay
-        faults = self.sim.faults
+        faults = sim.faults
         if faults is not None:
             fate, extra = faults.wire_fate(self, packet)
             if fate == "drop":
                 self.dropped_packets += 1
-                self.sim.trace("wire", "fault_dropped", self.name,
-                               pkt=packet.pkt_id)
+                sim.trace("wire", "fault_dropped", self.name,
+                          pkt=packet.pkt_id)
                 return
             delay += extra
             if fate == "corrupt":
                 packet.corrupted = True
-                self.sim.trace("wire", "fault_corrupted", self.name,
-                               pkt=packet.pkt_id)
+                sim.trace("wire", "fault_corrupted", self.name,
+                          pkt=packet.pkt_id)
             elif fate == "dup":
                 # the duplicate trails the original by one frame time
                 self.dup_packets += 1
-                self.sim.trace("wire", "fault_duplicated", self.name,
-                               pkt=packet.pkt_id)
-                dup = self.sim.timeout(
+                sim.trace("wire", "fault_duplicated", self.name,
+                          pkt=packet.pkt_id)
+                dup = sim.timeout(
                     delay + self.serialization_time(packet), packet)
                 dup.callbacks.append(self._deliver)
-        deliver = self.sim.timeout(delay, packet)
+        deliver = sim.timeout(delay, packet)
         deliver.callbacks.append(self._deliver)
 
     def _deliver(self, event: Event) -> None:
         assert self.sink is not None
         self.delivered_packets += 1
-        self.sim.trace("wire", "delivered", self.name,
-                       pkt=event.value.pkt_id)
+        sim = self.sim
+        if sim.tracer is not None:
+            sim.trace("wire", "delivered", self.name,
+                      pkt=event.value.pkt_id)
         self.sink(event.value)
+
+    # -- burst (flow-level) path ------------------------------------------
+    def plan_burst(self, emit_times, sizes,
+                   line_free: float = 0.0) -> tuple:
+        """Arithmetic serialisation schedule for a back-to-back burst.
+
+        Pure computation (no state touched): given the instants each
+        packet becomes available (``emit_times``) and its payload size,
+        returns ``(starts, ends, delivers)`` numpy arrays — when each
+        packet's serialisation begins and ends and when it reaches the
+        sink — reproducing exactly what per-packet :meth:`send` calls
+        would compute on an initially-free line (or one busy until
+        ``line_free``).  The per-packet serialisation times are
+        vectorised (bitwise-identical to :meth:`serialization_time`);
+        the FIFO-drain recurrence ``start_k = max(emit_k, end_{k-1})``
+        runs as an exact scalar loop so every timestamp reproduces the
+        event path's float operations bit for bit.
+        """
+        sizes = np.asarray(sizes, dtype=np.float64)
+        ser = self.per_packet_cost + (sizes + self.header_bytes) / self.bandwidth
+        n = len(sizes)
+        starts = np.empty(n, dtype=np.float64)
+        ends = np.empty(n, dtype=np.float64)
+        prev_end = line_free
+        for k, (e, s) in enumerate(zip(emit_times, ser.tolist())):
+            st = e if e > prev_end else prev_end
+            prev_end = st + s
+            starts[k] = st
+            ends[k] = prev_end
+        return starts, ends, ends + self.prop_delay
+
+    def note_burst(self, n: int, nbytes: int, busy_until: float,
+                   delivered: bool = True) -> None:
+        """Commit an arithmetic burst: bulk counters + virtual occupancy."""
+        self.sent_packets += n
+        self.sent_bytes += nbytes
+        if delivered:
+            self.delivered_packets += n
+        if busy_until > self._ff_busy_until:
+            self._ff_busy_until = busy_until
+
+    def send_burst(self, burst: "Burst | list[Packet]") -> Generator[Event, Any, None]:
+        """Process fragment: serialise a whole burst in O(1) line events.
+
+        The line is held once for the burst; per-packet serialisation
+        windows and delivery instants are computed arithmetically
+        (:meth:`plan_burst`) and delivery callbacks are scheduled up
+        front, so the event count is one line hold plus one delivery per
+        packet instead of a request/timeout/release chain each.  Falls
+        back to packet-at-a-time :meth:`send` whenever an observer needs
+        per-packet treatment: a tracer, an armed fault injector, or a
+        lossy wire.
+        """
+        packets = burst.packets if isinstance(burst, Burst) else burst
+        if not packets:
+            return
+        sim = self.sim
+        if (self.loss_rate or sim.faults is not None
+                or sim.tracer is not None):
+            for packet in packets:
+                yield from self.send(packet)
+            return
+        if self.sink is None:
+            raise RuntimeError(f"{self.name}: no sink attached")
+        busy = self._ff_busy_until
+        if busy > 0.0:
+            wait = busy - sim._now
+            if wait > 0.0:
+                yield sim.timeout(wait)
+        yield self._line.request()
+        try:
+            now = sim._now
+            sizes = [p.size for p in packets]
+            starts, ends, delivers = self.plan_burst(
+                np.full(len(packets), now), sizes)
+            if isinstance(burst, Burst):
+                burst.t_start, burst.t_end, burst.t_deliver = (
+                    starts, ends, delivers)
+            for packet, at in zip(packets, delivers.tolist()):
+                ev = sim.timeout(at - now, packet)
+                ev.callbacks.append(self._deliver)
+            yield sim.timeout(float(ends[-1]) - now)
+        finally:
+            self._line.release()
+        self.sent_packets += len(packets)
+        self.sent_bytes += sum(sizes)
 
 
 class Link:

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Generator
 
+import numpy as np
+
 from ..sim import Event, Simulator
 from .link import Channel, DuplexPort, Packet
 from .node import Node
@@ -180,8 +182,11 @@ class OutputPort:
     def forward(self, packet: Packet) -> Generator[Event, Any, None]:
         """Process fragment: queue the packet through the port."""
         self.forwarded += 1
+        # hot path: the simulator is read once; observer hooks (trace)
+        # only dereference again on the rare contended/dropped branches
+        sim = self.sim
         if self.cut_through:
-            now = self.sim.now
+            now = sim._now
             backlog = self._backlog - (now - self._last_at)
             if backlog < 0.0:
                 backlog = 0.0
@@ -194,15 +199,74 @@ class OutputPort:
                     self.max_backlog_us = backlog
                 if backlog > self._buffer_us:
                     self.backpressured += 1
-                    self.sim.trace("wire", "port_backpressure", self.name,
-                                   pkt=packet.pkt_id)
-                yield self.sim.timeout(backlog)
+                    sim.trace("wire", "port_backpressure", self.name,
+                              pkt=packet.pkt_id)
+                yield sim.timeout(backlog)
         elif self.channel.queue_depth >= self.capacity_frames:
             self.drops += 1
-            self.sim.trace("wire", "port_drop", self.name,
-                           pkt=packet.pkt_id)
+            sim.trace("wire", "port_drop", self.name,
+                      pkt=packet.pkt_id)
             return
         yield from self.channel.send(packet)
+
+    # -- burst (flow-level) path ------------------------------------------
+    def plan_burst(self, arrive_times, sizes):
+        """Arithmetic replay of :meth:`forward` for a batch of arrivals.
+
+        Pure computation: walks the cut-through backlog recurrence (or
+        the store-and-forward pass-through) over ``arrive_times`` without
+        touching port state and returns ``(departs, commit)`` where
+        ``departs[k]`` is when frame ``k`` reaches the downlink channel
+        and ``commit()`` applies the counter and backlog-state deltas —
+        call it only once the whole burst is accepted.  Returns ``None``
+        when the arrivals interleave with frames the port has already
+        accounted ahead of them (``_last_at`` past the first arrival):
+        an out-of-order merge must fall back to packet granularity.
+        """
+        n = len(sizes)
+        if not self.cut_through:
+            # store-and-forward: the port itself adds no delay — queueing
+            # emerges from the downlink line; finite-buffer tail-drop
+            # cannot trigger on an uncontended burst (the caller bounds
+            # in-flight frames below capacity_frames before planning)
+            def commit() -> None:
+                self.forwarded += n
+
+            return np.asarray(arrive_times, dtype=np.float64), commit
+        if self._last_at > arrive_times[0]:
+            return None
+        backlog = self._backlog
+        last = self._last_at
+        contended = 0
+        backpressured = 0
+        max_backlog = self.max_backlog_us
+        departs = np.asarray(arrive_times, dtype=np.float64).copy()
+        rate = self._line_rate
+        hdr = self._header_bytes
+        buffer_us = self._buffer_us
+        for k, (t, size) in enumerate(zip(arrive_times, sizes)):
+            b = backlog - (t - last)
+            if b < 0.0:
+                b = 0.0
+            last = t
+            backlog = b + (size + hdr) / rate
+            if b > 0.0:
+                contended += 1
+                if b > max_backlog:
+                    max_backlog = b
+                if b > buffer_us:
+                    backpressured += 1
+                departs[k] = t + b
+
+        def commit() -> None:
+            self.forwarded += n
+            self._backlog = backlog
+            self._last_at = last
+            self.contended += contended
+            self.backpressured += backpressured
+            self.max_backlog_us = max_backlog
+
+        return departs, commit
 
 
 class Switch:

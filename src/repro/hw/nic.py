@@ -86,6 +86,11 @@ class DMAEngine:
         self.bandwidth = bandwidth
         self.per_transfer_cost = per_transfer_cost
         self._bus = Resource(sim, capacity=1)
+        #: virtual bus occupancy left behind by an arithmetic burst;
+        #: event-path transfers arriving before this instant wait it out
+        #: as if the bus resource had been held for real.  Stays 0.0 in
+        #: pure packet mode (one float compare per transfer).
+        self._ff_busy_until = 0.0
         self.transfers = 0
         self.bytes_moved = 0
 
@@ -96,13 +101,26 @@ class DMAEngine:
         """Process fragment: move ``nbytes`` across the I/O bus."""
         if nbytes < 0:
             raise ValueError("negative DMA size")
+        sim = self.sim
+        busy = self._ff_busy_until
+        if busy > 0.0:
+            wait = busy - sim._now
+            if wait > 0.0:
+                yield sim.timeout(wait)
         yield self._bus.request()
         try:
-            yield self.sim.timeout(self.transfer_time(nbytes))
+            yield sim.timeout(self.transfer_time(nbytes))
         finally:
             self._bus.release()
         self.transfers += 1
         self.bytes_moved += nbytes
+
+    def note_burst(self, n: int, nbytes: int, busy_until: float) -> None:
+        """Commit an arithmetic burst of transfers: counters + occupancy."""
+        self.transfers += n
+        self.bytes_moved += nbytes
+        if busy_until > self._ff_busy_until:
+            self._ff_busy_until = busy_until
 
 
 class NIC:
@@ -166,6 +184,14 @@ class NIC:
             raise RuntimeError(f"NIC {self.name} is not attached to a fabric")
         self.tx_packets += 1
         yield from self.port.send(packet)
+
+    def note_tx_burst(self, n: int) -> None:
+        """Account ``n`` transmitted packets from an arithmetic burst."""
+        self.tx_packets += n
+
+    def note_rx_burst(self, n: int) -> None:
+        """Account ``n`` received packets from an arithmetic burst."""
+        self.rx_packets += n
 
     def deliver(self, packet: Packet) -> None:
         """Called by the fabric when a packet arrives for this NIC."""

@@ -40,6 +40,12 @@ def harvest_into(registry: MetricsRegistry, tb) -> MetricsRegistry:
     registry.set_gauge("sim.now_us", sim.now)
     registry.inc("sim.events_run", sim.events_run)
     registry.inc("sim.ctx_switches", sim.ctx_switches)
+    # fast-forward accounting, only-when-nonzero: packet-mode harvests
+    # stay byte-identical to the pre-fast-forward goldens
+    if sim.ff_bursts:
+        registry.set_gauge("sim.ff_time_us", sim.ff_time)
+        registry.inc("sim.ff_events_skipped", sim.ff_events_skipped)
+        registry.inc("sim.ff_bursts", sim.ff_bursts)
 
     for name in tb.node_names:
         node = tb.fabric.node(name)

@@ -97,6 +97,14 @@ class TransferProfile:
         lines.append(f"  {'one-way total':<14s} {total:8.2f} us")
         lines.append(f"  events traced  {len(self.events):8d}")
         lines.append(f"  metrics        {len(self.registry):8d}")
+        ff_us = self._gauge("sim.ff_time_us")
+        if ff_us:
+            # fast-forwarded runs only; packet-mode output keeps its bytes
+            now_us = self._gauge("sim.now_us") or 1.0
+            skipped = int(self._gauge("sim.ff_events_skipped") or 0)
+            lines.append(f"  fast-forward   {ff_us:8.2f} us "
+                         f"({ff_us / now_us:6.1%} of simulated time, "
+                         f"~{skipped} events skipped)")
         retx = self._counter_total("via.", ".retransmissions")
         naks = self._counter_total("via.", ".naks_sent")
         dups = self._counter_total("via.", ".drops")
@@ -108,6 +116,12 @@ class TransferProfile:
                          f"dup_drops={dups} wire_drops={wire}")
         return "\n".join(lines)
 
+    def _gauge(self, name: str) -> float | None:
+        try:
+            return float(self.registry.get(name).value)
+        except KeyError:
+            return None
+
     def _counter_total(self, prefix: str, suffix: str) -> int:
         total = 0
         for name in self.registry.names():
@@ -118,7 +132,8 @@ class TransferProfile:
 
 def profile_transfer(provider, size: int = 256, seed: int = 0,
                      loss_rate: float = 0.0,
-                     reliability=None) -> TransferProfile:
+                     reliability=None,
+                     fidelity: str = "packet") -> TransferProfile:
     """Run the canonical profiled poll-mode ping-pong on ``provider``.
 
     ``loss_rate`` injects wire loss and ``reliability`` picks the VI
@@ -126,15 +141,23 @@ def profile_transfer(provider, size: int = 256, seed: int = 0,
     profile the retransmission machinery.  A lossy run with unreliable
     VIs can drop the only message and never finish — callers must pick
     a reliable level when ``loss_rate > 0``.
+
+    ``fidelity`` other than ``"packet"`` arms flow-level fast-forward;
+    an attached tracer would force every message down the packet path,
+    so fast-forwarded profiles skip per-event tracing (the trace export
+    is empty) and instead report the fraction of simulated time spent
+    fast-forwarded in the summary and metrics.
     """
     from ..models.breakdown import PHASE_BOUNDARIES
     from ..providers.registry import Testbed, get_spec
 
     _reset_id_counters()
     tb = Testbed(provider, seed=seed,
-                 loss_rate=loss_rate if loss_rate else None)
+                 loss_rate=loss_rate if loss_rate else None,
+                 fidelity=fidelity)
     tracer = Tracer()
-    tb.sim.tracer = tracer                # attached before the handshake
+    if fidelity == "packet":
+        tb.sim.tracer = tracer            # attached before the handshake
     registry = MetricsRegistry()
     tb.sim.metrics = registry
     rec = SpanRecorder(tb.sim)
@@ -179,9 +202,13 @@ def profile_transfer(provider, size: int = 256, seed: int = 0,
 
     harvest_into(registry, tb)
     # first-match anchors: the canonical run is cold, so the first
-    # occurrence of each marker is the client -> server leg
-    phases = phase_spans(tracer, PHASE_BOUNDARIES,
-                         nodes=("node0", "node1"), select="first")
+    # occurrence of each marker is the client -> server leg.  Fast-
+    # forwarded runs traced nothing, so there are no phases to anchor.
+    if fidelity == "packet":
+        phases = phase_spans(tracer, PHASE_BOUNDARIES,
+                             nodes=("node0", "node1"), select="first")
+    else:
+        phases = []
     name = get_spec(provider).name
     params = {"size": size, "seed": seed, "benchmark": "profile_pingpong"}
     # only faulted/non-default runs grow extra keys, so default metadata
@@ -190,6 +217,8 @@ def profile_transfer(provider, size: int = 256, seed: int = 0,
         params["loss_rate"] = loss_rate
     if reliability is not None:
         params["reliability"] = reliability.value
+    if fidelity != "packet":
+        params["fidelity"] = fidelity
     meta = run_metadata(name, params)
     return TransferProfile(
         provider=name, size=size, seed=seed, rtt_us=out["rtt"],

@@ -15,10 +15,13 @@ knobs plus the provider's :class:`~repro.providers.costs.CostModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
+from ..hw import link as _hwlink
 from ..hw.link import Packet
 from ..hw.memory import page_span
+from ..hw.network import Switch
+from ..hw.nic import NIC
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..sim import Event
 from ..via.constants import (
@@ -131,6 +134,24 @@ class _BufferedMsg:
     total_len: int
 
 
+@dataclass
+class _BurstPlan:
+    """A fully-solved fast-forward of one message's wire journey.
+
+    ``commits`` mutate counters/occupancy synchronously at commit time;
+    ``completions`` are (timestamp, callback) pairs scheduled as single
+    events — the only real events a burst leaves behind besides the
+    send-engine hold until ``hold_until``.
+    """
+
+    hold_until: float
+    t0: float
+    t_end: float
+    events_est: int
+    commits: list
+    completions: list
+
+
 # ---------------------------------------------------------------------------
 # gather/scatter helpers (pure, time-free; DMA time is charged separately)
 # ---------------------------------------------------------------------------
@@ -200,6 +221,11 @@ class NicEngine:
         #: vi_id -> seq of a duplicate RDMA write whose fragments we skip
         self._rdma_skip: dict[int, int] = {}
         self._next_read_id = 1
+        #: virtual recv-engine occupancy left behind by an arithmetic
+        #: burst: event-path rx processes arriving before this instant
+        #: wait it out, as if the engine resource had been held for real.
+        #: Stays 0.0 in pure packet mode.
+        self._ff_rx_free = 0.0
         # observability
         self.messages_sent = 0
         self.messages_received = 0
@@ -277,6 +303,314 @@ class NicEngine:
         self.sim.process(self.nic.transmit(pkt), name=f"tx-{kind}")
 
     # =====================================================================
+    # flow-level fast-forward (burst) path
+    # =====================================================================
+    #
+    # At "auto"/"flow" fidelity, when a message's entire journey is
+    # provably predictable — no tracer/faults/checker armed, loss-free
+    # idle wires, an uncontended switch port, a connected peer with a
+    # posted receive descriptor and no reassembly in flight — the
+    # per-fragment event cascade (DMA, tx, serialise, switch, port, rx
+    # engine, translate, placement, ack) collapses into closed-form
+    # recurrences.  :meth:`_plan_burst` solves every timestamp
+    # arithmetically without mutating state (the receiver TLB walk is
+    # snapshot/restored); :meth:`_run_burst` then commits counters in
+    # bulk, leaves virtual-occupancy watermarks on every resource
+    # touched so concurrent event-path traffic still queues behind the
+    # burst, and schedules only the completion writebacks as real
+    # events.  Anything the plan cannot prove falls back to the packet
+    # path, which stays bit-identical to the pre-burst model.
+
+    def _ff_route(self, vi: VI):
+        """Resolve forward and reverse wire paths through a flat Fabric.
+
+        Returns the hardware objects a burst plan needs, or None when
+        the topology is anything the arithmetic model does not cover
+        (tiered fabrics, detached ports, unexpected sinks)."""
+        port = self.nic.port
+        if port is None or vi.peer is None:
+            return None
+        up = port.out_channel
+        switch = getattr(up.sink, "__self__", None)
+        if not isinstance(switch, Switch):
+            return None
+        dst = vi.peer[0]
+        down = switch._downlinks.get(dst)
+        oport = switch._ports.get(dst)
+        if down is None or oport is None:
+            return None
+        peer_nic = getattr(down.sink, "__self__", None)
+        if not isinstance(peer_nic, NIC) or peer_nic.port is None:
+            return None
+        peer_eng = getattr(peer_nic.rx_handler, "__self__", None)
+        if not isinstance(peer_eng, NicEngine):
+            return None
+        peer_up = peer_nic.port.out_channel
+        if getattr(peer_up.sink, "__self__", None) is not switch:
+            return None
+        sdown = switch._downlinks.get(self.node.name)
+        sport = switch._ports.get(self.node.name)
+        if sdown is None or sport is None:
+            return None
+        if getattr(sdown.sink, "__self__", None) is not self.nic:
+            return None
+        return (up, switch, oport, down, peer_nic, peer_eng,
+                peer_up, sport, sdown)
+
+    def _plan_burst(self, vi: VI, desc: Descriptor,
+                    frags: list[DataFrag]) -> _BurstPlan | None:
+        """Try to solve the whole message arithmetically.  None = fall back."""
+        sim = self.sim
+        n = len(frags)
+        if n < 2 and sim.fidelity != "flow":
+            return None
+        if frags[0].op != "send":
+            return None
+        if (sim.tracer is not None or sim.faults is not None
+                or sim.checker is not None):
+            return None
+        reliable = vi.reliability is not Reliability.UNRELIABLE
+        if reliable and self.p._recovery_armed:
+            return None
+        route = self._ff_route(vi)
+        if route is None:
+            return None
+        (up, switch, oport, down, peer_nic, peer_eng,
+         peer_up, sport, sdown) = route
+        peer_vi = peer_eng.p.vis.get(vi.peer[1])
+        if (peer_vi is None or not peer_vi.is_connected
+                or peer_vi.rx_state is not None
+                or peer_vi.expected_rx_seq != frags[0].seq
+                or peer_eng.has_buffered(peer_vi)
+                or peer_vi.recv_q.claimable == 0):
+            return None
+        rdesc = peer_vi.recv_q._claimable[0]
+        total_len = frags[0].total_len
+        if total_len > rdesc.total_length:
+            return None
+
+        def _wire_ok(ch) -> bool:
+            return (ch.loss_rate == 0.0 and ch._line.in_use == 0
+                    and ch._line.queued == 0)
+
+        dma = self.nic.dma
+        pdma = peer_nic.dma
+        if not (_wire_ok(up) and _wire_ok(down)):
+            return None
+        if (dma._bus.in_use or dma._bus.queued
+                or pdma._bus.in_use or pdma._bus.queued):
+            return None
+        if peer_nic.recv_engine.in_use or peer_nic.recv_engine.queued:
+            return None
+        if reliable:
+            if not (_wire_ok(peer_up) and _wire_ok(sdown)):
+                return None
+            if self.nic.recv_engine.in_use or self.nic.recv_engine.queued:
+                return None
+        if not oport.cut_through and n > oport.capacity_frames:
+            return None
+
+        c = self.costs
+        t0 = sim._now
+        sizes = [len(f.data) for f in frags]
+        nbytes = sum(sizes)
+        # -- sender engine: per-frag DMA fetch + tx cost ------------------
+        # every recurrence below replays the event path's float additions
+        # in the same order and association (x + transfer_time(n), one
+        # cost per timeout) so the computed timestamps are bit-identical
+        dma_free = dma._ff_busy_until
+        tx_cost = c.nic_tx_per_frag
+        emit: list[float] = []
+        prev = t0
+        for size in sizes:
+            ds = prev if prev > dma_free else dma_free
+            dma_free = ds + dma.transfer_time(size)
+            prev = dma_free + tx_cost
+            emit.append(prev)
+        # -- forward wire path: uplink -> switch -> port -> downlink ------
+        _, up_ends, up_delivers = up.plan_burst(
+            emit, sizes, line_free=up._ff_busy_until)
+        arrive_port = up_delivers + switch.params.switch_latency
+        port_plan = oport.plan_burst(arrive_port, sizes)
+        if port_plan is None:
+            return None
+        departs, port_commit = port_plan
+        _, down_ends, rx_arrive = down.plan_burst(
+            departs, sizes, line_free=down._ff_busy_until)
+        # -- receiver engine: per-frag rx + translate + placement ---------
+        rc = peer_eng.costs
+        rch = peer_eng.choices
+        translate_on = (rch.translation_agent is TranslationAgent.NIC
+                        and rch.data_path is DataPath.ZERO_COPY)
+        host_table = rch.table_location is not TableLocation.NIC_MEMORY
+        ptlb = peer_nic.tlb
+        snap = None
+        if translate_on and host_table:
+            # the LRU walk below mutates the real cache so hit/miss
+            # sequencing is exact; restored verbatim on late fallback
+            snap = (ptlb._cache.copy(), ptlb.hits, ptlb.misses,
+                    ptlb.evictions)
+
+        def _restore_tlb() -> None:
+            if snap is not None:
+                ptlb._cache, ptlb.hits, ptlb.misses, ptlb.evictions = snap
+
+        ptable = peer_eng.node.mem.page_table
+        pdma_free = pdma._ff_busy_until
+        rx_cost = rc.nic_rx_per_frag
+        r_free = peer_eng._ff_rx_free
+        pages_total = 0
+        misses = 0
+        miss_bytes = 0
+        for k in range(n):
+            t = float(rx_arrive[k])
+            if r_free > t:
+                t = r_free
+            t += rx_cost
+            if translate_on:
+                pages = peer_eng._placement_pages(
+                    rdesc, frags[k].offset, sizes[k])
+                pages_total += len(pages)
+                if not host_table:
+                    if pages:
+                        t += rc.tlb_hit * len(pages)
+                else:
+                    for vpage in pages:
+                        frame = ptlb.lookup(vpage)
+                        if frame is None:
+                            misses += 1
+                            miss_bytes += rc.tlb_entry_bytes
+                            t += rc.tlb_miss
+                            ds = t if t > pdma_free else pdma_free
+                            t = ds + pdma.transfer_time(rc.tlb_entry_bytes)
+                            pdma_free = t
+                            ptlb.insert(vpage, ptable.translate(vpage))
+                        else:
+                            t += rc.tlb_hit
+            ds = t if t > pdma_free else pdma_free
+            t = ds + pdma.transfer_time(sizes[k])
+            pdma_free = t
+            r_free = t
+
+        def _complete_seq(t_: float, wq: WorkQueue, costs_, choices_) -> float:
+            # one addition per timeout, as _finish issues them
+            t_ += costs_.completion_write
+            if wq.cq is not None and not choices_.cq_in_hardware:
+                t_ += costs_.cq_notify
+            return t_
+
+        # -- last fragment: ack emission + receiver completion ------------
+        t = r_free
+        ack_emit = 0.0
+        if vi.reliability is Reliability.RELIABLE_DELIVERY:
+            t += rc.ack_tx
+            ack_emit = t
+        t = _complete_seq(t, peer_vi.recv_q, rc, rch)
+        recv_complete_at = t
+        if vi.reliability is Reliability.RELIABLE_RECEPTION:
+            t += rc.ack_tx
+            ack_emit = t
+        r_free = t
+        # -- reverse path: the ack packet back to the sender --------------
+        send_complete_at = None
+        snd_rx_free = 0.0
+        a_ends = sd_ends = None
+        sport_commit: Callable[[], None] | None = None
+        if reliable:
+            _, a_ends, a_del = peer_up.plan_burst(
+                [ack_emit], [ACK_WIRE_BYTES],
+                line_free=peer_up._ff_busy_until)
+            s_arrive = float(a_del[0]) + switch.params.switch_latency
+            splan = sport.plan_burst([s_arrive], [ACK_WIRE_BYTES])
+            if splan is None:
+                _restore_tlb()
+                return None
+            s_departs, sport_commit = splan
+            _, sd_ends, sd_del = sdown.plan_burst(
+                s_departs, [ACK_WIRE_BYTES],
+                line_free=sdown._ff_busy_until)
+            ta = float(sd_del[0])
+            if self._ff_rx_free > ta:
+                ta = self._ff_rx_free
+            ta += c.ack_rx
+            snd_rx_free = ta
+            send_complete_at = _complete_seq(
+                ta, vi.send_q, c, self.choices)
+        t_end = recv_complete_at
+        if send_complete_at is not None and send_complete_at > t_end:
+            t_end = send_complete_at
+        if t_end > sim.ff_horizon():
+            # a bounded run would have cut the cascade mid-flight; the
+            # packet path reproduces the truncated state exactly
+            _restore_tlb()
+            return None
+
+        metrics = sim.metrics
+        data = b"".join(f.data for f in frags)
+        immediate = frags[0].immediate
+        seq = frags[0].seq
+        est = n * 17 + pages_total + 2 * misses + (15 if reliable else 0)
+
+        def commit() -> None:
+            # packet-id parity with the event path (no Packet objects)
+            for _ in range(n + (1 if reliable else 0)):
+                next(_hwlink._packet_ids)
+            self.nic.note_tx_burst(n)
+            dma.note_burst(n, nbytes, dma_free)
+            up.note_burst(n, nbytes, float(up_ends[-1]))
+            switch.forwarded += n
+            port_commit()
+            down.note_burst(n, nbytes, float(down_ends[-1]))
+            peer_nic.note_rx_burst(n)
+            peer_eng.messages_received += 1
+            if metrics is not None:
+                metrics.observe(
+                    f"via.{peer_eng.node.name}.msg_recv_bytes",
+                    total_len, DEFAULT_SIZE_BUCKETS)
+            pdma.note_burst(n + misses, nbytes + miss_bytes, pdma_free)
+            peer_vi.expected_rx_seq = seq + 1
+            claimed = peer_vi.recv_q.claim()
+            assert claimed is rdesc
+            peer_eng._ff_rx_free = r_free
+            if reliable:
+                peer_nic.note_tx_burst(1)
+                peer_up.note_burst(1, ACK_WIRE_BYTES, float(a_ends[-1]))
+                switch.forwarded += 1
+                sport_commit()
+                sdown.note_burst(1, ACK_WIRE_BYTES, float(sd_ends[-1]))
+                self.nic.note_rx_burst(1)
+                self._ff_rx_free = snd_rx_free
+
+        def complete_recv(_ev) -> None:
+            scatter(peer_eng.node.mem, rdesc, data)
+            rdesc.control.immediate = immediate
+            peer_vi.recv_q.finish(rdesc, CompletionStatus.SUCCESS,
+                                  total_len)
+
+        completions = [(recv_complete_at, complete_recv)]
+        if reliable:
+            def complete_send(_ev) -> None:
+                vi.send_q.finish(desc, CompletionStatus.SUCCESS,
+                                 desc.total_length)
+
+            completions.append((send_complete_at, complete_send))
+        return _BurstPlan(hold_until=emit[-1], t0=t0, t_end=t_end,
+                          events_est=est, commits=[commit],
+                          completions=completions)
+
+    def _run_burst(self, plan: _BurstPlan) -> Op:
+        """Commit a solved burst and hold the engine for its tx window."""
+        sim = self.sim
+        for fn in plan.commits:
+            fn()
+        now = sim._now
+        for at, fn in plan.completions:
+            ev = sim.timeout(at - now)
+            ev.callbacks.append(fn)
+        sim.note_fast_forward(plan.t0, plan.t_end, plan.events_est)
+        yield sim.timeout(plan.hold_until - now)
+
+    # =====================================================================
     # send path
     # =====================================================================
 
@@ -316,22 +650,27 @@ class NicEngine:
                 chk.on_local_dma(self.p, vi, desc)
             data = gather(self.node.mem, desc)
             frags = self._build_frags(vi, desc, data)
-            reliable = vi.reliability is not Reliability.UNRELIABLE
-            if reliable:
-                state = _SendState(vi, desc, frags, self._peer_node(vi))
-                self._unacked[(vi.vi_id, frags[0].seq)] = state
-                if self.p._recovery_armed:
-                    self.sim.process(self._retransmit_timer(state),
-                                     name=f"rto-vi{vi.vi_id}")
-            for frag in frags:
-                ok = yield from self._dma(len(frag.data))
-                if not ok:
-                    continue  # fragment lost at the I/O bus
-                yield self.sim.timeout(c.nic_tx_per_frag)
-                self.sim.trace("nic", "frag_out", self.node.name,
-                               vi=vi.vi_id, seq=frag.seq, frag=frag.frag)
-                self._tx_packet(self._peer_node(vi), "via-data",
-                                len(frag.data), frag)
+            plan = (self._plan_burst(vi, desc, frags)
+                    if self.sim.fidelity != "packet" else None)
+            if plan is not None:
+                yield from self._run_burst(plan)
+            else:
+                reliable = vi.reliability is not Reliability.UNRELIABLE
+                if reliable:
+                    state = _SendState(vi, desc, frags, self._peer_node(vi))
+                    self._unacked[(vi.vi_id, frags[0].seq)] = state
+                    if self.p._recovery_armed:
+                        self.sim.process(self._retransmit_timer(state),
+                                         name=f"rto-vi{vi.vi_id}")
+                for frag in frags:
+                    ok = yield from self._dma(len(frag.data))
+                    if not ok:
+                        continue  # fragment lost at the I/O bus
+                    yield self.sim.timeout(c.nic_tx_per_frag)
+                    self.sim.trace("nic", "frag_out", self.node.name,
+                                   vi=vi.vi_id, seq=frag.seq, frag=frag.frag)
+                    self._tx_packet(self._peer_node(vi), "via-data",
+                                    len(frag.data), frag)
             self.messages_sent += 1
             metrics = self.sim.metrics
             if metrics is not None:
@@ -459,8 +798,17 @@ class NicEngine:
             # connection-management traffic is handled by the provider
             self.p.handle_control_packet(pl)
 
+    def _ff_rx_gate(self) -> Op:
+        """Queue behind a burst's virtual recv-engine occupancy."""
+        ff = self._ff_rx_free
+        if ff > 0.0:
+            wait = ff - self.sim._now
+            if wait > 0.0:
+                yield self.sim.timeout(wait)
+
     def _rx_data(self, pl: DataFrag) -> Op:
         c = self.costs
+        yield from self._ff_rx_gate()
         yield self.nic.recv_engine.request()
         try:
             yield self.sim.timeout(c.nic_rx_per_frag)
@@ -708,6 +1056,7 @@ class NicEngine:
     def _rx_read_req(self, pl: RdmaReadReq) -> Op:
         """Target side of an RDMA read: stream the data back."""
         c = self.costs
+        yield from self._ff_rx_gate()
         yield self.nic.recv_engine.request()
         try:
             yield self.sim.timeout(c.nic_rx_per_frag)
@@ -793,6 +1142,7 @@ class NicEngine:
 
     def _rx_ack(self, pl: AckPayload) -> Op:
         c = self.costs
+        yield from self._ff_rx_gate()
         yield self.nic.recv_engine.request()
         try:
             yield self.sim.timeout(c.ack_rx)

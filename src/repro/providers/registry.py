@@ -89,6 +89,7 @@ class Testbed:
         check: bool = False,
         faults=None,
         loss_possible: bool | None = None,
+        fidelity: str = "packet",
     ) -> None:
         spec = get_spec(provider)
         network = spec.network
@@ -96,8 +97,12 @@ class Testbed:
             network = network.with_loss(loss_rate)
         if mtu is not None:
             network = network.with_mtu(mtu)
+        if fidelity not in ("packet", "auto", "flow"):
+            raise ValueError(
+                f"fidelity must be packet/auto/flow, got {fidelity!r}")
         self.spec = spec
         self.sim = Simulator()
+        self.sim.fidelity = fidelity
         if leaf_groups is not None:
             from ..hw.tiered import TieredFabric
 

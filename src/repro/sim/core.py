@@ -576,11 +576,59 @@ class Simulator:
         #: kernel-level totals (always on: two plain int increments)
         self.events_run = 0
         self.ctx_switches = 0
+        #: simulation fidelity: "packet" runs every wire packet as its
+        #: own event chain (the bit-exact default); "auto" lets model
+        #: layers collapse provably-uncontended steady-state stretches
+        #: into arithmetic fast-forwards; "flow" additionally bursts
+        #: single-fragment messages.  The kernel itself only carries the
+        #: mode and the accounting — eligibility lives with the models.
+        self.fidelity = "packet"
+        #: simulated time covered by fast-forwarded (flow-level) stretches,
+        #: as a union of spans — never exceeds ``now``
+        self.ff_time = 0.0
+        #: events the packet-level path would have run but the flow path
+        #: synthesized arithmetically
+        self.ff_events_skipped = 0
+        self.ff_bursts = 0
+        self._ff_watermark = 0.0
+        #: active run() deadline: the next *boundary* a fast-forward may
+        #: not cross (a truncated run must truncate identically in every
+        #: fidelity mode)
+        self._run_until = float("inf")
 
     def trace(self, category: str, label: str, node: str = "", **info) -> None:
         """Emit a trace event if a tracer is attached (cheap when not)."""
         if self.tracer is not None:
             self.tracer.emit(self._now, category, label, node, **info)
+
+    # -- flow-level fast-forward accounting -------------------------------
+    def ff_horizon(self) -> float:
+        """Earliest boundary an analytic fast-forward may not cross.
+
+        Today that is the active ``run(until=...)`` deadline: a stretch
+        fast-forwarded past the deadline would synthesize completions a
+        packet-level run truncates, so planners must fall back when
+        their burst would end beyond it.  Fault windows never appear
+        here because an armed injector disqualifies bursting outright
+        (see the eligibility rules in ``providers.engine``).
+        """
+        return self._run_until
+
+    def note_fast_forward(self, t_start: float, t_end: float,
+                          events_skipped: int) -> None:
+        """Record one analytically-advanced stretch ``[t_start, t_end]``.
+
+        ``ff_time`` accumulates the *union* of fast-forwarded spans (a
+        watermark dedupes the overlap of pipelined bursts), so
+        ``ff_time / now`` reads as the fraction of simulated time the
+        kernel never had to step through.
+        """
+        start = t_start if t_start > self._ff_watermark else self._ff_watermark
+        if t_end > start:
+            self.ff_time += t_end - start
+            self._ff_watermark = t_end
+        self.ff_events_skipped += events_skipped
+        self.ff_bursts += 1
 
     @property
     def now(self) -> float:
@@ -851,6 +899,7 @@ class Simulator:
                 return stop._value
             sentinel: list = []
             stop.callbacks.append(sentinel.append)
+            self._run_until = float("inf")
             self._drain(float("inf"), sentinel)
             if not sentinel:
                 raise SimulationError(
@@ -863,7 +912,11 @@ class Simulator:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        self._drain(deadline, None)
+        self._run_until = deadline
+        try:
+            self._drain(deadline, None)
+        finally:
+            self._run_until = float("inf")
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -52,10 +52,12 @@ class TransferConfig:
     loss_rate: float | None = None
     discriminator: int = 11
     check: bool = False           # attach the conformance checker
+    fidelity: str = "packet"      # "packet" | "auto" | "flow" fast-forward
 
     def testbed(self, provider: "str | ProviderSpec", seed: int = 0) -> Testbed:
         return Testbed(provider, seed=seed, loss_rate=self.loss_rate,
-                       mtu=self.mtu, check=self.check)
+                       mtu=self.mtu, check=self.check,
+                       fidelity=self.fidelity)
 
 
 def reuse_schedule(iters: int, reuse_fraction: float, pool: int) -> list[int]:

@@ -101,13 +101,32 @@ JOBS_AWARE = frozenset({
     "mtu_latency", "mtu_bandwidth",
 })
 
+#: benchmarks whose kwargs flow into a :class:`TransferConfig`, and thus
+#: accept a ``fidelity="auto"|"flow"`` fast-forward override.  The rest
+#: build their testbeds directly and silently drop the keyword (so the
+#: CLI can pass ``--fidelity`` uniformly).  ``cq_overhead`` is excluded:
+#: it compares a with-CQ run against a bare baseline and must run both
+#: at the same fidelity.
+FIDELITY_AWARE = frozenset({
+    "base_latency", "base_bandwidth",
+    "base_latency_blocking", "base_bandwidth_blocking",
+    "reuse_latency", "reuse_bandwidth",
+    "cq_latency", "cq_bandwidth",
+    "multivi_latency", "multivi_bandwidth",
+    "segments_latency", "segments_bandwidth",
+    "pipeline_bandwidth",
+    "mtu_latency", "mtu_bandwidth",
+    "reliability_latency", "reliability_bandwidth",
+})
+
 
 def run_benchmark(name: str, provider: str, **kwargs):
     """Run one named micro-benchmark on one provider.
 
     A ``jobs`` keyword is forwarded only to benchmarks that support
     internal fan-out (:data:`JOBS_AWARE`); for the rest it is dropped so
-    callers can pass a global ``--jobs`` uniformly.
+    callers can pass a global ``--jobs`` uniformly.  Likewise
+    ``fidelity`` reaches only the :data:`FIDELITY_AWARE` benchmarks.
     """
     try:
         fn = SUITE[name]
@@ -117,6 +136,8 @@ def run_benchmark(name: str, provider: str, **kwargs):
         ) from None
     if "jobs" in kwargs and name not in JOBS_AWARE:
         kwargs = {k: v for k, v in kwargs.items() if k != "jobs"}
+    if "fidelity" in kwargs and name not in FIDELITY_AWARE:
+        kwargs = {k: v for k, v in kwargs.items() if k != "fidelity"}
     result = fn(provider, **kwargs)
     _stamp_meta(result, name, provider, kwargs)
     return result

@@ -1,0 +1,179 @@
+"""Fast-forward equivalence: the burst path must be bit-identical.
+
+Three layers of the same property — flow-level fast-forward is a pure
+wall-clock optimisation, never a model change:
+
+* the wire: :meth:`Channel.plan_burst` replays the serialise/propagate
+  recurrence arithmetically and must reproduce the event path's
+  delivery timestamps bit-for-bit for any emit pattern;
+* the engine: a streamed message sequence run at ``fidelity="auto"``
+  must complete at exactly the packet-mode timestamps and leave every
+  model counter (NIC, DMA, TLB, wire, work queues) identical, across
+  message size x MTU x port-buffer x reliability level;
+* the stacks: the differential harness's structural signatures must not
+  move under either fast-forward mode on any provider.
+
+Only ``sim.*`` kernel accounting may differ: fast-forward exists to run
+fewer events, so ``events_run``/``ctx_switches`` shrink and the
+``sim.ff_*`` counters appear.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.differential import ALL_PROVIDERS, WORKLOADS, run_workload
+from repro.hw.link import Channel, Packet
+from repro.obs.harvest import harvest_testbed
+from repro.providers import Testbed
+from repro.sim import Simulator
+from repro.via import Descriptor
+from repro.via.constants import Reliability
+
+RELIABILITIES = (Reliability.UNRELIABLE, Reliability.RELIABLE_DELIVERY,
+                 Reliability.RELIABLE_RECEPTION)
+
+
+# ---------------------------------------------------------------------------
+# wire level: plan_burst vs per-packet Channel.send
+# ---------------------------------------------------------------------------
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=4096),
+                   min_size=1, max_size=10),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=50.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=10, max_size=10),
+    bandwidth=st.sampled_from([10.0, 125.0, 1250.0]),
+    prop_delay=st.sampled_from([0.0, 0.1, 2.5]),
+    header=st.sampled_from([0, 14, 40]),
+    ppc=st.sampled_from([0.0, 0.05]),
+)
+@settings(max_examples=80, deadline=None)
+def test_channel_plan_burst_matches_event_path(sizes, gaps, bandwidth,
+                                               prop_delay, header, ppc):
+    """plan_burst's FIFO recurrence == the event path, bit for bit."""
+    gaps = gaps[:len(sizes)]
+    emits = []
+    t = 0.0
+    for g in gaps:
+        t += g
+        emits.append(t)
+
+    # event path: one process per packet, released at its emit time in
+    # FIFO order, delivery timestamps captured at the sink
+    sim = Simulator()
+    ch = Channel(sim, bandwidth, prop_delay, header_bytes=header,
+                 per_packet_cost=ppc, name="u")
+    delivered: list[float] = []
+    ends: list[float] = []
+    ch.sink = lambda pkt: delivered.append(sim.now)
+
+    def sender(emit, size):
+        if emit > 0.0:
+            yield sim.timeout(emit)
+        yield from ch.send(Packet("a", "b", "data", size))
+        ends.append(sim.now)
+
+    for emit, size in zip(emits, sizes):
+        sim.process(sender(emit, size))
+    sim.run()
+
+    # arithmetic path, planned against the same idle line
+    plan = Channel(Simulator(), bandwidth, prop_delay, header_bytes=header,
+                   per_packet_cost=ppc, name="p")
+    starts, plan_ends, delivers = plan.plan_burst(emits, sizes)
+
+    assert list(plan_ends) == sorted(ends)
+    assert list(delivers) == sorted(delivered)
+    assert all(s >= e for s, e in zip(starts, emits))
+
+
+# ---------------------------------------------------------------------------
+# engine level: fidelity="auto" vs packet on a fragmented stream
+# ---------------------------------------------------------------------------
+
+def _stream_run(provider: str, size: int, mtu: int, frames: int,
+                reliability: Reliability, fidelity: str,
+                count: int = 3) -> tuple[dict, dict]:
+    """Stream ``count`` messages; returns (timestamps, counter snapshot)."""
+    tb = Testbed(provider, mtu=mtu, fidelity=fidelity)
+    for port in tb.fabric.switch._ports.values():
+        port.capacity_frames = frames
+    times: dict = {"send": [], "recv": []}
+
+    def client():
+        h = tb.open("node0", "c")
+        vi = yield from h.create_vi(reliability=reliability)
+        r = h.alloc(size)
+        mh = yield from h.register_mem(r)
+        yield from h.connect(vi, "node1", 9)
+        segs = [h.segment(r, mh, 0, size)]
+        for _ in range(count):
+            yield from h.post_send(vi, Descriptor.send(segs))
+            desc = yield from h.send_wait(vi)
+            times["send"].append(desc.completed_at)
+
+    def server():
+        h = tb.open("node1", "s")
+        vi = yield from h.create_vi(reliability=reliability)
+        r = h.alloc(size)
+        mh = yield from h.register_mem(r)
+        segs = [h.segment(r, mh, 0, size)]
+        for _ in range(count):
+            yield from h.post_recv(vi, Descriptor.recv(segs))
+        req = yield from h.connect_wait(9)
+        yield from h.accept(req, vi)
+        for _ in range(count):
+            desc = yield from h.recv_wait(vi)
+            times["recv"].append(desc.completed_at)
+
+    cp = tb.spawn(client(), "client")
+    sp = tb.spawn(server(), "server")
+    tb.run(cp)
+    tb.run(sp)
+    tb.run()
+    times["now"] = tb.sim.now
+    counters = {k: v for k, v in harvest_testbed(tb).snapshot().items()
+                if not k.startswith("sim.")}
+    return times, counters
+
+
+@given(
+    provider=st.sampled_from(ALL_PROVIDERS),
+    size=st.integers(min_value=1, max_value=32_768),
+    mtu=st.sampled_from([512, 1024, 2048, 4096]),
+    frames=st.integers(min_value=2, max_value=64),
+    reliability=st.sampled_from(RELIABILITIES),
+)
+@settings(max_examples=25, deadline=None)
+def test_stream_auto_bit_identical_to_packet(provider, size, mtu, frames,
+                                             reliability):
+    """Completions and every model counter survive fast-forward."""
+    packet = _stream_run(provider, size, mtu, frames, reliability, "packet")
+    auto = _stream_run(provider, size, mtu, frames, reliability, "auto")
+    assert auto[0] == packet[0]     # timestamps, bit for bit
+    assert auto[1] == packet[1]     # NIC/DMA/TLB/wire/WQ counters
+
+
+@pytest.mark.parametrize("reliability", RELIABILITIES)
+def test_flow_fidelity_single_fragment_messages(reliability):
+    """``flow`` fast-forwards even unfragmented (n=1) sends losslessly."""
+    packet = _stream_run("clan", 256, 4096, 32, reliability, "packet")
+    flow = _stream_run("clan", 256, 4096, 32, reliability, "flow")
+    assert flow == packet
+
+
+# ---------------------------------------------------------------------------
+# stack level: differential signatures across fidelity modes
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("provider", ALL_PROVIDERS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_workload_signature_stable_across_fidelity(provider, workload):
+    base = run_workload(provider, workload, check=False)
+    for fidelity in ("auto", "flow"):
+        ff = run_workload(provider, workload, check=False, fidelity=fidelity)
+        assert ff == base, f"{provider}/{workload} diverged under {fidelity}"
