@@ -125,8 +125,19 @@ def cmd_run(args) -> None:
         # only non-default fidelity is forwarded, so default runs keep
         # their exact result metadata (fidelity never reaches params)
         kwargs["fidelity"] = args.fidelity
-    result = run_benchmark(args.benchmark, provider, jobs=args.jobs,
-                           **kwargs)
+    if args.warm_start:
+        # every testbed the benchmark builds restores from a shared
+        # construction checkpoint; results are byte-identical to cold
+        from .snap import clear_pool, enable_warm_start
+
+        enable_warm_start(True)
+    try:
+        result = run_benchmark(args.benchmark, provider, jobs=args.jobs,
+                               **kwargs)
+    finally:
+        if args.warm_start:
+            enable_warm_start(False)
+            clear_pool()
     if isinstance(result, list):
         for r in result:
             print(r.table())
@@ -252,6 +263,9 @@ def cmd_chaos(args) -> None:
     if providers == PROVIDERS:
         # chaos should batter every stack unless explicitly narrowed
         providers = None  # run_chaos defaults to ALL_PROVIDERS
+    if args.rewind:
+        _chaos_rewind(providers, args)
+        return
     report = run_chaos(providers=providers,
                        scenarios=tuple(args.scenario) if args.scenario else None,
                        seed=args.seed, quick=args.quick)
@@ -261,6 +275,36 @@ def cmd_chaos(args) -> None:
             fh.write(report.to_json())
         print(f"chaos report written to {args.json_out}")
     if not report.ok:
+        sys.exit(1)
+
+
+def _chaos_rewind(providers, args) -> None:
+    """``vibe chaos --rewind``: checkpoint each cell just before its
+    first fault arms, restore, and re-run the fault window traced."""
+    from .faults.chaos import rewind_scenario
+    from .faults.scenarios import SCENARIOS, get_scenario
+
+    if providers is None:
+        from .check import ALL_PROVIDERS
+
+        providers = ALL_PROVIDERS
+    if args.scenario:
+        chosen = tuple(get_scenario(n) for n in args.scenario)
+    else:
+        chosen = tuple(sc for sc in SCENARIOS if sc.workload != "cluster")
+    print(f"chaos rewind: {len(chosen)} scenarios x "
+          f"{len(providers)} providers")
+    ok = True
+    for sc in chosen:
+        for p in providers:
+            if sc.workload == "cluster":
+                print(f"  {sc.name:<20} {p:<8} skipped (cluster workload)")
+                continue
+            rw = rewind_scenario(p, sc, seed=args.seed, quick=args.quick)
+            print(rw.summary())
+            ok = ok and rw.result.ok and rw.matches_cold
+    print("PASS" if ok else "FAIL")
+    if not ok:
         sys.exit(1)
 
 
@@ -284,7 +328,8 @@ def cmd_cluster(args) -> None:
     elif args.quick:
         rates = QUICK_RATE_GRID
     report = run_cluster(providers, cfg, rates=rates, jobs=args.jobs,
-                         check=args.check)
+                         check=args.check, warm_start=args.warm_start,
+                         checkpoint_dir=args.checkpoint_dir)
     print(report.summary())
     if args.json_out:
         with open(args.json_out, "w") as fh:
@@ -355,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulation fidelity: packet = every event, "
                           "auto/flow = batch clean steady-state bursts "
                           "(data-transfer benchmarks only)")
+    run.add_argument("--warm-start", action="store_true",
+                     help="restore each cell's testbed from a shared "
+                          "construction checkpoint (byte-identical "
+                          "results, less wall-clock)")
 
     sub.add_parser("list", help="list benchmark names")
 
@@ -415,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: all of them")
     chaos.add_argument("--json-out", metavar="FILE.json",
                        help="also write the report as JSON")
+    chaos.add_argument("--rewind", action="store_true",
+                       help="checkpoint each cell just before its first "
+                            "fault arms, restore, and replay only the "
+                            "fault window under a tracer")
 
     clus = sub.add_parser(
         "cluster",
@@ -462,6 +515,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="3-point rate grid (CI-sized)")
     clus.add_argument("--json-out", metavar="FILE.json",
                       help="also write the report as JSON")
+    clus.add_argument("--warm-start", action="store_true",
+                      help="restore each cell's testbed from a shared "
+                           "construction checkpoint (byte-identical "
+                           "report, less wall-clock)")
+    clus.add_argument("--checkpoint-dir", metavar="DIR",
+                      help="persist each finished cell to DIR; re-running "
+                           "with the same DIR skips completed cells, so "
+                           "an interrupted campaign resumes where it "
+                           "stopped")
 
     save = sub.add_parser("save",
                           help="store results in a repository (paper §5)")

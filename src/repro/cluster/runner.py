@@ -258,16 +258,94 @@ class ClusterReport:
         )
 
 
+def _cell_key(provider: str, cfg: ClusterConfig, rate: float | None,
+              check: bool) -> str:
+    """Content-address one sweep cell for campaign checkpointing.
+
+    A pure function of (code version, provider, config, rate, check):
+    identical across processes and resumed campaigns, changed by any
+    input that could change the point's bytes.
+    """
+    from ..snap import snapshot_key
+
+    canon = repr((provider, sorted(asdict(cfg).items()), rate, check))
+    return snapshot_key(canon, cfg.seed)
+
+
+def _load_cell(checkpoint_dir: str, key: str) -> dict | None:
+    import os
+
+    path = os.path.join(checkpoint_dir, f"cell-{key}.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)["point"]
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def _store_cell(checkpoint_dir: str, key: str, point: dict) -> None:
+    import os
+
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    path = os.path.join(checkpoint_dir, f"cell-{key}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump({"key": key, "point": point}, fh, sort_keys=True)
+    os.replace(tmp, path)  # atomic: a killed campaign leaves no torn cells
+
+
 def run_cluster(providers: tuple, cfg: ClusterConfig,
                 rates: tuple | None = None, jobs: int = 1,
-                check: bool = False) -> ClusterReport:
-    """Sweep every (provider, rate) cell; never raises, inspect ``ok``."""
+                check: bool = False, warm_start: bool = False,
+                checkpoint_dir: str | None = None) -> ClusterReport:
+    """Sweep every (provider, rate) cell; never raises, inspect ``ok``.
+
+    ``warm_start`` restores each cell's testbed from a shared
+    construction checkpoint (every cell takes the snapshot path, so the
+    report is byte-identical to a cold sweep at any ``jobs``).
+
+    ``checkpoint_dir`` makes the campaign resumable: each finished cell
+    is written to ``cell-<content-hash>.json`` keyed by (code version,
+    provider, config, rate), and a re-run with the same directory skips
+    cells already on disk — an interrupted campaign continues where it
+    stopped and still emits the byte-identical final report.
+    """
     if cfg.mode == "closed":
         rates = (None,)
     elif rates is None:
         rates = RATE_GRID
-    tasks = [(p, cfg, r, check) for p in providers for r in rates]
-    points = parallel_map(_point_worker, tasks, jobs)
+    cells = [(p, cfg, r, check) for p in providers for r in rates]
+    done: dict[int, dict] = {}
+    todo = []
+    if checkpoint_dir is not None:
+        for i, cell in enumerate(cells):
+            point = _load_cell(checkpoint_dir, _cell_key(*cell))
+            if point is not None:
+                done[i] = point
+            else:
+                todo.append((i, cell))
+    else:
+        todo = list(enumerate(cells))
+
+    if todo:
+        from ..vibe.executor import _enable_warm_start
+
+        init = _enable_warm_start if warm_start else None
+        try:
+            fresh = parallel_map(_point_worker, [c for _, c in todo], jobs,
+                                 initializer=init)
+        finally:
+            if warm_start:
+                from ..snap import warmcache
+
+                warmcache.enable_warm_start(False)
+                warmcache.clear_pool()
+        for (i, cell), point in zip(todo, fresh):
+            done[i] = point
+            if checkpoint_dir is not None:
+                _store_cell(checkpoint_dir, _cell_key(*cell), point)
+
+    points = [done[i] for i in range(len(cells))]
     report = ClusterReport(config=asdict(cfg), providers=tuple(providers),
                            rates=tuple(r for r in rates if r is not None))
     for i, prov in enumerate(providers):

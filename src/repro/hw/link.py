@@ -12,7 +12,6 @@ packet after serialisation, exactly where a SAN would lose it.
 
 from __future__ import annotations
 
-import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
@@ -20,10 +19,11 @@ from typing import Any, Callable, Generator
 import numpy as np
 
 from ..sim import Event, Resource, Simulator
+from ..sim.ids import id_space
 
 __all__ = ["Packet", "Burst", "Channel", "Link", "DuplexPort"]
 
-_packet_ids = itertools.count(1)
+_packet_ids = id_space("packet")
 
 
 @dataclass

@@ -30,28 +30,20 @@ _DISCRIMINATOR = 7
 
 
 def _reset_id_counters() -> None:
-    """Restart the global id counters (packets, VIs, descriptors, ...).
+    """Restart the global id allocators (packets, VIs, descriptors, ...).
 
-    The ids are scoped per testbed anyway — the counters are global only
-    as an allocation convenience — but they appear in trace events, so a
-    canonical profile run must not inherit whatever offset earlier
+    The ids are scoped per testbed anyway — the allocators are global
+    only as an allocation convenience — but they appear in trace events,
+    so a canonical profile run must not inherit whatever offset earlier
     simulations in this process left behind.  Resetting makes the run's
     exported bytes identical whether it is the first simulation of the
     process or the hundredth (and therefore identical across ``--jobs``
-    fan-out, where workers start fresh).
+    fan-out, where workers start fresh).  Delegates to
+    :func:`repro.sim.ids.reset_ids`, which the snapshot layer shares.
     """
-    import itertools
+    from ..sim.ids import reset_ids
 
-    from ..hw import link
-    from ..via import connection, cq, descriptor, memory, vi
-
-    link._packet_ids = itertools.count(1)
-    vi._vi_ids = itertools.count(1)
-    cq._cq_ids = itertools.count(1)
-    connection._conn_ids = itertools.count(1)
-    descriptor._desc_ids = itertools.count(1)
-    memory._handle_ids = itertools.count(1)
-    memory._tag_ids = itertools.count(1)
+    reset_ids()
 
 
 def run_metadata(provider: str, params: dict | None = None) -> dict:

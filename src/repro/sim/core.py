@@ -476,6 +476,31 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name!r} {'done' if self._scheduled else 'alive'}>"
 
+    # -- pickling (snapshot support) ------------------------------------
+    def __getstate__(self):
+        """A *finished* process pickles as its result event.
+
+        A live process cannot: its generator frame is not serializable.
+        The snapshot layer (:mod:`repro.snap`) turns this TypeError into
+        a :class:`~repro.snap.format.SnapshotStateError` naming the
+        process, and offers the replay tier for mid-run points.
+        """
+        if not self._scheduled:
+            raise TypeError(
+                f"cannot pickle live process {self.name!r}: generator "
+                "frames are not serializable (snapshot at a quiescent "
+                "point, or use a replay-tier checkpoint)"
+            )
+        return (self.sim, self._value, self._ok, self._defused, self.name)
+
+    def __setstate__(self, state):
+        self.sim, self._value, self._ok, self._defused, self.name = state
+        self.callbacks = None        # finished => already processed
+        self._scheduled = True
+        self._generator = None
+        self._target = None
+        self._resume_cb = None
+
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
@@ -733,6 +758,32 @@ class Simulator:
         # its finally-block repacks any partially drained bucket, so the
         # queue stays consistent between step() calls.
         self._drain(float("inf"), [True])
+
+    def run_events(self, n: int) -> int:
+        """Run at most ``n`` further events/kicks; return how many ran.
+
+        ``events_run`` counts exactly one per processed event or kick,
+        and :meth:`step` preserves the global ``(time, priority, seq)``
+        order, so an event count is a precise, deterministic cursor into
+        a run: replaying ``run_events(t)`` on an identically-built
+        simulation reproduces the state at ``t`` bit-for-bit.  The
+        replay tier of :mod:`repro.snap` is built on this.
+
+        Stops early (without raising) when the queue drains.  Like
+        ``run(until=event)``, no time boundary is imposed, so flow-level
+        fast-forward eligibility (:meth:`ff_horizon`) is identical to an
+        event-driven run.
+        """
+        if n < 0:
+            raise ValueError(f"cannot run a negative event count: {n}")
+        ran = 0
+        sentinel = [True]
+        while ran < n:
+            if not self._immediate and not self._heap:
+                break
+            self._drain(float("inf"), sentinel)
+            ran += 1
+        return ran
 
     def _drain(self, deadline: float, sentinel: list | None) -> None:
         """Inlined event loop: run until empty, past ``deadline``, or —

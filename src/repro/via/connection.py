@@ -8,17 +8,17 @@ handshake itself is driven by the provider engine.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass
 
 from ..sim import Event, Simulator
+from ..sim.ids import id_space
 from .constants import Reliability
 from .errors import VipConnectionError
 
 __all__ = ["ConnRequest", "ConnectionManager", "backoff_schedule"]
 
-_conn_ids = itertools.count(1)
+_conn_ids = id_space("conn")
 
 
 def backoff_schedule(

@@ -12,11 +12,11 @@ DESIGN.md.)
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import TYPE_CHECKING
 
 from ..sim import Signal, Simulator
+from ..sim.ids import id_space
 from .errors import VipErrorResource, VipStateError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["CompletionQueue"]
 
-_cq_ids = itertools.count(1)
+_cq_ids = id_space("cq")
 
 
 class CompletionQueue:

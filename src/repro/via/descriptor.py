@@ -17,10 +17,10 @@ while posted; the provider enforces that by tracking a ``posted`` flag.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..sim.ids import id_space
 from .constants import CompletionStatus, DescriptorOp
 from .errors import VipDescriptorError, VipInvalidParameter
 
@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["DataSegment", "AddressSegment", "ControlSegment", "Descriptor"]
 
-_desc_ids = itertools.count(1)
+_desc_ids = id_space("desc")
 
 
 @dataclass(frozen=True)

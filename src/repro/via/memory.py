@@ -10,16 +10,16 @@ provider-independent.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from ..hw.memory import MemorySystem
+from ..sim.ids import id_space
 from .errors import VipProtectionError, VipStateError
 
 __all__ = ["MemoryHandle", "MemoryRegistry"]
 
-_handle_ids = itertools.count(1)
-_tag_ids = itertools.count(1)
+_handle_ids = id_space("mem_handle")
+_tag_ids = id_space("ptag")
 
 
 def new_protection_tag() -> int:

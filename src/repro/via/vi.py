@@ -8,11 +8,11 @@ as an invariant.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import TYPE_CHECKING
 
 from ..sim import Signal, Simulator
+from ..sim.ids import id_space
 from .constants import CompletionStatus, Reliability, ViState
 from .descriptor import Descriptor
 from .errors import VipStateError
@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["WorkQueue", "VI"]
 
-_vi_ids = itertools.count(1)
+_vi_ids = id_space("vi")
 
 
 class WorkQueue:

@@ -1,0 +1,133 @@
+"""Golden snapshot-blob hashes (checkpoint format stability).
+
+A state-tier blob of the canonical warmed two-node testbed is a pure
+function of ``(provider, seed, code version)`` — the canonical pickler
+sorts sets, strips memo noise, and the id allocators are reset at
+build.  This suite pins the blob *hash* per provider as a fixture, so
+any change to the blob format, the pickled object graph, or the
+simulation the blob captures fails loudly here.
+
+Regenerate after an *intentional* format or kernel change with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_snapshot_goldens.py
+
+and review the fixture diff like any other golden change.
+
+The skew tests pin the failure modes: a blob stamped by a different
+code version must raise :class:`~repro.snap.SnapshotVersionError` (not
+deserialize garbage), and a corrupted payload must raise
+:class:`~repro.snap.SnapshotIntegrityError`.  The hashseed test proves
+blobs are canonical across *processes*: two interpreters with different
+``PYTHONHASHSEED`` values must produce identical hashes.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import snap
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+GOLDENS = FIXTURES / "golden_snapshots.json"
+PROVIDERS = ("mvia", "bvia", "clan", "iba")
+
+
+def _warm_blob(provider: str) -> bytes:
+    return snap.snapshot_state(snap.warmed_testbed(provider))
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return {p: _warm_blob(p) for p in PROVIDERS}
+
+
+def test_golden_blob_hashes(blobs):
+    got = {p: snap.blob_hash(b) for p, b in blobs.items()}
+    if os.environ.get("GOLDEN_REGEN"):  # pragma: no cover - maintenance aid
+        GOLDENS.write_text(json.dumps(got, indent=1, sort_keys=True) + "\n")
+    want = json.loads(GOLDENS.read_text())
+    assert got == want
+
+
+@pytest.mark.parametrize("provider", PROVIDERS)
+def test_blob_is_reproducible_in_process(blobs, provider):
+    """Regenerating the same warmed testbed yields byte-identical blobs
+    no matter what ran earlier in the process."""
+    assert _warm_blob(provider) == blobs[provider]
+
+
+def test_blob_restores_to_working_testbed(blobs):
+    tb = snap.restore(blobs["clan"])
+    assert tb.name == "clan"
+    assert tb.sim.events_run > 0
+
+
+# ---------------------------------------------------------------------------
+# version / integrity skew
+# ---------------------------------------------------------------------------
+
+def test_version_skew_is_refused(blobs):
+    blob = blobs["mvia"]
+    assert snap.CODE_VERSION.encode() in blob
+    tampered = blob.replace(snap.CODE_VERSION.encode(), b"repro-0.0.0/snap-0")
+    with pytest.raises(snap.SnapshotVersionError):
+        snap.restore(tampered)
+
+
+def test_corrupt_payload_is_refused(blobs):
+    blob = bytearray(blobs["mvia"])
+    blob[-1] ^= 0xFF
+    with pytest.raises(snap.SnapshotIntegrityError):
+        snap.restore(bytes(blob))
+
+
+def test_truncated_blob_is_refused(blobs):
+    with pytest.raises(snap.SnapshotError):
+        snap.restore(blobs["mvia"][:6])
+
+
+def test_foreign_magic_is_refused():
+    with pytest.raises(snap.SnapshotError):
+        snap.restore(b"NOTASNAP" + b"\x00" * 32)
+
+
+# ---------------------------------------------------------------------------
+# cross-process canonicality: hash-randomization independence
+# ---------------------------------------------------------------------------
+
+_HASHSEED_PROG = """\
+import sys
+from repro import snap
+from repro.snap.recipe import checkpoint_replay
+
+blob = snap.snapshot_state(snap.warmed_testbed("mvia"))
+session = snap.build_session(
+    "transfer",
+    {"workload": "pingpong", "provider": "clan", "count": 2, "seed": 0},
+)
+session.run_events(150)
+replay = checkpoint_replay(session)
+print(snap.blob_hash(blob), snap.blob_hash(replay))
+"""
+
+
+def _hashes_under(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(pathlib.Path(__file__).parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    out = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_PROG],
+        env=env, capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def test_blobs_independent_of_hash_randomization():
+    """Both tiers hash identically across interpreters with different
+    PYTHONHASHSEED values — set iteration order, dict randomization, and
+    id() churn are all canonicalized away."""
+    assert _hashes_under("1") == _hashes_under("42")
