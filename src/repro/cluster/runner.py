@@ -61,24 +61,21 @@ class ClusterConfig:
     fidelity: str = "packet"  # "packet" | "auto" | "flow"
 
 
-def run_cluster_once(provider: str, cfg: ClusterConfig,
-                     rate_rps: float | None = None,
-                     check: bool = False, fault_plan=None) -> dict:
-    """Run one cluster simulation; returns a deterministic point dict.
+def _build_actors(cfg: ClusterConfig, topo, tb,
+                  rate_rps: float | None, hist, gate_for):
+    """Construct every server and client object, identically for any
+    caller.
 
-    ``rate_rps`` is the *total* offered load across all clients (open
-    loop); ``None`` or ``mode="closed"`` runs closed-loop.
+    Shared by :func:`run_cluster_once` and the sharded host
+    (:mod:`repro.shard.sync`): a shard's replica construction must be
+    argument-for-argument identical to the single-heap one for the
+    partitioned run to stay byte-identical.  ``gate_for(cid)`` supplies
+    each client's gate handle; ``hist`` receives latency observations.
+    Nothing here touches the simulator — only spawning does.
     """
-    topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
-    tb = build_testbed(provider, topo, seed=cfg.seed, check=check,
-                       faults=fault_plan, fidelity=cfg.fidelity)
     service = make_service(cfg.service)
     open_loop = cfg.mode == "open" and rate_rps is not None
     interval_us = (cfg.clients * 1e6 / rate_rps) if open_loop else None
-    hist = Histogram("latency_us", LATENCY_BUCKETS)
-    # clients only: servers serve reactively and never join the gate
-    gate = StartGate(tb.sim, cfg.clients)
-
     per_server = [0] * cfg.servers
     for i in range(cfg.clients):
         per_server[i % cfg.servers] += 1
@@ -104,40 +101,34 @@ def run_cluster_once(provider: str, cfg: ClusterConfig,
             window=cfg.window, think_us=cfg.think_us,
             discriminator=4000 + (i % cfg.servers),
             seed=task_seed(cfg.seed, "client", i),
-            hist=hist, deadline_us=cfg.deadline_us, gate=gate,
+            hist=hist, deadline_us=cfg.deadline_us, gate=gate_for(i),
         )
         for i in range(cfg.clients)
     ]
+    return servers, clients
 
-    procs = [tb.spawn(s.body(), f"server-{i}") for i, s in enumerate(servers)]
-    procs += [tb.spawn(c.body(), f"client-{c.cid}") for c in clients]
-    violations: list[str] = []
-    try:
-        for proc in procs:
-            tb.run(proc)
-        tb.run()  # drain stray timers (RTO etc.)
-        if check:
-            tb.checker.check_quiesced(tb)
-    except Exception as exc:  # conformance violation or crash
-        violations.append(f"{type(exc).__name__}: {exc}")
 
-    completed = sum(c.stats["completed"] for c in clients)
-    failed = sum(c.stats["failed"] for c in clients)
-    served = sum(s.stats["served"] for s in servers)
+def _assemble_point(provider: str, cfg: ClusterConfig,
+                    rate_rps: float | None, *, hist, completed, failed,
+                    served, finishes, sched, ports, retransmissions,
+                    recoveries, violations) -> dict:
+    """Fold raw run aggregates into the canonical point dict.
+
+    Every input is order-insensitive (sums, min/max, a finished
+    histogram), so the single-heap run and the sharded merge produce
+    byte-identical points from equal aggregates.
+    """
+    open_loop = cfg.mode == "open" and rate_rps is not None
     # goodput over the aggregate completion window (first to last
     # response anywhere in the cluster): interior by construction, so
     # the warmup ramp and one slow client's tail don't bias the rate
-    finishes = [t for c in clients for t in c.finish_times]
     elapsed = (max(finishes) - min(finishes)) if len(finishes) > 1 else 0.0
     goodput = (completed - 1) * 1e6 / elapsed if elapsed > 0 else 0.0
     # the nominal rate overstates what the sampled Poisson schedules
     # actually offered over the measured window; the knee compares
     # goodput against this realized rate instead
-    sched = [t for c in clients for t in c.schedule]
     span = (max(sched) - min(sched)) if len(sched) > 1 else 0.0
     realized = (len(sched) - 1) * 1e6 / span if span > 0 else 0.0
-    ports = _port_stats(tb)
-    providers = list(tb.providers.values())
     return {
         "provider": provider,
         "offered_rps": round(rate_rps, 3) if open_loop else None,
@@ -154,10 +145,63 @@ def run_cluster_once(provider: str, cfg: ClusterConfig,
         "port_drops": ports["drops"],
         "port_contended": ports["contended"],
         "port_backpressured": ports["backpressured"],
-        "retransmissions": sum(p.engine.retransmissions for p in providers),
-        "recoveries": sum(p.recoveries for p in providers),
+        "retransmissions": retransmissions,
+        "recoveries": recoveries,
         "violations": violations,
     }
+
+
+def run_cluster_once(provider: str, cfg: ClusterConfig,
+                     rate_rps: float | None = None,
+                     check: bool = False, fault_plan=None,
+                     harvest=None) -> dict:
+    """Run one cluster simulation; returns a deterministic point dict.
+
+    ``rate_rps`` is the *total* offered load across all clients (open
+    loop); ``None`` or ``mode="closed"`` runs closed-loop.  Passing a
+    :class:`~repro.obs.metrics.MetricsRegistry` as ``harvest`` fills it
+    from the finished testbed (the sharded equivalence suite compares
+    it against the merged per-shard harvest).
+    """
+    topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
+    tb = build_testbed(provider, topo, seed=cfg.seed, check=check,
+                       faults=fault_plan, fidelity=cfg.fidelity)
+    hist = Histogram("latency_us", LATENCY_BUCKETS)
+    # clients only: servers serve reactively and never join the gate
+    gate = StartGate(tb.sim, cfg.clients)
+    servers, clients = _build_actors(cfg, topo, tb, rate_rps, hist,
+                                     lambda cid: gate)
+
+    procs = [tb.spawn(s.body(), f"server-{i}") for i, s in enumerate(servers)]
+    procs += [tb.spawn(c.body(), f"client-{c.cid}") for c in clients]
+    violations: list[str] = []
+    try:
+        for proc in procs:
+            tb.run(proc)
+        tb.run()  # drain stray timers (RTO etc.)
+        if check:
+            tb.checker.check_quiesced(tb)
+    except Exception as exc:  # conformance violation or crash
+        violations.append(f"{type(exc).__name__}: {exc}")
+
+    if harvest is not None:
+        from ..obs.harvest import harvest_into
+
+        harvest_into(harvest, tb)
+    providers = list(tb.providers.values())
+    return _assemble_point(
+        provider, cfg, rate_rps,
+        hist=hist,
+        completed=sum(c.stats["completed"] for c in clients),
+        failed=sum(c.stats["failed"] for c in clients),
+        served=sum(s.stats["served"] for s in servers),
+        finishes=[t for c in clients for t in c.finish_times],
+        sched=[t for c in clients for t in c.schedule],
+        ports=_port_stats(tb),
+        retransmissions=sum(p.engine.retransmissions for p in providers),
+        recoveries=sum(p.recoveries for p in providers),
+        violations=violations,
+    )
 
 
 def _port_stats(tb) -> dict:
@@ -191,11 +235,18 @@ def find_knee(points: list[dict]) -> dict:
 
 
 def _point_worker(provider: str, cfg: ClusterConfig,
-                  rate: float | None, check: bool) -> dict:
+                  rate: float | None, check: bool,
+                  shards: int = 1, shard_workers: str = "process") -> tuple:
     # each cell gets its own derived seed so points are independent
     # draws, yet reproducible for any execution order
     cell_cfg = replace(cfg, seed=task_seed(cfg.seed, provider, rate))
-    return run_cluster_once(provider, cell_cfg, rate, check=check)
+    if shards > 1:
+        from ..shard import run_cluster_once_sharded
+
+        return run_cluster_once_sharded(provider, cell_cfg, rate,
+                                        shards=shards,
+                                        workers=shard_workers, check=check)
+    return run_cluster_once(provider, cell_cfg, rate, check=check), None
 
 
 @dataclass
@@ -206,6 +257,10 @@ class ClusterReport:
     providers: tuple
     rates: tuple
     results: dict = field(default_factory=dict)  # provider -> curve dict
+    #: per-cell shard sync stats when the sweep ran sharded; excluded
+    #: from to_json so a sharded report stays byte-identical to the
+    #: single-heap one
+    shard_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -241,6 +296,13 @@ class ClusterReport:
             for pt in self.results[prov]["points"]:
                 for v in pt["violations"]:
                     lines.append(f"  {prov}: {v}")
+        if self.shard_stats:
+            for cell, stats in sorted(self.shard_stats.items()):
+                lines.append(
+                    f"  shards[{cell}]: {stats['shards']} shards, "
+                    f"{stats['msgs_exchanged']} msgs, "
+                    f"{stats['sync_stalls']} stalls, "
+                    f"{stats['horizon_advances']} advances")
         lines.append("PASS" if self.ok else "FAIL")
         return "\n".join(lines)
 
@@ -297,7 +359,8 @@ def _store_cell(checkpoint_dir: str, key: str, point: dict) -> None:
 def run_cluster(providers: tuple, cfg: ClusterConfig,
                 rates: tuple | None = None, jobs: int = 1,
                 check: bool = False, warm_start: bool = False,
-                checkpoint_dir: str | None = None) -> ClusterReport:
+                checkpoint_dir: str | None = None, shards: int = 1,
+                shard_workers: str = "process") -> ClusterReport:
     """Sweep every (provider, rate) cell; never raises, inspect ``ok``.
 
     ``warm_start`` restores each cell's testbed from a shared
@@ -309,19 +372,29 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
     provider, config, rate), and a re-run with the same directory skips
     cells already on disk — an interrupted campaign continues where it
     stopped and still emits the byte-identical final report.
+
+    ``shards > 1`` partitions each cell's simulation across shard
+    hosts (:mod:`repro.shard`); the report stays byte-identical to
+    ``shards=1`` for any shard count, and the cell checkpoint keys are
+    deliberately shard-count-independent for the same reason.
     """
+    if shards > 1 and warm_start:
+        raise ValueError("warm_start is not supported with shards > 1 "
+                         "(a restored construction checkpoint would "
+                         "clobber the per-shard replicas)")
     if cfg.mode == "closed":
         rates = (None,)
     elif rates is None:
         rates = RATE_GRID
-    cells = [(p, cfg, r, check) for p in providers for r in rates]
-    done: dict[int, dict] = {}
+    cells = [(p, cfg, r, check, shards, shard_workers)
+             for p in providers for r in rates]
+    done: dict[int, tuple] = {}
     todo = []
     if checkpoint_dir is not None:
         for i, cell in enumerate(cells):
-            point = _load_cell(checkpoint_dir, _cell_key(*cell))
+            point = _load_cell(checkpoint_dir, _cell_key(*cell[:4]))
             if point is not None:
-                done[i] = point
+                done[i] = (point, None)
             else:
                 todo.append((i, cell))
     else:
@@ -340,14 +413,22 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
 
                 warmcache.enable_warm_start(False)
                 warmcache.clear_pool()
-        for (i, cell), point in zip(todo, fresh):
-            done[i] = point
+        for (i, cell), result in zip(todo, fresh):
+            done[i] = result
             if checkpoint_dir is not None:
-                _store_cell(checkpoint_dir, _cell_key(*cell), point)
+                _store_cell(checkpoint_dir, _cell_key(*cell[:4]), result[0])
 
-    points = [done[i] for i in range(len(cells))]
+    points = [done[i][0] for i in range(len(cells))]
     report = ClusterReport(config=asdict(cfg), providers=tuple(providers),
                            rates=tuple(r for r in rates if r is not None))
+    if shards > 1:
+        report.shard_stats = {}
+        for i, cell in enumerate(cells):
+            stats = done[i][1]
+            if stats is None:
+                continue  # cell restored from a (shard-agnostic) checkpoint
+            rate_label = "closed" if cell[2] is None else f"{cell[2]:g}"
+            report.shard_stats[f"{cell[0]}@{rate_label}"] = stats
     for i, prov in enumerate(providers):
         curve_pts = points[i * len(rates):(i + 1) * len(rates)]
         curve = {"points": curve_pts}

@@ -269,6 +269,63 @@ class OutputPort:
         return departs, commit
 
 
+def _by_src(packet: Packet) -> str:
+    return packet.src
+
+
+class _SourceArbiter:
+    """Deterministic same-instant arrival ordering for a switch.
+
+    Several channels can deliver packets to one switch at the exact same
+    simulated instant (symmetric topologies with uniform or bursty
+    arrivals make this the common case, not a corner).  Without
+    arbitration the packets would be forwarded in heap-insertion order —
+    a sequence-number accident that is stable for a single run but *not*
+    reproducible when the same workload is partitioned across shards
+    (:mod:`repro.shard`), because each shard numbers its events
+    independently.  The arbiter makes the tie-break a function of packet
+    *content*: arrivals at one instant are batched and dispatched in
+    ``packet.src`` order once every ordinary (priority-0) event at that
+    instant has run.
+
+    The sort is total: a single channel can never deliver two packets at
+    the same instant (its serialisation spaces them apart), and every
+    channel feeding a given switch carries a disjoint set of source
+    nodes, so ``(instant, switch, src)`` uniquely identifies an arrival.
+
+    Cost: one priority-1 flush event per (switch, instant) with at least
+    one arrival.
+    """
+
+    __slots__ = ("sim", "dispatch", "_pending")
+
+    def __init__(self, sim: Simulator, dispatch) -> None:
+        self.sim = sim
+        self.dispatch = dispatch
+        self._pending: list[Packet] = []
+
+    def submit(self, packet: Packet) -> None:
+        pending = self._pending
+        if not pending:
+            # first arrival this instant: schedule the flush *after* all
+            # priority-0 events at the same timestamp, so every arrival
+            # (local deliveries and cross-shard injections alike) joins
+            # this batch before it is ordered
+            flush = Event(self.sim)
+            flush.callbacks.append(self._flush)
+            flush.succeed(priority=1)
+        pending.append(packet)
+
+    def _flush(self, _event: Event) -> None:
+        pending = self._pending
+        self._pending = []
+        if len(pending) > 1:
+            pending.sort(key=_by_src)
+        dispatch = self.dispatch
+        for packet in pending:
+            dispatch(packet)
+
+
 class Switch:
     """A single switch forwarding between node ports by destination name."""
 
@@ -277,6 +334,7 @@ class Switch:
         self.params = params
         self._downlinks: dict[str, Channel] = {}
         self._ports: dict[str, OutputPort] = {}
+        self._arbiter = _SourceArbiter(sim, self._dispatch)
         self.forwarded = 0
 
     def attach(self, node_name: str, downlink: Channel) -> None:
@@ -289,10 +347,13 @@ class Switch:
 
     def receive(self, packet: Packet) -> None:
         """Sink for uplink channels: forward after the switch latency."""
-        port = self._ports.get(packet.dst)
-        if port is None:
+        if packet.dst not in self._ports:
             raise KeyError(f"switch has no port for destination {packet.dst!r}")
+        self._arbiter.submit(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
         self.forwarded += 1
+        port = self._ports[packet.dst]
         self.sim.process(self._forward(packet, port), name=f"fwd-{packet.pkt_id}")
 
     def _forward(self, packet: Packet, port: OutputPort):

@@ -19,7 +19,8 @@ import random
 
 from ..sim import Simulator
 from .link import Channel, DuplexPort, Packet
-from .network import _CUT_THROUGH_SKEW, HostParams, NetworkParams, OutputPort
+from .network import (_CUT_THROUGH_SKEW, _SourceArbiter, HostParams,
+                      NetworkParams, OutputPort)
 from .node import Node
 
 __all__ = ["TieredFabric"]
@@ -41,6 +42,7 @@ class _LeafSwitch:
         self.local_down: dict[str, Channel] = {}
         self.local_ports: dict[str, OutputPort] = {}
         self.uplink: Channel | None = None     # to the spine
+        self._arbiter = _SourceArbiter(sim, self._dispatch)
         self.forwarded_local = 0
         self.forwarded_up = 0
 
@@ -51,6 +53,9 @@ class _LeafSwitch:
             name=f"{node_name}.downport")
 
     def receive(self, packet: Packet) -> None:
+        self._arbiter.submit(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
         port = self.local_ports.get(packet.dst)
         if port is not None:
             self.forwarded_local += 1
@@ -78,12 +83,16 @@ class _SpineSwitch:
         self.sim = sim
         self.params = params
         self.down_by_node: dict[str, Channel] = {}
+        self._arbiter = _SourceArbiter(sim, self._dispatch)
         self.forwarded = 0
 
     def receive(self, packet: Packet) -> None:
-        channel = self.down_by_node.get(packet.dst)
-        if channel is None:
+        if packet.dst not in self.down_by_node:
             raise KeyError(f"spine has no route to {packet.dst!r}")
+        self._arbiter.submit(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
+        channel = self.down_by_node[packet.dst]
         self.forwarded += 1
         self.sim.process(self._forward(packet, channel), name="spine-fwd")
 

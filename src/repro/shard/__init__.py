@@ -1,0 +1,36 @@
+"""Sharded, time-synchronized simulation (SimBricks-style).
+
+One cluster simulation is partitioned across shard hosts, each owning a
+subset of nodes (star) or whole leaf switches (dumbbell/fattree) with
+its own :class:`~repro.sim.Simulator`.  Packets crossing a cut link
+leave as timestamped wire records and are replayed on the owning peer;
+a conservative scheduler grants each shard a bounded horizon per round
+(global minimum next-event time plus the cut-link propagation delay),
+so no shard ever executes an event earlier than a message a peer could
+still send.
+
+The headline claim — pinned by ``tests/test_shard_equivalence.py`` —
+is that the merged report is byte-identical to the single-heap run for
+any shard count: a pure function of (config, seed).
+"""
+
+from .boundary import CausalityError, ShardBoundary
+from .gate import GateCoordinator, ShardGate
+from .merge import fold_latency_tapes, merge_registries
+from .partition import ShardPlan, check_fault_plan
+from .runner import run_cluster_once_sharded
+from .sync import ConservativeScheduler, ShardHost
+
+__all__ = [
+    "CausalityError",
+    "ConservativeScheduler",
+    "GateCoordinator",
+    "ShardBoundary",
+    "ShardGate",
+    "ShardHost",
+    "ShardPlan",
+    "check_fault_plan",
+    "fold_latency_tapes",
+    "merge_registries",
+    "run_cluster_once_sharded",
+]

@@ -1,0 +1,93 @@
+"""Shard boundary channels: wire records instead of local delivery.
+
+A cut link is not a new channel class — the source shard's ordinary
+:class:`~repro.hw.link.Channel` does all the work it would do in the
+single-heap run (line serialisation, loss draw, fault fate), and only
+its final delivery is diverted: instead of scheduling the sink
+callback, the packet leaves as a ``(deliver_at, src_shard, seq,
+packet)`` record.  The owning shard replays the *receiving* side —
+switch arbitration, output-port FIFO contention, downlink — from its
+own replica at exactly ``deliver_at``, so per-port contention semantics
+survive the cut bit for bit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CausalityError", "ShardBoundary"]
+
+
+class CausalityError(RuntimeError):
+    """A wire record arrived with a timestamp in the shard's past."""
+
+
+class ShardBoundary:
+    """Arms the cut channels of one shard and shuttles wire records.
+
+    * flat (star) fabric: the cut point is each owned node's uplink —
+      a packet whose destination lives elsewhere is exported and the
+      peer replays ``switch.receive`` (switch latency, port FIFO and
+      downlink are all destination-side).
+    * tiered fabric: the cut point is each owned leaf's uplink and the
+      peer replays ``spine.receive`` (spine latency, spine->leaf link,
+      leaf delivery are all destination-side).
+    """
+
+    def __init__(self, tb, plan, index: int) -> None:
+        self.tb = tb
+        self.plan = plan
+        self.index = index
+        self.owned = set(plan.groups[index])
+        self.outbox: list = []
+        self.msgs_out = 0
+        self.msgs_in = 0
+        self._seq = 0
+        owner = plan.owner
+        fabric = tb.fabric
+        switch = getattr(fabric, "switch", None)
+        if switch is not None:
+            self._entry = switch.receive
+            for name in self.owned:
+                node = fabric.node(name)
+                node.nic.port.out_channel.shard_divert = self._divert
+        else:
+            self._entry = fabric.spine.receive
+            for leaf in fabric.leaves:
+                group = tuple(leaf.local_down)
+                if group and owner[group[0]] == index:
+                    leaf.uplink.shard_divert = self._divert
+        self._owner = owner
+
+    # -- source side -----------------------------------------------------
+    def _divert(self, packet, deliver_at: float) -> bool:
+        """Channel hook: export iff the destination lives on a peer."""
+        if self._owner[packet.dst] == self.index:
+            return False
+        self._seq += 1
+        self.outbox.append((deliver_at, self.index, self._seq, packet))
+        return True
+
+    def drain(self) -> list:
+        records, self.outbox = self.outbox, []
+        self.msgs_out += len(records)
+        return records
+
+    # -- destination side ------------------------------------------------
+    def inject(self, records) -> None:
+        """Schedule imported records for replay at their timestamps."""
+        sim = self.tb.sim
+        self.msgs_in += len(records)
+        for record in sorted(records, key=_record_key):
+            deliver_at = record[0]
+            if deliver_at < sim._now:
+                raise CausalityError(
+                    f"shard {self.index}: record at {deliver_at} is in "
+                    f"the past (now={sim._now})")
+            timer = sim.timeout_at(deliver_at, record[3])
+            timer.callbacks.append(self._replay)
+
+    def _replay(self, event) -> None:
+        self._entry(event.value)
+
+
+def _record_key(record):
+    return (record[0], record[1], record[2])

@@ -1,0 +1,126 @@
+"""The start gate across shards.
+
+The single-heap :class:`~repro.cluster.workload.StartGate` is a local
+barrier: the last arrival stamps ``t0`` and releases everyone.  Across
+shards no single simulator sees all arrivals, so each shard's
+:class:`ShardGate` only *reports* arrivals and abandons as ``(time,
+cid, kind)`` events; the :class:`GateCoordinator` (scheduler-side)
+folds them in global ``(time, cid)`` order — the same order the
+single-heap run processes them, because same-instant client steps run
+in spawn order — and broadcasts the release.
+
+While the gate is unreleased the scheduler runs *lockstep* rounds (one
+instant at a time), so every fold happens with all shards parked at
+exactly the release instant and waiters resume at ``t0`` precisely.
+"""
+
+from __future__ import annotations
+
+from ..sim import Event
+
+__all__ = ["GateCoordinator", "ShardGate"]
+
+
+class ShardGate:
+    """Shard-local gate state: collects events, parks waiters."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.t0: float | None = None
+        #: (time, cid, kind) tuples accumulated since the last drain
+        self.events: list = []
+        #: (cid, Event) in local arrival order
+        self._waiters: list = []
+
+    def view(self, cid: int) -> "_GateView":
+        return _GateView(self, cid)
+
+    def arrive(self, cid: int):
+        """Process fragment: report the arrival and park until release."""
+        self.events.append((self.sim.now, cid, "arrive"))
+        ev = Event(self.sim)
+        self._waiters.append((cid, ev))
+        yield ev
+
+    def abandon(self, cid: int) -> None:
+        self.events.append((self.sim.now, cid, "abandon"))
+
+    def drain_events(self) -> list:
+        events, self.events = self.events, []
+        return events
+
+    def release(self, t0: float, releaser: int | None) -> None:
+        """Resume parked waiters; called between rounds at ``now == t0``.
+
+        The releaser (the arrival that tipped the barrier) resumes
+        first: in the single-heap run it never yields at all — it
+        continues inline after ``fire()`` — so its post-gate work must
+        precede the other waiters' resumptions here too.  Everyone else
+        wakes in arrival order, exactly like ``Signal.fire``.
+        """
+        self.t0 = t0
+        waiters, self._waiters = self._waiters, []
+        for cid, ev in waiters:
+            if cid == releaser:
+                ev.succeed()
+        for cid, ev in waiters:
+            if cid != releaser:
+                ev.succeed()
+
+
+class _GateView:
+    """Per-client facade matching the ``StartGate`` surface clients use."""
+
+    __slots__ = ("_gate", "cid")
+
+    def __init__(self, gate: ShardGate, cid: int) -> None:
+        self._gate = gate
+        self.cid = cid
+
+    @property
+    def t0(self) -> float | None:
+        return self._gate.t0
+
+    def arrive(self):
+        return self._gate.arrive(self.cid)
+
+    def abandon(self) -> None:
+        self._gate.abandon(self.cid)
+
+
+class GateCoordinator:
+    """Scheduler-side fold of gate events, replicating ``StartGate``.
+
+    ``fold`` consumes one round's events (from every shard) and returns
+    ``(t0, releaser_cid)`` the round the barrier tips; ``releaser_cid``
+    is ``None`` when an abandon tipped it (nobody continues inline in
+    that case).
+    """
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.ready = 0
+        self.t0: float | None = None
+        self.releaser: int | None = None
+
+    @property
+    def released(self) -> bool:
+        return self.t0 is not None
+
+    def fold(self, events) -> tuple | None:
+        if self.t0 is not None:
+            return None
+        for time, cid, kind in sorted(events, key=lambda e: (e[0], e[1])):
+            if kind == "arrive":
+                self.ready += 1
+                if self.ready >= self.expected and self.t0 is None:
+                    self.t0 = time
+                    self.releaser = cid
+            else:
+                self.expected -= 1
+                if self.ready >= self.expected and self.t0 is None:
+                    self.t0 = time
+                    self.releaser = None
+        if self.t0 is not None:
+            return (self.t0, self.releaser)
+        return None

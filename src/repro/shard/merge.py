@@ -1,0 +1,83 @@
+"""Deterministic merge of per-shard results.
+
+Two rules make the merge a pure function of the shard contributions:
+
+* **Metric names collide loudly.**  Each shard harvests only metrics it
+  owns (its nodes' counters plus its own ``shard.<i>.*`` namespace), so
+  a collision means two shards both claimed a metric — silently keeping
+  the last write would hide exactly the ownership bugs this layer must
+  surface.  The only sanctioned overlaps are the explicitly *additive*
+  totals each shard contributes a partial count to.
+* **Latency observations fold in ``(time, value)`` order.**  Each shard
+  records a tape of ``(now, latency)`` pairs; folding the pooled tapes
+  chronologically replays the single-heap observation order, making the
+  histogram sums and quantiles bit-identical.
+"""
+
+from __future__ import annotations
+
+from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["LatencyTape", "fold_latency_tapes", "merge_registries"]
+
+#: metric names every shard contributes a partial count to
+_ADDITIVE = frozenset({"wire.switch.forwarded"})
+#: ...and prefixes (fault totals partition by where the traffic ran)
+_ADDITIVE_PREFIXES = ("faults.",)
+
+
+def _additive(name: str) -> bool:
+    return name in _ADDITIVE or name.startswith(_ADDITIVE_PREFIXES)
+
+
+def merge_registries(parts) -> MetricsRegistry:
+    """Union per-shard registries; raise on non-additive collisions."""
+    merged = MetricsRegistry()
+    for registry in parts:
+        for name in registry.names():
+            metric = registry.get(name)
+            if name in merged:
+                if isinstance(metric, Counter) and _additive(name):
+                    merged.inc(name, metric.value)
+                    continue
+                raise ValueError(
+                    f"colliding metric {name!r} in shard merge: two "
+                    "shards both published it and it is not an "
+                    "additive total")
+            if isinstance(metric, Counter):
+                merged.inc(name, metric.value)
+            elif isinstance(metric, Gauge):
+                merged.set_gauge(name, metric.value)
+            elif isinstance(metric, Histogram):
+                out = merged.histogram(name, metric.bounds)
+                out.counts = list(metric.counts)
+                out.count = metric.count
+                out.total = metric.total
+                out.vmin = metric.vmin
+                out.vmax = metric.vmax
+            else:  # pragma: no cover - no other metric kinds exist
+                raise TypeError(f"unknown metric kind for {name!r}")
+    return merged
+
+
+class LatencyTape:
+    """Histogram-compatible recorder: keeps ``(now, value)`` pairs."""
+
+    __slots__ = ("sim", "records")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.records: list = []
+
+    def observe(self, value: float) -> None:
+        self.records.append((self.sim._now, value))
+
+
+def fold_latency_tapes(tapes, name: str, bounds) -> Histogram:
+    """One histogram from pooled tapes, observed in global time order."""
+    hist = Histogram(name, bounds)
+    pooled = [pair for tape in tapes for pair in tape]
+    pooled.sort()
+    for _, value in pooled:
+        hist.observe(value)
+    return hist

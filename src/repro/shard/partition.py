@@ -1,0 +1,63 @@
+"""Deterministic partitioning of one cluster over N shards.
+
+The partition is a pure function of (topology, shard count) — see
+:func:`repro.cluster.topology.shard_groups` — and the *lookahead* is
+the one quantity the sync protocol needs from the hardware model: the
+minimum propagation delay of any cut channel.  Every channel in a
+fabric shares ``network.prop_delay``, so the lookahead is exactly that,
+regardless of where the cut falls.
+"""
+
+from __future__ import annotations
+
+from ..cluster.topology import Topology, shard_groups
+from ..providers.registry import get_spec
+
+__all__ = ["ShardPlan", "check_fault_plan"]
+
+#: fault kinds that run as per-node processes (no shared RNG / counter
+#: state across nodes), safe to replicate per shard as-is
+_PER_NODE_KINDS = ("tlb_flush", "cpu_stall")
+
+
+class ShardPlan:
+    """Node ownership, cut lookahead and per-shard identity (picklable)."""
+
+    def __init__(self, provider, topo: Topology, shards: int) -> None:
+        self.shards = shards
+        self.topo = topo
+        self.groups = shard_groups(topo, shards)
+        #: node name -> owning shard index
+        self.owner: dict[str, int] = {}
+        for si, group in enumerate(self.groups):
+            for name in group:
+                self.owner[name] = si
+        #: minimum time a cut crossing takes: the slack each shard may
+        #: run ahead of the global minimum without missing an import
+        self.lookahead = get_spec(provider).network.prop_delay
+        if self.lookahead <= 0.0:
+            raise ValueError(
+                "sharding needs a positive link propagation delay "
+                "(zero lookahead would serialize every event)")
+
+    def owned(self, index: int) -> frozenset:
+        return frozenset(self.groups[index])
+
+
+def check_fault_plan(plan) -> None:
+    """Reject fault plans whose decisions cannot be replicated per shard.
+
+    Stochastic (``rate < 1.0``) and stateful (``skip``/``count``) specs
+    draw from one RNG / counter stream shared across every matching
+    node, so splitting the traffic across shards would split the stream
+    and change which opportunities fire.  Per-node storm kinds are
+    exempt: each node runs its own process with its own schedule.
+    """
+    for spec in plan.faults:
+        if spec.kind in _PER_NODE_KINDS:
+            continue
+        if spec.rate < 1.0 or spec.skip or spec.count is not None:
+            raise ValueError(
+                f"fault spec {spec.kind!r} is not shard-safe: sharded "
+                "runs require rate=1.0, skip=0 and count=None (use a "
+                "time window to bound the fault instead)")

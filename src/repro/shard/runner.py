@@ -1,0 +1,102 @@
+"""Sharded cluster points: partition, run, merge — byte-identical.
+
+:func:`run_cluster_once_sharded` is the drop-in sharded counterpart of
+:func:`~repro.cluster.runner.run_cluster_once`: same point dict, byte
+for byte, for any shard count — plus a sync-stats dict describing what
+the partitioned run cost (rounds, stalls, wire records).  The point
+stays a pure function of ``(config, seed)`` because every aggregate the
+merge folds is order-insensitive (sums and min/max over the shard
+partition, a time-ordered latency fold, a collision-checked registry
+union).
+"""
+
+from __future__ import annotations
+
+from ..cluster.runner import _assemble_point, run_cluster_once
+from ..cluster.topology import make_topology
+from ..cluster.workload import LATENCY_BUCKETS
+from .merge import fold_latency_tapes, merge_registries
+from .partition import ShardPlan, check_fault_plan
+from .sync import ConservativeScheduler, ShardHost, _InlineShard, _ProcessShard
+
+__all__ = ["run_cluster_once_sharded"]
+
+
+def run_cluster_once_sharded(provider: str, cfg, rate_rps: float | None = None,
+                             *, shards: int = 2, workers: str = "process",
+                             check: bool = False,
+                             fault_plan=None) -> tuple[dict, dict | None]:
+    """Run one cluster point partitioned over ``shards`` simulators.
+
+    Returns ``(point, stats)``; ``point`` is byte-identical to the
+    single-heap :func:`run_cluster_once` result.  ``workers`` selects
+    the transport: ``"process"`` (one worker process per shard) or
+    ``"inline"`` (all shards stepped in this process — same bytes,
+    no parallelism; what the equivalence tests drive).
+    """
+    if check:
+        raise ValueError("--check is not supported with shards > 1: the "
+                         "conformance checker needs the whole cluster "
+                         "in one simulator")
+    if shards < 2:
+        return run_cluster_once(provider, cfg, rate_rps, check=check,
+                                fault_plan=fault_plan), None
+    if workers not in ("inline", "process"):
+        raise ValueError(f"unknown shard transport {workers!r}")
+    if fault_plan is not None:
+        check_fault_plan(fault_plan)
+    topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
+    plan = ShardPlan(provider, topo, shards)
+
+    hosts: list = []
+    try:
+        for i in range(shards):
+            if workers == "process":
+                hosts.append(_ProcessShard(provider, cfg, rate_rps, plan, i,
+                                           fault_plan))
+            else:
+                hosts.append(_InlineShard(
+                    ShardHost(provider, cfg, rate_rps, plan, i, fault_plan)))
+        sched = ConservativeScheduler(
+            hosts, plan.lookahead,
+            lambda record: plan.owner[record[3].dst],
+            gate_expected=cfg.clients)
+        sched.run()
+        results = [host.finish(sched.sync_stalls[i])
+                   for i, host in enumerate(hosts)]
+    finally:
+        for host in hosts:
+            host.close()
+
+    hist = fold_latency_tapes([r["tape"] for r in results],
+                              "latency_us", LATENCY_BUCKETS)
+    merged = merge_registries([r["registry"] for r in results])
+    ports = {"drops": 0, "contended": 0, "backpressured": 0}
+    for r in results:
+        for key in ports:
+            ports[key] += r["ports"][key]
+    point = _assemble_point(
+        provider, cfg, rate_rps,
+        hist=hist,
+        completed=sum(r["completed"] for r in results),
+        failed=sum(r["failed"] for r in results),
+        served=sum(r["served"] for r in results),
+        finishes=[t for r in results for t in r["finishes"]],
+        sched=[t for r in results for t in r["sched"]],
+        ports=ports,
+        retransmissions=sum(r["retransmissions"] for r in results),
+        recoveries=sum(r["recoveries"] for r in results),
+        violations=[v for r in results for v in r["violations"]],
+    )
+    stats = {
+        "shards": shards,
+        "rounds": sched.rounds,
+        "sync_stalls": sum(sched.sync_stalls),
+        "msgs_exchanged": sum(r["counters"]["msgs_exchanged"]
+                              for r in results),
+        "horizon_advances": sum(r["counters"]["horizon_advances"]
+                                for r in results),
+        "per_shard": [r["counters"] for r in results],
+        "metrics": merged.snapshot(),
+    }
+    return point, stats

@@ -1,0 +1,332 @@
+"""Shard hosts and the conservative synchronization scheduler.
+
+Each :class:`ShardHost` builds a *full replica* of the cluster testbed
+— same constructor calls, same seeds, same order as the single-heap
+:func:`~repro.cluster.runner.run_cluster_once` — but spawns only the
+actors whose nodes it owns, so per-node state (CPU queues, NIC, RNG
+streams) evolves identically to the single-heap run.
+
+The :class:`ConservativeScheduler` drives all hosts in rounds.  Each
+round it grants every shard the horizon ``T + L`` where ``T`` is the
+global minimum of the shards' next-event times and all in-flight wire
+records, and ``L`` is the cut-link lookahead: any packet exported by an
+event at ``t in [T, T+L)`` arrives no earlier than ``t + L >= T + L``,
+so nothing a peer can still send lands inside the granted window — the
+SimBricks loose-synchronization invariant, checked at injection time
+(:class:`~repro.shard.boundary.CausalityError`).  While the start gate
+is unreleased the scheduler instead runs *lockstep* rounds (exactly one
+instant), so the gate release folds with every shard parked at ``t0``.
+
+Idle shards still receive every horizon grant and bump their clocks to
+it (the null-message path), so a shard with no local work can never
+deadlock peers waiting on its clock.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+
+from ..cluster.runner import _build_actors, _port_stats
+from ..cluster.topology import build_testbed, make_topology
+from ..faults.injector import FaultInjector
+from ..obs.harvest import harvest_shard_into
+from ..obs.metrics import MetricsRegistry
+from .boundary import ShardBoundary
+from .gate import GateCoordinator, ShardGate
+from .merge import LatencyTape
+
+__all__ = ["ConservativeScheduler", "ShardHost"]
+
+_INF = float("inf")
+
+
+class _ShardFaultInjector(FaultInjector):
+    """A fault injector that spawns active-fault processes only for the
+    nodes this shard owns; the passive hooks need no restriction because
+    only owned traffic ever reaches a shard's hook sites."""
+
+    def __init__(self, testbed, plan, owned) -> None:
+        super().__init__(testbed, plan)
+        self._owned = owned
+
+    def _matching_nodes(self, spec, suffix: str = ""):
+        for node in super()._matching_nodes(spec, suffix):
+            if node.name in self._owned:
+                yield node
+
+
+class ShardHost:
+    """One shard: full replica construction, owned actors spawned."""
+
+    def __init__(self, provider: str, cfg, rate_rps, plan, index: int,
+                 fault_plan=None) -> None:
+        self.index = index
+        topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
+        tb = build_testbed(provider, topo, seed=cfg.seed, check=False,
+                          faults=None, fidelity=cfg.fidelity)
+        self.tb = tb
+        if fault_plan is not None and fault_plan.faults:
+            injector = _ShardFaultInjector(tb, fault_plan, plan.owned(index))
+            tb.injector = injector
+            injector.arm()
+        self.boundary = ShardBoundary(tb, plan, index)
+        self.gate = ShardGate(tb.sim)
+        self.hist = LatencyTape(tb.sim)
+        self.servers, self.clients = _build_actors(
+            cfg, topo, tb, rate_rps, self.hist, self.gate.view)
+        owned = self.boundary.owned
+        for i, server in enumerate(self.servers):
+            if server.node in owned:
+                tb.spawn(server.body(), f"server-{i}")
+        for client in self.clients:
+            if client.node in owned:
+                tb.spawn(client.body(), f"client-{client.cid}")
+        self.horizon_advances = 0
+        self.violations: list[str] = []
+
+    def peek(self) -> float:
+        return self.tb.sim.peek()
+
+    def run_round(self, horizon: float, inclusive: bool, imports) -> tuple:
+        """Inject imports, run up to the horizon, report what crossed.
+
+        Returns ``(next_t, exports, gate_events, violation)``.  An
+        inclusive round runs events *at* the horizon too (the gate
+        lockstep phase); a normal round runs strictly below it.
+        """
+        violation = None
+        try:
+            if imports:
+                self.boundary.inject(imports)
+            sim = self.tb.sim
+            if inclusive:
+                sim.run_below(math.nextafter(horizon, math.inf))
+            else:
+                sim.run_below(horizon)
+        except Exception as exc:  # conformance violation or crash
+            violation = f"{type(exc).__name__}: {exc}"
+            self.violations.append(violation)
+        self.horizon_advances += 1
+        return (self.tb.sim.peek(), self.boundary.drain(),
+                self.gate.drain_events(), violation)
+
+    def finish(self, sync_stalls: int) -> dict:
+        """Collect this shard's contribution to the merged point."""
+        owned = self.boundary.owned
+        clients = [c for c in self.clients if c.node in owned]
+        servers = [s for s in self.servers if s.node in owned]
+        counters = {
+            "sync_stalls": sync_stalls,
+            "msgs_exchanged": self.boundary.msgs_in + self.boundary.msgs_out,
+            "horizon_advances": self.horizon_advances,
+        }
+        registry = MetricsRegistry()
+        harvest_shard_into(registry, self.tb, owned, self.index, counters)
+        providers = list(self.tb.providers.values())
+        return {
+            "completed": sum(c.stats["completed"] for c in clients),
+            "failed": sum(c.stats["failed"] for c in clients),
+            "served": sum(s.stats["served"] for s in servers),
+            "finishes": [t for c in clients for t in c.finish_times],
+            "sched": [t for c in clients for t in c.schedule],
+            "tape": self.hist.records,
+            "ports": _port_stats(self.tb),
+            "retransmissions": sum(p.engine.retransmissions
+                                   for p in providers),
+            "recoveries": sum(p.recoveries for p in providers),
+            "violations": list(self.violations),
+            "registry": registry,
+            "counters": counters,
+        }
+
+
+class ConservativeScheduler:
+    """Round-driven conservative windows over a set of shard handles.
+
+    ``shards`` is a list of transport handles (inline hosts, process
+    proxies, or test fakes) exposing ``peek`` / ``start_round`` /
+    ``finish_round`` / ``release``; ``route(record)`` names the owning
+    shard of a wire record.  Host-agnostic so the protocol properties
+    are testable without simulators (``tests/test_shard_sync.py``).
+    """
+
+    def __init__(self, shards, lookahead: float, route,
+                 gate_expected: int = 0) -> None:
+        if lookahead <= 0.0:
+            raise ValueError("lookahead must be positive")
+        self.shards = shards
+        self.lookahead = lookahead
+        self.route = route
+        self.coordinator = (GateCoordinator(gate_expected)
+                            if gate_expected > 0 else None)
+        n = len(shards)
+        self.pending: list[list] = [[] for _ in range(n)]
+        self.sync_stalls = [0] * n
+        self.rounds = 0
+        self.horizons: list[float] = []
+        self.violations: list[str] = []
+
+    def run(self) -> list[str]:
+        shards = self.shards
+        pending = self.pending
+        next_ts = [s.peek() for s in shards]
+        while True:
+            candidates = [t for t in next_ts if t != _INF]
+            candidates += [r[0] for box in pending for r in box]
+            if not candidates:
+                break
+            T = min(candidates)
+            lockstep = (self.coordinator is not None
+                        and not self.coordinator.released)
+            if lockstep:
+                horizon, inclusive = T, True
+            else:
+                horizon, inclusive = T + self.lookahead, False
+            self.horizons.append(horizon)
+            imports_by_shard = []
+            for i, shard in enumerate(shards):
+                imports, pending[i] = pending[i], []
+                imports_by_shard.append(imports)
+                idle = not imports and (next_ts[i] > horizon if inclusive
+                                        else next_ts[i] >= horizon)
+                if idle:
+                    self.sync_stalls[i] += 1
+                shard.start_round(horizon, inclusive, imports)
+            self.rounds += 1
+            gate_events: list = []
+            for i, shard in enumerate(shards):
+                next_t, exports, gevents, violation = shard.finish_round()
+                next_ts[i] = next_t
+                if violation is not None:
+                    self.violations.append(violation)
+                for record in exports:
+                    pending[self.route(record)].append(record)
+                gate_events.extend(gevents)
+            if self.violations:
+                break  # mirror the single-heap run: stop at the crash
+            if lockstep and gate_events:
+                released = self.coordinator.fold(gate_events)
+                if released is not None:
+                    t0, releaser = released
+                    # the release schedules resume events at t0, so each
+                    # shard's reported next_t is stale — refresh it, or
+                    # the next window would overshoot the resumed work
+                    for i, shard in enumerate(shards):
+                        next_ts[i] = shard.release(t0, releaser)
+        return self.violations
+
+
+# -- transports -----------------------------------------------------------
+
+class _InlineShard:
+    """Same-process transport: the round runs during ``start_round``."""
+
+    def __init__(self, host: ShardHost) -> None:
+        self.host = host
+        self._result = None
+
+    def peek(self) -> float:
+        return self.host.peek()
+
+    def start_round(self, horizon, inclusive, imports) -> None:
+        self._result = self.host.run_round(horizon, inclusive, imports)
+
+    def finish_round(self):
+        result, self._result = self._result, None
+        return result
+
+    def release(self, t0, releaser) -> float:
+        self.host.gate.release(t0, releaser)
+        return self.host.peek()
+
+    def finish(self, sync_stalls: int) -> dict:
+        return self.host.finish(sync_stalls)
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, provider, cfg, rate_rps, plan, index,
+                  fault_plan) -> None:
+    """Worker-process loop: build the host, serve scheduler requests.
+
+    Id allocators are rebased to a per-shard band first, so ids minted
+    on different shards can never collide inside one simulated cluster
+    (conn-id dedup at the server, for instance).  Ids never influence
+    timing or report bytes — shard 0's band starts at 1, the inline
+    transport doesn't rebase at all, and all of them merge identically.
+    """
+    from ..sim.ids import _SPACES
+
+    for space in _SPACES.values():
+        space.reset(1 + index * 1_000_000_000)
+    try:
+        host = ShardHost(provider, cfg, rate_rps, plan, index, fault_plan)
+        conn.send(("ok", host.peek()))
+    except Exception as exc:
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "round":
+            conn.send(host.run_round(msg[1], msg[2], msg[3]))
+        elif op == "release":
+            host.gate.release(msg[1], msg[2])
+            conn.send(host.peek())
+        elif op == "finish":
+            conn.send(host.finish(msg[1]))
+        elif op == "stop":
+            return
+
+
+class _ProcessShard:
+    """Pipe transport: one worker process per shard, one message pair
+    per round (grant out, results back), so shards simulate their
+    windows in real parallelism."""
+
+    def __init__(self, provider, cfg, rate_rps, plan, index,
+                 fault_plan) -> None:
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_shard_worker,
+            args=(child, provider, cfg, rate_rps, plan, index, fault_plan),
+            daemon=True)
+        self._proc.start()
+        child.close()
+        status, value = self._conn.recv()
+        if status == "error":
+            raise RuntimeError(f"shard {index} failed to build: {value}")
+        self._peek = value
+
+    def peek(self) -> float:
+        return self._peek
+
+    def start_round(self, horizon, inclusive, imports) -> None:
+        self._conn.send(("round", horizon, inclusive, imports))
+
+    def finish_round(self):
+        return self._conn.recv()
+
+    def release(self, t0, releaser) -> float:
+        self._conn.send(("release", t0, releaser))
+        return self._conn.recv()
+
+    def finish(self, sync_stalls: int) -> dict:
+        self._conn.send(("finish", sync_stalls))
+        return self._conn.recv()
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):  # worker already gone
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+        self._conn.close()

@@ -1,0 +1,170 @@
+"""Sharded runs are byte-identical to the single-heap run.
+
+The headline claim of :mod:`repro.shard`: one cluster point — the full
+report dict, the latency quantiles, the merged hardware counters — is
+a pure function of (config, seed), no matter how many shard simulators
+the cluster is partitioned over or which transport steps them.
+
+Hypothesis draws random (topology shape, size, workload, provider,
+shard count) cells and compares the sharded point and merged harvest
+against the single-heap run.  Directed cells pin the interesting
+corners: a link fault windowed onto a cut edge, a fast-forward-eligible
+stream, the process transport, and a full ``run_cluster`` sweep whose
+JSON must compare byte-for-byte at shards 2, 3 and 4.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.runner import ClusterConfig, run_cluster, run_cluster_once
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import merge_registries, run_cluster_once_sharded
+
+_SLOW = settings(max_examples=6, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _single(provider, cfg, rate, fault_plan=None):
+    """Single-heap point plus its harvest, sim.* kernel totals dropped
+    (they describe the event loop, not the simulated cluster)."""
+    registry = MetricsRegistry()
+    point = run_cluster_once(provider, cfg, rate, fault_plan=fault_plan,
+                             harvest=registry)
+    metrics = {k: v for k, v in registry.snapshot().items()
+               if not k.startswith("sim.")}
+    return point, metrics
+
+
+def _assert_equivalent(provider, cfg, rate, shards, *, workers="inline",
+                       fault_plan=None):
+    point, metrics = _single(provider, cfg, rate, fault_plan)
+    sharded, stats = run_cluster_once_sharded(
+        provider, cfg, rate, shards=shards, workers=workers,
+        fault_plan=fault_plan)
+    assert json.dumps(sharded, sort_keys=True) == \
+        json.dumps(point, sort_keys=True)
+    merged = {k: v for k, v in stats["metrics"].items()
+              if not k.startswith("shard.")}
+    assert merged == metrics
+    assert stats["shards"] == shards
+    assert stats["msgs_exchanged"] >= 0
+    assert stats["horizon_advances"] >= stats["rounds"]
+    return stats
+
+
+@given(
+    topology=st.sampled_from(["star", "dumbbell", "fattree"]),
+    nodes=st.integers(3, 6),
+    servers=st.integers(1, 2),
+    clients=st.integers(2, 6),
+    requests=st.integers(2, 4),
+    arrival=st.sampled_from(["poisson", "uniform", "burst"]),
+    mode=st.sampled_from(["open", "open", "closed"]),
+    provider=st.sampled_from(["mvia", "iba", "bvia", "clan"]),
+    shards=st.integers(2, 4),
+    seed=st.integers(0, 2**20),
+)
+@_SLOW
+def test_random_cells_byte_identical(topology, nodes, servers, clients,
+                                     requests, arrival, mode, provider,
+                                     shards, seed):
+    servers = min(servers, nodes - 1)
+    cfg = ClusterConfig(topology=topology, nodes=nodes, servers=servers,
+                        clients=clients, requests=requests,
+                        arrival=arrival, mode=mode, seed=seed)
+    rate = 8000.0 if mode == "open" else None
+    _assert_equivalent(provider, cfg, rate, shards)
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_chaos_cell_on_cut_edge(shards):
+    """A windowed link flap on a client uplink — a *cut* edge for every
+    partition that separates c0 from the server — drops live request
+    traffic, forces retransmissions, and still merges byte-identically
+    (fault totals partition by where the traffic ran)."""
+    plan = FaultPlan(faults=(FaultSpec(kind="link_down", target="c0.up",
+                                       at=12_000.0, duration=4_000.0),),
+                     seed=4)
+    cfg = ClusterConfig(topology="star", nodes=4, servers=1, clients=4,
+                        requests=3, seed=13)
+    stats = _assert_equivalent("mvia", cfg, 8000.0, shards,
+                               fault_plan=plan)
+    assert stats["metrics"]["faults.link_down.injected"]["value"] > 0
+
+
+def test_fast_forward_cell():
+    """A fidelity=auto cell: flow-level fast-forward must stay gated by
+    the shard horizon (``run_below`` pins ``_run_until``)."""
+    cfg = ClusterConfig(topology="star", nodes=4, servers=1, clients=4,
+                        requests=4, fidelity="auto", seed=11)
+    _assert_equivalent("mvia", cfg, 4000.0, 2)
+
+
+def test_process_transport_matches_inline():
+    cfg = ClusterConfig(topology="star", nodes=4, servers=1, clients=4,
+                        requests=3, seed=7)
+    point, _ = _single("mvia", cfg, 8000.0)
+    sharded, stats = run_cluster_once_sharded(
+        "mvia", cfg, 8000.0, shards=3, workers="process")
+    assert json.dumps(sharded, sort_keys=True) == \
+        json.dumps(point, sort_keys=True)
+    assert stats["shards"] == 3
+
+
+@pytest.mark.parametrize("topology,nodes,servers", [
+    ("star", 4, 1), ("dumbbell", 6, 2), ("fattree", 8, 2)])
+def test_full_report_byte_identical(topology, nodes, servers):
+    """The whole sweep report — knee included — compares byte for byte
+    at every shard count, one topology per shape."""
+    cfg = ClusterConfig(topology=topology, nodes=nodes, servers=servers,
+                        clients=4, requests=3, seed=21)
+    rates = (4000.0, 16000.0)
+    base = run_cluster(("mvia",), cfg, rates=rates).to_json()
+    for shards in (2, 3, 4):
+        report = run_cluster(("mvia",), cfg, rates=rates, shards=shards,
+                             shard_workers="inline")
+        assert report.to_json() == base
+        assert report.shard_stats  # observability rides outside the JSON
+        assert "shards" in report.summary()
+
+
+def test_merge_rejects_colliding_metrics():
+    """Two shards publishing the same non-additive counter is an
+    ownership bug and must raise, not last-write-win."""
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("nic.c0.tx_packets", 3)
+    b.inc("nic.c0.tx_packets", 5)
+    with pytest.raises(ValueError, match="colliding metric"):
+        merge_registries([a, b])
+
+
+def test_merge_sums_additive_totals():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("wire.switch.forwarded", 3)
+    b.inc("wire.switch.forwarded", 5)
+    a.inc("faults.link_down.injected", 1)
+    b.inc("faults.link_down.injected", 2)
+    merged = merge_registries([a, b])
+    snap = merged.snapshot()
+    assert snap["wire.switch.forwarded"]["value"] == 8
+    assert snap["faults.link_down.injected"]["value"] == 3
+
+
+def test_sharded_rejects_check_and_unsafe_faults():
+    cfg = ClusterConfig(nodes=4, clients=4, requests=2, seed=1)
+    with pytest.raises(ValueError, match="check"):
+        run_cluster_once_sharded("mvia", cfg, 8000.0, shards=2, check=True)
+    stochastic = FaultPlan(faults=(FaultSpec(kind="wire_loss", rate=0.25),),
+                           seed=1)
+    with pytest.raises(ValueError, match="not shard-safe"):
+        run_cluster_once_sharded("mvia", cfg, 8000.0, shards=2,
+                                 workers="inline", fault_plan=stochastic)
+    with pytest.raises(ValueError, match="warm_start"):
+        run_cluster(("mvia",), cfg, rates=(8000.0,), shards=2,
+                    warm_start=True)

@@ -1,0 +1,254 @@
+"""Protocol properties of the conservative shard scheduler.
+
+The :class:`~repro.shard.sync.ConservativeScheduler` is host-agnostic:
+anything exposing ``peek`` / ``start_round`` / ``finish_round`` /
+``release`` can sit behind it.  These tests drive it with fake shards
+— scripted event lists and randomized cross-shard delay matrices — and
+check the protocol invariants directly, without simulators:
+
+* no wire record is ever delivered into a shard's past (causality),
+* granted horizons advance monotonically,
+* every scripted event runs (no starvation, no premature termination),
+* all-idle shards terminate immediately (the null-message/horizon-bump
+  path cannot deadlock), and
+* the distributed start-gate fold replicates the single-heap barrier.
+"""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import make_topology
+from repro.shard import CausalityError, GateCoordinator, ShardBoundary, ShardPlan
+from repro.shard.sync import ConservativeScheduler
+
+_INF = float("inf")
+
+
+class FakeShard:
+    """Scripted shard: local event times, optional sends and gate events.
+
+    ``sends[t] = (dst_shard, extra_delay)`` exports a record from the
+    event at ``t`` with ``deliver_at = t + lookahead + extra_delay`` —
+    the minimum-latency contract every real cut link obeys.  Imported
+    records become local events at their timestamps; delivering one
+    below the shard's clock trips the causality assertion.
+    """
+
+    def __init__(self, index, events, lookahead, sends=None, gates=None):
+        self.index = index
+        self.todo = sorted(events)
+        self.lookahead = lookahead
+        self.sends = dict(sends or {})
+        self.gates = dict(gates or {})
+        self.clock = 0.0
+        self.processed = []
+        self.releases = []
+        self._seq = 0
+        self._result = None
+
+    def peek(self):
+        return self.todo[0] if self.todo else _INF
+
+    def start_round(self, horizon, inclusive, imports):
+        for record in imports:
+            assert record[0] >= self.clock, (
+                f"causality violation: record at {record[0]} delivered "
+                f"into shard {self.index}'s past (clock {self.clock})")
+            bisect.insort(self.todo, record[0])
+        exports = []
+        gate_events = []
+        while self.todo and (self.todo[0] <= horizon if inclusive
+                             else self.todo[0] < horizon):
+            t = self.todo.pop(0)
+            self.clock = t
+            self.processed.append(t)
+            if t in self.sends:
+                dst, extra = self.sends[t]
+                self._seq += 1
+                exports.append(
+                    (t + self.lookahead + extra, self.index, self._seq, dst))
+            if t in self.gates:
+                cid, kind = self.gates[t]
+                gate_events.append((t, cid, kind))
+        self.clock = max(self.clock, horizon)
+        self._result = (self.peek(), exports, gate_events, None)
+
+    def finish_round(self):
+        result, self._result = self._result, None
+        return result
+
+    def release(self, t0, releaser):
+        self.releases.append((t0, releaser))
+        return self.peek()
+
+    def close(self):
+        pass
+
+
+def _run(shards, lookahead=1.0, gate_expected=0):
+    sched = ConservativeScheduler(shards, lookahead,
+                                  route=lambda record: record[3],
+                                  gate_expected=gate_expected)
+    sched.run()
+    return sched
+
+
+# -- scheduler properties -------------------------------------------------
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_random_delay_matrices_preserve_causality(data):
+    n = data.draw(st.integers(2, 4), label="shards")
+    lookahead = data.draw(st.floats(0.5, 5.0, allow_nan=False), label="L")
+    shards = []
+    for i in range(n):
+        times = sorted(data.draw(
+            st.lists(st.floats(0.0, 100.0, allow_nan=False,
+                               allow_infinity=False),
+                     min_size=0, max_size=8, unique=True),
+            label=f"events{i}"))
+        sends = {}
+        for t in times:
+            if data.draw(st.booleans(), label=f"send@{t}"):
+                sends[t] = (data.draw(st.integers(0, n - 1),
+                                      label=f"dst@{t}"),
+                            data.draw(st.floats(0.0, 10.0,
+                                                allow_nan=False),
+                                      label=f"extra@{t}"))
+        shards.append(FakeShard(i, times, lookahead, sends=sends))
+    scripted = sum(len(s.todo) for s in shards)
+    sched = _run(shards, lookahead)
+    # every scripted event ran, in local time order (causality asserts
+    # inside FakeShard.start_round did not trip along the way)
+    for shard in shards:
+        assert shard.processed == sorted(shard.processed)
+        assert not shard.todo
+    # horizons granted to the fleet advance monotonically
+    assert sched.horizons == sorted(sched.horizons)
+    # every record sent to a peer became an event there: the fleet
+    # processed exactly the scripted events plus the exchanged records
+    exchanged = sum(s._seq for s in shards)
+    assert sum(len(s.processed) for s in shards) == scripted + exchanged
+
+
+def test_all_idle_shards_terminate_immediately():
+    shards = [FakeShard(i, [], 1.0) for i in range(3)]
+    sched = _run(shards)
+    assert sched.rounds == 0
+    assert sched.sync_stalls == [0, 0, 0]
+
+
+def test_null_message_progress_for_eventless_shard():
+    """Shard 1 has no local work at all: it advances purely on horizon
+    grants and imported records — the null-message path."""
+    shards = [
+        FakeShard(0, [0.0, 5.0], 1.0, sends={0.0: (1, 0.0), 5.0: (1, 2.0)}),
+        FakeShard(1, [], 1.0),
+    ]
+    sched = _run(shards)
+    assert shards[1].processed == [1.0, 8.0]
+    assert not shards[1].todo
+    # the eventless shard stalled in rounds where it had nothing to do
+    assert sched.sync_stalls[1] >= 1
+
+
+def test_chained_relay_terminates():
+    """A record that triggers no further work still drains: rounds are
+    driven by pending records even when every shard reports idle."""
+    shards = [
+        FakeShard(0, [0.0], 2.0, sends={0.0: (1, 0.0)}),
+        FakeShard(1, [], 2.0),
+        FakeShard(2, [], 2.0),
+    ]
+    sched = _run(shards)
+    assert shards[1].processed == [2.0]
+    assert sched.rounds >= 2
+
+
+def test_scheduler_rejects_nonpositive_lookahead():
+    with pytest.raises(ValueError, match="lookahead"):
+        ConservativeScheduler([], 0.0, route=lambda r: 0)
+
+
+def test_lockstep_until_gate_release():
+    """With an unreleased gate the scheduler runs one instant per round;
+    the fold releases every shard exactly once, at the tipping arrival,
+    and normal lookahead windows resume after."""
+    shards = [
+        FakeShard(0, [1.0, 4.0], 1.0, gates={1.0: (0, "arrive")}),
+        FakeShard(1, [3.0], 1.0, gates={3.0: (1, "arrive")}),
+    ]
+    sched = _run(shards, gate_expected=2)
+    assert shards[0].releases == [(3.0, 1)]
+    assert shards[1].releases == [(3.0, 1)]
+    # pre-release rounds are lockstep: horizons 1.0, 3.0 (no lookahead)
+    assert sched.horizons[:2] == [1.0, 3.0]
+    # post-release rounds widen by the lookahead
+    assert sched.horizons[2] == pytest.approx(5.0)
+
+
+def test_abandon_tips_gate_without_releaser():
+    shards = [
+        FakeShard(0, [1.0], 1.0, gates={1.0: (0, "arrive")}),
+        FakeShard(1, [2.0], 1.0, gates={2.0: (1, "abandon")}),
+    ]
+    _run(shards, gate_expected=2)
+    assert shards[0].releases == [(2.0, None)]
+
+
+# -- gate coordinator fold ------------------------------------------------
+
+def test_gate_fold_replicates_barrier_order():
+    gate = GateCoordinator(expected=3)
+    assert gate.fold([(1.0, 2, "arrive")]) is None
+    assert not gate.released
+    # two arrivals in one round, deliberately out of order: the fold
+    # sorts by (time, cid) so the releaser is the *last* arrival
+    result = gate.fold([(3.0, 0, "arrive"), (2.0, 1, "arrive")])
+    assert result == (3.0, 0)
+    assert gate.released
+    assert gate.fold([(9.0, 5, "arrive")]) is None  # already released
+
+
+def test_gate_fold_abandon_shrinks_expected():
+    gate = GateCoordinator(expected=3)
+    assert gate.fold([(1.0, 0, "arrive")]) is None
+    assert gate.fold([(2.0, 1, "abandon")]) is None
+    result = gate.fold([(4.0, 2, "arrive")])
+    assert result == (4.0, 2)
+
+
+def test_gate_fold_all_abandon():
+    gate = GateCoordinator(expected=2)
+    result = gate.fold([(1.0, 0, "abandon"), (2.0, 1, "abandon")])
+    assert result == (2.0, None)
+
+
+# -- boundary causality guard ---------------------------------------------
+
+def test_boundary_rejects_record_in_the_past():
+    from repro.cluster.topology import build_testbed
+
+    topo = make_topology("star", 2, 1)
+    plan = ShardPlan("mvia", topo, 2)
+    tb = build_testbed("mvia", topo, seed=0)
+    boundary = ShardBoundary(tb, plan, 0)
+    tb.sim.run_below(100.0)  # advance the clock past t=50
+    with pytest.raises(CausalityError):
+        boundary.inject([(50.0, 1, 1, None)])
+
+
+def test_plan_rejects_zero_lookahead():
+    import dataclasses
+
+    from repro.providers.registry import get_spec
+
+    topo = make_topology("star", 2, 1)
+    spec = get_spec("mvia")
+    zeroed = dataclasses.replace(
+        spec, network=dataclasses.replace(spec.network, prop_delay=0.0))
+    with pytest.raises(ValueError, match="propagation delay"):
+        ShardPlan(zeroed, topo, 2)
