@@ -256,6 +256,14 @@ def cmd_check(args) -> None:
         sys.exit(1)
 
 
+def _chaos_scenarios(args) -> tuple | None:
+    """--scenario values, comma-separable and repeatable."""
+    if not args.scenario:
+        return None
+    return tuple(name for spec in args.scenario
+                 for name in spec.split(",") if name)
+
+
 def cmd_chaos(args) -> None:
     from .faults import run_chaos
 
@@ -267,7 +275,7 @@ def cmd_chaos(args) -> None:
         _chaos_rewind(providers, args)
         return
     report = run_chaos(providers=providers,
-                       scenarios=tuple(args.scenario) if args.scenario else None,
+                       scenarios=_chaos_scenarios(args),
                        seed=args.seed, quick=args.quick)
     print(report.summary())
     if args.json_out:
@@ -288,17 +296,19 @@ def _chaos_rewind(providers, args) -> None:
         from .check import ALL_PROVIDERS
 
         providers = ALL_PROVIDERS
-    if args.scenario:
-        chosen = tuple(get_scenario(n) for n in args.scenario)
+    names = _chaos_scenarios(args)
+    if names:
+        chosen = tuple(get_scenario(n) for n in names)
     else:
-        chosen = tuple(sc for sc in SCENARIOS if sc.workload != "cluster")
+        chosen = tuple(sc for sc in SCENARIOS if sc.workload == "stream")
     print(f"chaos rewind: {len(chosen)} scenarios x "
           f"{len(providers)} providers")
     ok = True
     for sc in chosen:
         for p in providers:
-            if sc.workload == "cluster":
-                print(f"  {sc.name:<20} {p:<8} skipped (cluster workload)")
+            if sc.workload != "stream":
+                print(f"  {sc.name:<20} {p:<8} skipped "
+                      f"({sc.workload} workload)")
                 continue
             rw = rewind_scenario(p, sc, seed=args.seed, quick=args.quick)
             print(rw.summary())
@@ -314,6 +324,9 @@ def cmd_cluster(args) -> None:
 
     providers = (ALL_PROVIDERS if args.provider == "all"
                  else tuple(args.provider.split(",")))
+    extra = {}
+    if args.deadline_us is not None:
+        extra["deadline_us"] = args.deadline_us
     cfg = ClusterConfig(
         topology=args.topology, nodes=args.nodes, servers=args.servers,
         clients=args.clients, requests=args.requests,
@@ -321,6 +334,9 @@ def cmd_cluster(args) -> None:
         window=args.window, arrival=args.arrival, service=args.service,
         mode=args.mode, think_us=args.think_us, seed=args.seed,
         fidelity=args.fidelity,
+        retry=args.retry, server_policy=args.server_policy,
+        tenants=args.tenants, slo_p99_us=args.slo_p99_us,
+        slo_goodput=args.slo_goodput, **extra,
     )
     rates = None
     if args.rate:
@@ -471,8 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(CI-sized; same scenario list)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--scenario", action="append", metavar="NAME",
-                       help="run only this scenario (repeatable); "
-                            "default: all of them")
+                       help="run only these scenarios (repeatable, "
+                            "comma-separable); default: all of them")
     chaos.add_argument("--json-out", metavar="FILE.json",
                        help="also write the report as JSON")
     chaos.add_argument("--rewind", action="store_true",
@@ -514,6 +530,27 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["open", "closed"])
     clus.add_argument("--think-us", type=float, default=0.0,
                       help="closed-loop think time between requests")
+    clus.add_argument("--retry", default="off", metavar="SPEC",
+                      help='client retry policy: "off", "on", or '
+                           '"budget=3,base=200,cap=5000,jitter=0.5,'
+                           'timeout=50000" (us; default off)')
+    clus.add_argument("--server-policy", default="none", metavar="SPEC",
+                      help='server admission control: "none" or '
+                           '"depth=64,shed=tail|deadline,conns=16" '
+                           "(default none)")
+    clus.add_argument("--tenants", type=int, default=1,
+                      help="tenant groups (client i belongs to tenant "
+                           "i %% N); each gets its own latency "
+                           "histogram and SLO verdict (default 1)")
+    clus.add_argument("--slo-p99-us", type=float, default=10_000.0,
+                      help="per-tenant SLO: p99 latency target in us "
+                           "(<=0 disables; default 10000)")
+    clus.add_argument("--slo-goodput", type=float, default=0.9,
+                      help="per-tenant SLO: goodput floor as a fraction "
+                           "of the realized offered rate (default 0.9)")
+    clus.add_argument("--deadline-us", type=float, default=None,
+                      help="run deadline per point in simulated us "
+                           "(default 30s)")
     clus.add_argument("--seed", type=int, default=0)
     clus.add_argument("--fidelity", default="packet",
                       choices=["packet", "auto", "flow"],

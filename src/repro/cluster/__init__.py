@@ -11,9 +11,13 @@ stack into an N-node serving cluster:
 * :mod:`~repro.cluster.server` — a CQ-dispatch server event loop
   multiplexing one VI per client with pluggable service-time models,
 * :mod:`~repro.cluster.runner` — capacity sweeps that find each
-  provider's saturation knee (``vibe cluster``).
+  provider's saturation knee (``vibe cluster``),
+* :mod:`~repro.cluster.policy` — client retry and server admission
+  policies for the overload-resilience layer (deadline propagation,
+  load shedding, per-tenant SLO verdicts).
 """
 
+from .policy import RetryPolicy, ServerPolicy
 from .runner import (
     QUICK_RATE_GRID,
     RATE_GRID,
@@ -22,6 +26,7 @@ from .runner import (
     find_knee,
     run_cluster,
     run_cluster_once,
+    slo_knee,
 )
 from .server import ClusterServer, make_service
 from .topology import Topology, build_testbed, make_topology
@@ -34,6 +39,8 @@ __all__ = [
     "ClusterReport",
     "ClusterClient",
     "ClusterServer",
+    "RetryPolicy",
+    "ServerPolicy",
     "StartGate",
     "Topology",
     "arrival_offsets",
@@ -43,4 +50,5 @@ __all__ = [
     "make_topology",
     "run_cluster",
     "run_cluster_once",
+    "slo_knee",
 ]

@@ -22,12 +22,13 @@ from dataclasses import asdict, dataclass, field, replace
 
 from ..obs.metrics import Histogram
 from ..vibe.executor import parallel_map, task_seed
+from .policy import DEFAULT_DEADLINE_US, RetryPolicy, ServerPolicy
 from .server import ClusterServer, make_service
 from .topology import build_testbed, make_topology
 from .workload import LATENCY_BUCKETS, ClusterClient, StartGate
 
 __all__ = ["ClusterConfig", "ClusterReport", "RATE_GRID",
-           "QUICK_RATE_GRID", "find_knee", "run_cluster",
+           "QUICK_RATE_GRID", "find_knee", "slo_knee", "run_cluster",
            "run_cluster_once"]
 
 #: default total offered loads (requests/s) for a capacity sweep —
@@ -57,12 +58,19 @@ class ClusterConfig:
     mode: str = "open"        # "open" (rate-driven) | "closed"
     think_us: float = 0.0
     seed: int = 0
-    deadline_us: float = 30_000_000.0
+    deadline_us: float = DEFAULT_DEADLINE_US
     fidelity: str = "packet"  # "packet" | "auto" | "flow"
+    # -- overload resilience (PR 9) ----------------------------------
+    retry: str = "off"        # RetryPolicy spec: "off" | "on" | "k=v,..."
+    server_policy: str = "none"   # ServerPolicy spec: "none" | "k=v,..."
+    tenants: int = 1          # clients round-robin over tenants
+    slo_p99_us: float = 10_000.0  # per-tenant p99 latency target
+    slo_goodput: float = 0.9      # per-tenant goodput floor (fraction)
 
 
 def _build_actors(cfg: ClusterConfig, topo, tb,
-                  rate_rps: float | None, hist, gate_for):
+                  rate_rps: float | None, hists, gate_for,
+                  offsets_for=None):
     """Construct every server and client object, identically for any
     caller.
 
@@ -70,10 +78,16 @@ def _build_actors(cfg: ClusterConfig, topo, tb,
     (:mod:`repro.shard.sync`): a shard's replica construction must be
     argument-for-argument identical to the single-heap one for the
     partitioned run to stay byte-identical.  ``gate_for(cid)`` supplies
-    each client's gate handle; ``hist`` receives latency observations.
-    Nothing here touches the simulator — only spawning does.
+    each client's gate handle; ``hists`` is one latency sink per tenant
+    (client ``i`` observes into ``hists[i % tenants]``).
+    ``offsets_for(cid)`` may supply a crafted arrival schedule (the
+    overload chaos cells).  Nothing here touches the simulator — only
+    spawning does.
     """
     service = make_service(cfg.service)
+    retry = RetryPolicy.parse(cfg.retry)
+    policy = ServerPolicy.parse(cfg.server_policy)
+    nten = max(1, cfg.tenants)
     open_loop = cfg.mode == "open" and rate_rps is not None
     interval_us = (cfg.clients * 1e6 / rate_rps) if open_loop else None
     per_server = [0] * cfg.servers
@@ -88,6 +102,7 @@ def _build_actors(cfg: ClusterConfig, topo, tb,
             req_size=cfg.req_size, resp_size=cfg.resp_size,
             seed=task_seed(cfg.seed, "server", s),
             deadline_us=cfg.deadline_us,
+            policy=policy, deadline_aware=retry is not None,
         )
         for s in range(cfg.servers)
     ]
@@ -101,24 +116,105 @@ def _build_actors(cfg: ClusterConfig, topo, tb,
             window=cfg.window, think_us=cfg.think_us,
             discriminator=4000 + (i % cfg.servers),
             seed=task_seed(cfg.seed, "client", i),
-            hist=hist, deadline_us=cfg.deadline_us, gate=gate_for(i),
+            hist=hists[i % nten], deadline_us=cfg.deadline_us,
+            gate=gate_for(i), retry=retry, tenant=i % nten,
+            offsets=offsets_for(i) if offsets_for is not None else None,
         )
         for i in range(cfg.clients)
     ]
     return servers, clients
 
 
+def _tenant_rollup(cfg: ClusterConfig, clients, hists) -> list[dict]:
+    """Per-tenant raw aggregates from a finished single-heap run —
+    the same shape the sharded merge assembles from shard partials."""
+    out = []
+    for t in range(max(1, cfg.tenants)):
+        tcl = [c for c in clients if c.tenant == t]
+        out.append({
+            "hist": hists[t],
+            "completed": sum(c.stats["completed"] for c in tcl),
+            "failed": sum(c.stats["failed"] for c in tcl),
+            "retried": sum(c.stats["retried"] for c in tcl),
+            "abandoned": sum(c.stats["abandoned"] for c in tcl),
+            "deadline_exceeded": sum(c.stats["deadline_exceeded"]
+                                     for c in tcl),
+            "shed_naks": sum(c.stats["shed_naks"] for c in tcl),
+            "expected": sum(c.n_requests for c in tcl),
+            "finishes": [x for c in tcl for x in c.finish_times],
+            "sched": [x for c in tcl for x in c.schedule],
+        })
+    return out
+
+
+def _server_rollup(servers) -> dict:
+    """Summed server-side stats (order-insensitive)."""
+    keys = ("served", "errors", "shed_queue", "shed_deadline",
+            "naks_sent", "conns_rejected")
+    return {k: sum(s.stats[k] for s in servers) for k in keys}
+
+
+def _window_rate(count: int, stamps: list) -> float:
+    """Events per second over the interior [first, last] stamp window."""
+    span = (max(stamps) - min(stamps)) if len(stamps) > 1 else 0.0
+    return (count - 1) * 1e6 / span if span > 0 else 0.0
+
+
+def _tenant_point(cfg: ClusterConfig, open_loop: bool, ten: dict) -> dict:
+    """One tenant's slice of a point, with its SLO verdict."""
+    hist = ten["hist"]
+    goodput = _window_rate(ten["completed"], ten["finishes"])
+    realized = _window_rate(len(ten["sched"]), ten["sched"])
+    p99 = hist.quantile(0.99)
+    expected = ten["expected"]
+    p99_ok = (cfg.slo_p99_us <= 0
+              or (hist.count > 0 and p99 <= cfg.slo_p99_us))
+    if open_loop and realized > 0:
+        goodput_ok = goodput >= cfg.slo_goodput * realized
+    else:
+        goodput_ok = ten["completed"] >= cfg.slo_goodput * expected
+    ok = (p99_ok and goodput_ok) if expected else True
+    return {
+        "completed": ten["completed"],
+        "failed": ten["failed"],
+        "retried": ten["retried"],
+        "abandoned": ten["abandoned"],
+        "deadline_exceeded": ten["deadline_exceeded"],
+        "shed_naks": ten["shed_naks"],
+        "expected": expected,
+        "goodput_rps": round(goodput, 3),
+        "realized_rps": round(realized, 3) if open_loop else None,
+        "p50_us": round(hist.quantile(0.50), 3),
+        "p99_us": round(p99, 3),
+        "mean_us": round(hist.total / hist.count, 3) if hist.count else 0.0,
+        "slo": {
+            "p99_target_us": cfg.slo_p99_us,
+            "goodput_floor": cfg.slo_goodput,
+            "p99_ok": p99_ok,
+            "goodput_ok": goodput_ok,
+            "ok": ok,
+        },
+    }
+
+
 def _assemble_point(provider: str, cfg: ClusterConfig,
-                    rate_rps: float | None, *, hist, completed, failed,
-                    served, finishes, sched, ports, retransmissions,
-                    recoveries, violations) -> dict:
+                    rate_rps: float | None, *, tenants, server_stats,
+                    ports, retransmissions, recoveries,
+                    violations) -> dict:
     """Fold raw run aggregates into the canonical point dict.
 
-    Every input is order-insensitive (sums, min/max, a finished
-    histogram), so the single-heap run and the sharded merge produce
-    byte-identical points from equal aggregates.
+    ``tenants`` is a list of per-tenant aggregate dicts (see
+    :func:`_tenant_rollup`); every input is order-insensitive (sums,
+    min/max, finished histograms), so the single-heap run and the
+    sharded merge produce byte-identical points from equal aggregates.
     """
     open_loop = cfg.mode == "open" and rate_rps is not None
+    hist = tenants[0]["hist"]
+    for ten in tenants[1:]:
+        hist = hist.merge(ten["hist"])
+    completed = sum(t["completed"] for t in tenants)
+    finishes = [x for t in tenants for x in t["finishes"]]
+    sched = [x for t in tenants for x in t["sched"]]
     # goodput over the aggregate completion window (first to last
     # response anywhere in the cluster): interior by construction, so
     # the warmup ramp and one slow client's tail don't bias the rate
@@ -127,8 +223,8 @@ def _assemble_point(provider: str, cfg: ClusterConfig,
     # the nominal rate overstates what the sampled Poisson schedules
     # actually offered over the measured window; the knee compares
     # goodput against this realized rate instead
-    span = (max(sched) - min(sched)) if len(sched) > 1 else 0.0
-    realized = (len(sched) - 1) * 1e6 / span if span > 0 else 0.0
+    realized = _window_rate(len(sched), sched)
+    tenant_points = [_tenant_point(cfg, open_loop, t) for t in tenants]
     return {
         "provider": provider,
         "offered_rps": round(rate_rps, 3) if open_loop else None,
@@ -139,8 +235,8 @@ def _assemble_point(provider: str, cfg: ClusterConfig,
         "p999_us": round(hist.quantile(0.999), 3),
         "mean_us": round(hist.total / hist.count, 3) if hist.count else 0.0,
         "completed": completed,
-        "failed": failed,
-        "served": served,
+        "failed": sum(t["failed"] for t in tenants),
+        "served": server_stats["served"],
         "elapsed_us": round(elapsed, 3),
         "port_drops": ports["drops"],
         "port_contended": ports["contended"],
@@ -148,6 +244,16 @@ def _assemble_point(provider: str, cfg: ClusterConfig,
         "retransmissions": retransmissions,
         "recoveries": recoveries,
         "violations": violations,
+        # -- overload accounting -------------------------------------
+        "retried": sum(t["retried"] for t in tenants),
+        "abandoned": sum(t["abandoned"] for t in tenants),
+        "deadline_exceeded": sum(t["deadline_exceeded"] for t in tenants),
+        "shed_queue": server_stats["shed_queue"],
+        "shed_deadline": server_stats["shed_deadline"],
+        "naks_sent": server_stats["naks_sent"],
+        "conns_rejected": server_stats["conns_rejected"],
+        "slo_ok": all(t["slo"]["ok"] for t in tenant_points),
+        "tenants": tenant_points,
     }
 
 
@@ -166,10 +272,11 @@ def run_cluster_once(provider: str, cfg: ClusterConfig,
     topo = make_topology(cfg.topology, cfg.nodes, cfg.servers)
     tb = build_testbed(provider, topo, seed=cfg.seed, check=check,
                        faults=fault_plan, fidelity=cfg.fidelity)
-    hist = Histogram("latency_us", LATENCY_BUCKETS)
+    hists = [Histogram("latency_us", LATENCY_BUCKETS)
+             for _ in range(max(1, cfg.tenants))]
     # clients only: servers serve reactively and never join the gate
     gate = StartGate(tb.sim, cfg.clients)
-    servers, clients = _build_actors(cfg, topo, tb, rate_rps, hist,
+    servers, clients = _build_actors(cfg, topo, tb, rate_rps, hists,
                                      lambda cid: gate)
 
     procs = [tb.spawn(s.body(), f"server-{i}") for i, s in enumerate(servers)]
@@ -191,12 +298,8 @@ def run_cluster_once(provider: str, cfg: ClusterConfig,
     providers = list(tb.providers.values())
     return _assemble_point(
         provider, cfg, rate_rps,
-        hist=hist,
-        completed=sum(c.stats["completed"] for c in clients),
-        failed=sum(c.stats["failed"] for c in clients),
-        served=sum(s.stats["served"] for s in servers),
-        finishes=[t for c in clients for t in c.finish_times],
-        sched=[t for c in clients for t in c.schedule],
+        tenants=_tenant_rollup(cfg, clients, hists),
+        server_stats=_server_rollup(servers),
         ports=_port_stats(tb),
         retransmissions=sum(p.engine.retransmissions for p in providers),
         recoveries=sum(p.recoveries for p in providers),
@@ -232,6 +335,18 @@ def find_knee(points: list[dict]) -> dict:
         if target and p["goodput_rps"] >= _KNEE_EFFICIENCY * target:
             knee = p["offered_rps"]
     return {"knee_rps": knee, "peak_goodput_rps": peak}
+
+
+def slo_knee(points: list[dict]) -> dict:
+    """SLO-capacity planning: the largest offered load at which *every*
+    tenant still meets its SLO verdict (p99 target + goodput floor) —
+    usually left of the raw saturation knee, because tail latency
+    degrades before aggregate goodput does."""
+    knee = 0.0
+    for p in sorted(points, key=lambda p: p["offered_rps"] or 0.0):
+        if p["offered_rps"] and p.get("slo_ok"):
+            knee = p["offered_rps"]
+    return {"slo_knee_rps": knee}
 
 
 def _point_worker(provider: str, cfg: ClusterConfig,
@@ -276,22 +391,49 @@ class ClusterReport:
             f"req {cfg['req_size']} B -> resp {cfg['resp_size']} B, "
             f"service {cfg['service']}",
         ]
+        overload = (cfg.get("retry", "off") != "off"
+                    or cfg.get("server_policy", "none") != "none")
+        tenants = cfg.get("tenants", 1)
         for prov in self.providers:
             curve = self.results[prov]
-            lines.append(
-                f"  {prov}: knee {curve['knee_rps']:.0f} rps, "
-                f"peak goodput {curve['peak_goodput_rps']:.0f} rps")
-            lines.append(
-                f"    {'offered':>9} {'goodput':>9} {'p50_us':>9} "
-                f"{'p99_us':>10} {'p999_us':>10} {'drops':>6} {'retx':>5}")
+            knee_line = (f"  {prov}: knee {curve['knee_rps']:.0f} rps, "
+                         f"peak goodput {curve['peak_goodput_rps']:.0f} rps")
+            if overload or tenants > 1:
+                knee_line += f", slo knee {curve['slo_knee_rps']:.0f} rps"
+            lines.append(knee_line)
+            header = (f"    {'offered':>9} {'goodput':>9} {'p50_us':>9} "
+                      f"{'p99_us':>10} {'p999_us':>10} {'drops':>6} "
+                      f"{'retx':>5}")
+            if overload:
+                header += f" {'retry':>6} {'shed':>6} {'ddl':>5}"
+            lines.append(header)
             for pt in curve["points"]:
                 offered = (f"{pt['offered_rps']:.0f}"
                            if pt["offered_rps"] else "closed")
-                lines.append(
+                line = (
                     f"    {offered:>9} {pt['goodput_rps']:>9.0f} "
                     f"{pt['p50_us']:>9.1f} {pt['p99_us']:>10.1f} "
                     f"{pt['p999_us']:>10.1f} {pt['port_drops']:>6} "
                     f"{pt['retransmissions']:>5}")
+                if overload:
+                    shed = pt["shed_queue"] + pt["shed_deadline"]
+                    line += (f" {pt['retried']:>6} {shed:>6} "
+                             f"{pt['deadline_exceeded']:>5}")
+                lines.append(line)
+                if tenants > 1:
+                    verdicts = []
+                    for t, tp in enumerate(pt["tenants"]):
+                        slo = tp["slo"]
+                        if slo["ok"]:
+                            verdicts.append(f"t{t} ok")
+                        else:
+                            why = []
+                            if not slo["p99_ok"]:
+                                why.append("p99")
+                            if not slo["goodput_ok"]:
+                                why.append("goodput")
+                            verdicts.append(f"t{t} FAIL({','.join(why)})")
+                    lines.append("      slo: " + ", ".join(verdicts))
         for prov in self.providers:
             for pt in self.results[prov]["points"]:
                 for v in pt["violations"]:
@@ -433,5 +575,6 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
         curve_pts = points[i * len(rates):(i + 1) * len(rates)]
         curve = {"points": curve_pts}
         curve.update(find_knee(curve_pts))
+        curve.update(slo_knee(curve_pts))
         report.results[prov] = curve
     return report

@@ -11,6 +11,15 @@ posts the response on the same VI.
 Service-time models are seeded callables so every run is deterministic;
 :func:`make_service` parses the CLI spec format (``fixed:20``,
 ``exp:50``, ``bytes:0.02``).
+
+With a :class:`~repro.cluster.policy.ServerPolicy` attached the server
+runs *admission control*: completions drain into a bounded pending
+queue, overflow (and, in ``deadline`` mode, dead-on-arrival work) is
+marked shed and answered with a static NAK payload instead of service.
+Marked entries keep their place in the queue and are NAK'd when they
+reach the head, so every VI still sees exactly one response per request
+*in request order* — the client's FIFO matching never skews.  A
+``max_conns`` cap rejects surplus dials outright.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ from typing import Callable
 from ..via.constants import CompletionStatus, Reliability, WaitMode
 from ..via.descriptor import Descriptor
 from ..via.errors import VipError, VipTimeout
+from .policy import (DEADLINE_HDR, DEFAULT_DEADLINE_US, NAK_BYTES,
+                     RESP_EXPIRED, RESP_SHED, ServerPolicy)
 
 __all__ = ["ClusterServer", "make_service"]
 
@@ -67,6 +78,11 @@ class ClusterServer:
     receives per VI, then dispatches from one shared recv CQ until it
     has served ``total_requests`` requests or the deadline passes —
     whichever comes first, so a partitioned client can never wedge it.
+
+    ``deadline_aware`` says clients prepend their absolute request
+    deadline (``DEADLINE_HDR`` bytes, big-endian us) to every payload;
+    ``policy`` switches the dispatch loop to the admission-controlled
+    variant.
     """
 
     def __init__(
@@ -84,7 +100,9 @@ class ClusterServer:
         reliability: Reliability = Reliability.RELIABLE_DELIVERY,
         wait_mode: WaitMode = WaitMode.BLOCK,
         seed: int = 0,
-        deadline_us: float = 30_000_000.0,
+        deadline_us: float | None = None,
+        policy: ServerPolicy | None = None,
+        deadline_aware: bool = False,
     ) -> None:
         self.tb = tb
         self.node = node
@@ -98,8 +116,13 @@ class ClusterServer:
         self.reliability = reliability
         self.wait_mode = wait_mode
         self.rng = random.Random(seed)
-        self.deadline_us = deadline_us
-        self.stats = {"accepted": 0, "served": 0, "errors": 0}
+        self.deadline_us = (DEFAULT_DEADLINE_US if deadline_us is None
+                            else deadline_us)
+        self.policy = policy
+        self.deadline_aware = deadline_aware
+        self.stats = {"accepted": 0, "served": 0, "errors": 0,
+                      "shed_queue": 0, "shed_deadline": 0, "naks_sent": 0,
+                      "conns_rejected": 0}
         #: absolute completion timestamps, for served-during-outage checks
         self.served_at: list[float] = []
 
@@ -125,6 +148,11 @@ class ClusterServer:
         self.stats["accepted"] += 1
         peers[(req.client_node, req.client_vi_id)] = vi
 
+    def _conn_cap(self) -> int:
+        if self.policy is not None and self.policy.max_conns is not None:
+            return min(self.n_clients, self.policy.max_conns)
+        return self.n_clients
+
     def body(self):
         tb = self.tb
         h = tb.open(self.node, "server")
@@ -136,14 +164,15 @@ class ClusterServer:
         resp_buf = h.alloc(resp_slot)
         resp_mh = yield from h.register_mem(resp_buf)
         deadline = tb.now + self.deadline_us
-        connmgr = tb.providers[self.node].connmgr
 
-        # fast path: accept until every distinct client endpoint has a
-        # binding (or the deadline says some never will)
+        # fast path: accept until every distinct client endpoint (up to
+        # the connection cap) has a binding, or the deadline says some
+        # never will
+        cap = self._conn_cap()
         slots_by_wq: dict = {}
         peers: dict = {}
         state = (recv_cq, send_cq, slot, slots_by_wq, peers)
-        while len(peers) < self.n_clients and tb.now < deadline:
+        while len(peers) < cap and tb.now < deadline:
             try:
                 req = yield from h.connect_wait(
                     self.discriminator, timeout=deadline - tb.now)
@@ -151,10 +180,28 @@ class ClusterServer:
                 break
             yield from self._accept_one(h, req, state)
 
-        # dispatch: the server never joins the start gate — it serves
-        # reactively, and keeps accepting parked redials between
-        # completions so a client whose earlier dial went stale while
-        # we were busy still gets connected (no accept, no traffic)
+        if self.policy is not None:
+            yield from self._dispatch_admission(h, state, resp_buf,
+                                                resp_mh, deadline)
+        else:
+            yield from self._dispatch(h, state, resp_buf, resp_mh, deadline)
+
+        # drain whatever send completions are still in flight
+        while True:
+            done = yield from h.cq_done(send_cq)
+            if done is None:
+                break
+
+    # -- legacy dispatch (no policy): byte-identical defaults ------------
+
+    def _dispatch(self, h, state, resp_buf, resp_mh, deadline):
+        # the server never joins the start gate — it serves reactively,
+        # and keeps accepting parked redials between completions so a
+        # client whose earlier dial went stale while we were busy still
+        # gets connected (no accept, no traffic)
+        tb = self.tb
+        recv_cq, send_cq, slot, slots_by_wq, peers = state
+        connmgr = tb.providers[self.node].connmgr
         while (self.stats["served"] < self.total_requests
                and tb.now < deadline):
             while connmgr.pending_count(self.discriminator):
@@ -194,8 +241,155 @@ class ClusterServer:
                 if done is None:
                     break
 
-        # drain whatever send completions are still in flight
+    # -- admission-controlled dispatch (policy attached) -----------------
+
+    def _admit(self, h, item, slots_by_wq, pending) -> int:
+        """Move one recv completion into the pending queue; returns how
+        many live (un-shed) entries that added."""
+        wq, desc = item
+        vi, buf, mh, slots = slots_by_wq[wq]
+        off = slots.popleft()
+        if desc.status is not CompletionStatus.SUCCESS:
+            self.stats["errors"] += 1
+            return 0
+        hdr = None
+        if self.deadline_aware:
+            hdr = int.from_bytes(h.read(buf, DEADLINE_HDR, offset=off),
+                                 "big")
+        # entry: [wq, desc, slot offset, deadline header, shed marker]
+        pending.append([wq, desc, off, hdr, None])
+        return 1
+
+    def _nak(self, h, entry, slots_by_wq, naks):
+        """Answer one shed entry with its static NAK payload and repost
+        the freed receive."""
+        wq, desc, off, hdr, shed = entry
+        vi, buf, mh, slots = slots_by_wq[wq]
+        slot = max(self.req_size, 8)
+        nak_buf, nak_mh = naks[shed]
+        try:
+            yield from h.post_send(vi, Descriptor.send(
+                [h.segment(nak_buf, nak_mh, 0, NAK_BYTES)]))
+            yield from h.post_recv(
+                vi, Descriptor.recv([h.segment(buf, mh, off, slot)]))
+            slots.append(off)
+        except VipError:
+            self.stats["errors"] += 1
+            return
+        self.stats["naks_sent"] += 1
+        key = "shed_deadline" if shed == "deadline" else "shed_queue"
+        self.stats[key] += 1
+
+    def _dispatch_admission(self, h, state, resp_buf, resp_mh, deadline):
+        tb = self.tb
+        recv_cq, send_cq, slot, slots_by_wq, peers = state
+        pol = self.policy
+        cap = self._conn_cap()
+        connmgr = tb.providers[self.node].connmgr
+        # static NAK payloads, written once: response sends gather their
+        # bytes at engine time, so per-response buffers must never change
+        naks = {}
+        for shed, marker in (("queue", RESP_SHED), ("deadline",
+                                                    RESP_EXPIRED)):
+            nbuf = h.alloc(NAK_BYTES)
+            nmh = yield from h.register_mem(nbuf)
+            h.write(nbuf, bytes([marker]))
+            naks[shed] = (nbuf, nmh)
+        pending: deque = deque()
+        live = 0
+        deadline_shed = self.deadline_aware and pol.shed_mode == "deadline"
+
+        def clients_done() -> bool:
+            # a retrying client can be re-served the same request, so a
+            # served-count exit would fire early and strand the rest of
+            # its schedule.  The only trustworthy end-of-traffic signal
+            # is teardown: every expected endpoint connected and has
+            # since disconnected.  Clients that keep failures never
+            # disconnect, so an overloaded cell serves to its deadline.
+            return (len(peers) >= cap
+                    and all(not vi.is_connected for vi in peers.values()))
+
+        while not clients_done() and tb.now < deadline:
+            while connmgr.pending_count(self.discriminator):
+                req = yield from h.connect_wait(self.discriminator,
+                                                timeout=0.0)
+                known = (req.client_node, req.client_vi_id) in peers
+                if not known and len(peers) >= cap:
+                    yield from h.reject(req)
+                    self.stats["conns_rejected"] += 1
+                else:
+                    yield from self._accept_one(h, req, state)
+            if not pending:
+                budget = min(_IDLE_POLL_US, deadline - tb.now)
+                try:
+                    item = yield from h.cq_wait(
+                        recv_cq, mode=self.wait_mode, timeout=budget)
+                except VipTimeout:
+                    continue
+                live += self._admit(h, item, slots_by_wq, pending)
+            while True:  # drain the whole CQ into the pending queue
+                item = yield from h.cq_done(recv_cq)
+                if item is None:
+                    break
+                live += self._admit(h, item, slots_by_wq, pending)
+            # shed: deadline mode first marks dead-on-arrival work
+            # anywhere in the queue, then both modes mark overflow from
+            # the tail.  Marked entries stay queued and are NAK'd when
+            # they reach the head, preserving per-VI response order.
+            if deadline_shed:
+                for e in pending:
+                    if e[4] is None and e[3] is not None and tb.now >= e[3]:
+                        e[4] = "deadline"
+                        live -= 1
+            if pol.queue_depth is not None and live > pol.queue_depth:
+                for e in reversed(pending):
+                    if live <= pol.queue_depth:
+                        break
+                    if e[4] is None:
+                        e[4] = "queue"
+                        live -= 1
+            if not pending:
+                continue
+            e = pending.popleft()
+            if e[4] is None:
+                live -= 1
+                # head may have died between admission and service
+                if deadline_shed and e[3] is not None and tb.now >= e[3]:
+                    e[4] = "deadline"
+            if e[4] is not None:
+                yield from self._nak(h, e, slots_by_wq, naks)
+            else:
+                wq, desc, off, hdr, _shed = e
+                vi, buf, mh, slots = slots_by_wq[wq]
+                service_us = self.service(self.rng, desc.control.length)
+                if service_us > 0.0:
+                    yield from h.actor.busy(service_us, "user")
+                try:
+                    yield from h.post_send(vi, Descriptor.send([h.segment(
+                        resp_buf, resp_mh, 0, self.resp_size)]))
+                    yield from h.post_recv(vi, Descriptor.recv(
+                        [h.segment(buf, mh, off, slot)]))
+                    slots.append(off)
+                except VipError:
+                    self.stats["errors"] += 1
+                    continue
+                self.stats["served"] += 1
+                self.served_at.append(tb.now)
+            while True:  # reap acked responses without blocking
+                done = yield from h.cq_done(send_cq)
+                if done is None:
+                    break
+
+        # flush: NAK everything still queued or sitting in the CQ, so a
+        # client draining a late attempt gets its answer instead of
+        # waiting out its full deadline on a request nobody will serve
         while True:
-            done = yield from h.cq_done(send_cq)
-            if done is None:
+            item = yield from h.cq_done(recv_cq)
+            if item is None:
                 break
+            live += self._admit(h, item, slots_by_wq, pending)
+        while pending:
+            e = pending.popleft()
+            if e[4] is None:
+                e[4] = "queue"
+            yield from self._nak(h, e, slots_by_wq, naks)

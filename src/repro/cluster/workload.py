@@ -13,16 +13,29 @@ standard open-loop correction for coordinated omission.
 A *closed-loop* client (``interval_us=None``) issues one request at a
 time with optional think time: offered load adapts to service speed,
 which is what capacity calibration and the chaos cells want.
+
+With a :class:`~repro.cluster.policy.RetryPolicy` attached the client
+runs the *overload engine* instead: every request carries its absolute
+deadline in the payload header, NAK'd (shed) and erred attempts are
+retried with capped exponential backoff from the client's own seeded
+stream, attempts that outlive their per-attempt hedge are abandoned in
+place (their late response is discarded, never mis-matched), and each
+request resolves exactly once as ``completed``, ``abandoned`` (retry
+budget exhausted) or ``deadline_exceeded``.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
+from collections import deque
 
 from ..sim import Signal
 from ..via.constants import CompletionStatus, Reliability, WaitMode
 from ..via.descriptor import Descriptor
 from ..via.errors import VipConnectionError, VipError, VipTimeout
+from .policy import (DEADLINE_HDR, DEFAULT_DEADLINE_US, RESP_EXPIRED,
+                     RESP_OK, RESP_SHED, RetryPolicy)
 
 __all__ = ["ClusterClient", "StartGate", "arrival_offsets",
            "LATENCY_BUCKETS"]
@@ -33,6 +46,9 @@ __all__ = ["ClusterClient", "StartGate", "arrival_offsets",
 LATENCY_BUCKETS = tuple(1.0 * 1.5 ** i for i in range(43))
 
 ARRIVALS = ("poisson", "uniform", "burst")
+
+_U64_MAX = (1 << 64) - 1
+_INF = float("inf")
 
 
 def arrival_offsets(kind: str, n: int, interval_us: float,
@@ -100,6 +116,35 @@ class StartGate:
             self._signal.fire()
 
 
+class _Request:
+    """One logical request: survives across attempts until resolved."""
+
+    __slots__ = ("sched", "deadline", "attempts")
+
+    def __init__(self, sched: float, deadline: float) -> None:
+        self.sched = sched
+        self.deadline = deadline
+        self.attempts = 0
+
+
+class _Attempt:
+    """One wire attempt of a request, FIFO-matched to its response.
+
+    A *zombie* attempt's request has already been resolved or requeued
+    (it timed out at the head of the line); its response still arrives
+    in FIFO position and must be consumed and discarded, or every later
+    response would be matched one slot off.
+    """
+
+    __slots__ = ("rec", "slot", "issued_at", "zombie")
+
+    def __init__(self, rec: _Request, slot: int, issued_at: float) -> None:
+        self.rec = rec
+        self.slot = slot
+        self.issued_at = issued_at
+        self.zombie = False
+
+
 class ClusterClient:
     """One request/response traffic source (spawn :meth:`body`)."""
 
@@ -123,8 +168,11 @@ class ClusterClient:
         wait_mode: WaitMode = WaitMode.BLOCK,
         seed: int = 0,
         hist=None,
-        deadline_us: float = 30_000_000.0,
+        deadline_us: float | None = None,
         gate: StartGate | None = None,
+        retry: RetryPolicy | None = None,
+        tenant: int = 0,
+        offsets: list[float] | None = None,
     ) -> None:
         self.tb = tb
         self.node = node
@@ -143,10 +191,30 @@ class ClusterClient:
         self.wait_mode = wait_mode
         self.rng = random.Random(seed)
         self.hist = hist
-        self.deadline_us = deadline_us
+        # single source of truth for the default lives on ClusterConfig /
+        # policy.DEFAULT_DEADLINE_US; None means "take the default"
+        self.deadline_us = (DEFAULT_DEADLINE_US if deadline_us is None
+                            else deadline_us)
         self.gate = gate
+        self.retry = retry
+        self.tenant = tenant
+        #: pre-gate arrival offsets overriding the drawn schedule (the
+        #: overload chaos cells craft multi-phase spikes with this)
+        self.offsets = offsets
+        if offsets is not None and len(offsets) != n_requests:
+            raise ValueError(f"offsets carries {len(offsets)} arrivals "
+                             f"for {n_requests} requests")
+        if retry is not None and req_size < DEADLINE_HDR:
+            raise ValueError(
+                f"retry needs req_size >= {DEADLINE_HDR} bytes for the "
+                f"deadline header (got {req_size})")
+        # backoff jitter draws from its own derived stream so enabling
+        # retries never perturbs the arrival schedule draws
+        self.retry_rng = random.Random((seed ^ 0x5DEECE66D) & _U64_MAX)
         self.stats = {"sent": 0, "completed": 0, "failed": 0,
-                      "connected": False, "done_at": 0.0}
+                      "connected": False, "done_at": 0.0,
+                      "retried": 0, "abandoned": 0, "deadline_exceeded": 0,
+                      "shed_naks": 0, "redials": 0}
         #: absolute completion timestamps (for served-during-outage checks)
         self.finish_times: list[float] = []
         #: absolute scheduled arrival instants (open loop only) — the
@@ -166,12 +234,25 @@ class ClusterClient:
             if done is None:
                 break
 
+    def _offsets(self) -> list[float]:
+        if self.offsets is not None:
+            return list(self.offsets)
+        return arrival_offsets(self.arrival, self.n_requests,
+                               self.interval_us, self.rng, self.burst)
+
     def body(self):
         tb = self.tb
         h = tb.open(self.node, f"cli{self.cid}")
         vi = yield from h.create_vi(self.reliability)
         resp_slot = max(self.resp_size, 8)
-        buf = h.alloc(self.window * resp_slot + max(self.req_size, 8))
+        req_slot = max(self.req_size, 8)
+        if self.retry is not None:
+            # one request region per window slot: an attempt's payload
+            # (its deadline header) must stay untouched until the send
+            # engine gathers it, so in-flight attempts can never share
+            buf = h.alloc(self.window * resp_slot + self.window * req_slot)
+        else:
+            buf = h.alloc(self.window * resp_slot + req_slot)
         mh = yield from h.register_mem(buf)
         req_off = self.window * resp_slot
         deadline = tb.now + self.deadline_us
@@ -181,31 +262,21 @@ class ClusterClient:
             yield from h.post_recv(vi, Descriptor.recv(
                 [h.segment(buf, mh, w * resp_slot, resp_slot)]))
             posted += 1
-        slots = list(range(self.window))
+        slots = deque(range(self.window))
 
-        while True:  # dial until accepted; handshake loss redials
-            try:
-                yield from h.connect(vi, self.server, self.discriminator,
-                                     timeout=deadline - tb.now)
-                break
-            except VipTimeout:
-                self.stats["failed"] = self.n_requests
-                if self.gate is not None:
-                    self.gate.abandon()
-                return
-            except VipConnectionError:
-                if tb.now >= deadline:
-                    self.stats["failed"] = self.n_requests
-                    if self.gate is not None:
-                        self.gate.abandon()
-                    return
+        if not (yield from self._dial(h, vi, deadline)):
+            return
         self.stats["connected"] = True
 
         if self.gate is not None:
             yield from self.gate.arrive()
 
         try:
-            if self.interval_us is None:
+            if self.retry is not None:
+                yield from self._run_retry(h, vi, buf, mh, req_off,
+                                           req_slot, resp_slot, slots,
+                                           deadline)
+            elif self.interval_us is None:
                 yield from self._run_closed(h, vi, buf, mh, req_off,
                                             resp_slot, slots, deadline)
             else:
@@ -219,8 +290,46 @@ class ClusterClient:
         if self.stats["failed"] == 0 and vi.is_connected:
             yield from h.disconnect(vi)
 
+    def _dial(self, h, vi, deadline):
+        """Dial until accepted; returns False when this client gives up.
+
+        Without a retry policy a handshake loss redials immediately
+        (the provider's own conn-retransmission backoff paces it); with
+        one, a rejection or exhausted handshake backs off from the
+        retry stream and gives up once the budget is spent — a server
+        at its connection cap sees dials taper instead of a storm.
+        """
+        tb = self.tb
+        redials = 0
+        while True:
+            try:
+                yield from h.connect(vi, self.server, self.discriminator,
+                                     timeout=deadline - tb.now)
+                return True
+            except VipTimeout:
+                break
+            except VipConnectionError:
+                if tb.now >= deadline:
+                    break
+                if self.retry is None:
+                    continue
+                self.stats["redials"] += 1
+                redials += 1
+                if redials > self.retry.max_retries:
+                    break
+                wait = min(self.retry.backoff_us(redials - 1, self.retry_rng),
+                           deadline - tb.now)
+                if wait > 0:
+                    yield tb.sim.timeout(wait)
+        self.stats["failed"] = self.n_requests
+        if self.gate is not None:
+            self.gate.abandon()
+        return False
+
     def _req_desc(self, h, buf, mh, req_off):
         return Descriptor.send([h.segment(buf, mh, req_off, self.req_size)])
+
+    # -- legacy paths (no retry policy): byte-identical defaults ---------
 
     def _consume(self, h, vi, buf, mh, resp_slot, slots, issue_time,
                  deadline):
@@ -230,7 +339,7 @@ class ClusterClient:
             raise VipTimeout("client deadline exceeded")
         desc = yield from h.recv_wait(vi, mode=self.wait_mode,
                                       timeout=budget)
-        s = slots.pop(0)
+        s = slots.popleft()
         if desc.status is CompletionStatus.SUCCESS:
             self._record(self.tb.now - issue_time)
         else:
@@ -261,9 +370,7 @@ class ClusterClient:
                   deadline):
         tb = self.tb
         t0 = self.gate.t0 if self.gate is not None else tb.now
-        issue_at = [t0 + off for off in arrival_offsets(
-            self.arrival, self.n_requests, self.interval_us, self.rng,
-            self.burst)]
+        issue_at = [t0 + off for off in self._offsets()]
         self.schedule = issue_at
         sent = recvd = 0
         while recvd < self.n_requests and tb.now < deadline:
@@ -285,7 +392,7 @@ class ClusterClient:
                                                   timeout=budget)
                 except VipTimeout:
                     continue
-                s = slots.pop(0)
+                s = slots.popleft()
                 if desc.status is CompletionStatus.SUCCESS:
                     self._record(tb.now - issue_at[recvd])
                 else:
@@ -302,3 +409,205 @@ class ClusterClient:
                 except VipTimeout:
                     break
                 recvd += 1
+
+    # -- the overload engine (retry policy attached) ---------------------
+
+    def _run_retry(self, h, vi, buf, mh, req_off, req_slot, resp_slot,
+                   recv_slots, deadline):
+        """Open- or closed-loop issue loop with retries and deadlines.
+
+        Requests live in three places: un-issued (the schedule), backing
+        off (``retryq``, a deterministic (ready, order) heap) and in
+        flight (``inflight``, FIFO by response order).  Per-VI reliable
+        delivery keeps responses in attempt order, so FIFO matching
+        stays exact even with zombies — a hedged-out attempt's late
+        response is consumed in position and discarded.
+        """
+        tb = self.tb
+        policy = self.retry
+        closed = self.interval_us is None
+        n = self.n_requests
+        if closed:
+            issue_at: list[float] = []
+        else:
+            t0 = self.gate.t0 if self.gate is not None else tb.now
+            issue_at = [t0 + off for off in self._offsets()]
+            self.schedule = issue_at
+        # per-attempt hedge: split the request deadline evenly over the
+        # attempt budget so a stuck attempt leaves room to retry
+        hedge_us = policy.timeout_us / (policy.max_retries + 1)
+        inflight: deque[_Attempt] = deque()
+        free_slots = deque(range(self.window))
+        retryq: list = []
+        order = 0
+        resolved = 0
+        live = 0          # issued-but-unresolved requests (closed gating)
+        next_new = 0
+        closed_ready = tb.now
+        stats = self.stats
+
+        def _resolve(rec, outcome, latency=None):
+            nonlocal resolved, live, closed_ready
+            resolved += 1
+            live -= 1
+            closed_ready = tb.now + self.think_us
+            if outcome is None:
+                self._record(latency)
+            else:
+                stats[outcome] += 1
+
+        def _retry_or_fail(rec):
+            nonlocal order
+            if tb.now >= rec.deadline:
+                _resolve(rec, "deadline_exceeded")
+            elif rec.attempts > policy.max_retries:
+                _resolve(rec, "abandoned")
+            else:
+                stats["retried"] += 1
+                ready = tb.now + policy.backoff_us(rec.attempts - 1,
+                                                   self.retry_rng)
+                heapq.heappush(retryq, (ready, order, rec))
+                order += 1
+
+        def _next_new():
+            if next_new >= n:
+                return _INF
+            if closed:
+                return closed_ready if live == 0 else _INF
+            return issue_at[next_new]
+
+        while resolved < n and tb.now < deadline:
+            # expire or hedge every overdue in-flight attempt — not just
+            # the head: an attempt stuck behind a zombie head (whose
+            # response may never come) must still resolve by deadline
+            for att in inflight:
+                if att.zombie:
+                    continue
+                if tb.now >= att.rec.deadline:
+                    att.zombie = True
+                    _resolve(att.rec, "deadline_exceeded")
+                elif (tb.now >= att.issued_at + hedge_us
+                      and att.rec.attempts <= policy.max_retries):
+                    att.zombie = True
+                    _retry_or_fail(att.rec)
+            # a request can die while it waits for a window slot — backed
+            # off in the retry queue, or scheduled but never issued.  Expire
+            # those here, not in the issue loop, so a window wedged full of
+            # zombie attempts (their responses lost with a dead server)
+            # still resolves every request by its deadline
+            if retryq and any(it[2].deadline <= tb.now for it in retryq):
+                alive = []
+                for item in retryq:
+                    if item[2].deadline <= tb.now:
+                        _resolve(item[2], "deadline_exceeded")
+                    else:
+                        alive.append(item)
+                retryq[:] = alive
+                heapq.heapify(retryq)
+            while (not closed and next_new < n
+                   and issue_at[next_new] + policy.timeout_us <= tb.now):
+                rec = _Request(issue_at[next_new],
+                               issue_at[next_new] + policy.timeout_us)
+                next_new += 1
+                live += 1
+                _resolve(rec, "deadline_exceeded")
+            # issue everything due while the window has room
+            while len(inflight) < self.window:
+                t_retry = retryq[0][0] if retryq else _INF
+                t_new = _next_new()
+                if min(t_retry, t_new) > tb.now:
+                    break
+                if t_retry <= t_new:
+                    _, _, rec = heapq.heappop(retryq)
+                else:
+                    sched = tb.now if closed else issue_at[next_new]
+                    rec = _Request(sched, sched + policy.timeout_us)
+                    next_new += 1
+                    live += 1
+                if tb.now >= rec.deadline:  # dead before it could be sent
+                    _resolve(rec, "deadline_exceeded")
+                    continue
+                slot = free_slots.popleft()
+                hdr = min(int(rec.deadline), _U64_MAX)
+                h.write(buf, hdr.to_bytes(DEADLINE_HDR, "big"),
+                        offset=req_off + slot * req_slot)
+                yield from h.post_send(vi, Descriptor.send([h.segment(
+                    buf, mh, req_off + slot * req_slot, self.req_size)]))
+                rec.attempts += 1
+                stats["sent"] += 1
+                inflight.append(_Attempt(rec, slot, tb.now))
+                yield from self._drain_sends(h, vi)
+            if resolved >= n:
+                break
+            # wait for a response, the next due source, or the earliest
+            # attempt hedge/deadline — whichever comes first
+            t_src = _INF
+            if len(inflight) < self.window:
+                t_src = min(retryq[0][0] if retryq else _INF, _next_new())
+            head_ev = _INF
+            for att in inflight:
+                if att.zombie:
+                    continue
+                ev = att.rec.deadline
+                if att.rec.attempts <= policy.max_retries:
+                    ev = min(ev, att.issued_at + hedge_us)
+                head_ev = min(head_ev, ev)
+            # deadlines of requests parked outside the window, so the
+            # expiry sweep above always runs in time
+            t_die = min((it[2].deadline for it in retryq), default=_INF)
+            if not closed and next_new < n:
+                t_die = min(t_die, issue_at[next_new] + policy.timeout_us)
+            wake = min(t_src, head_ev, t_die, deadline)
+            if not inflight:
+                if wake == _INF:
+                    break  # nothing in flight and nothing scheduled
+                if wake > tb.now:
+                    yield tb.sim.timeout(wake - tb.now)
+                continue
+            budget = wake - tb.now
+            if budget <= 0:
+                continue  # something is due right now; re-run the loop
+            try:
+                desc = yield from h.recv_wait(vi, mode=self.wait_mode,
+                                              timeout=budget)
+            except VipTimeout:
+                continue
+            att = inflight.popleft()
+            s = recv_slots.popleft()
+            marker = RESP_OK
+            if desc.status is CompletionStatus.SUCCESS:
+                marker = h.read(buf, 1, offset=s * resp_slot)[0]
+            yield from h.post_recv(vi, Descriptor.recv(
+                [h.segment(buf, mh, s * resp_slot, resp_slot)]))
+            recv_slots.append(s)
+            free_slots.append(att.slot)
+            if att.zombie:
+                continue  # already resolved or requeued; discard
+            rec = att.rec
+            if desc.status is not CompletionStatus.SUCCESS:
+                _retry_or_fail(rec)
+            elif marker == RESP_SHED:
+                stats["shed_naks"] += 1
+                _retry_or_fail(rec)
+            elif marker == RESP_EXPIRED:
+                _resolve(rec, "deadline_exceeded")
+            elif tb.now > rec.deadline:
+                _resolve(rec, "deadline_exceeded")
+            else:
+                _resolve(rec, None, tb.now - rec.sched)
+
+        # consume outstanding zombie responses so a fully-successful
+        # client can disconnect cleanly (the server NAK-flushes its
+        # queue on exit, so these arrive promptly or not at all)
+        while (inflight and stats["completed"] == n and tb.now < deadline):
+            try:
+                yield from h.recv_wait(vi, mode=self.wait_mode,
+                                       timeout=deadline - tb.now)
+            except VipTimeout:
+                break
+            att = inflight.popleft()
+            s = recv_slots.popleft()
+            yield from h.post_recv(vi, Descriptor.recv(
+                [h.segment(buf, mh, s * resp_slot, resp_slot)]))
+            recv_slots.append(s)
+            free_slots.append(att.slot)

@@ -371,6 +371,10 @@ def run_scenario(provider: str, sc: ChaosScenario, seed: int = 0,
         from .cluster_cell import run_cluster_scenario
 
         return run_cluster_scenario(provider, sc, seed=seed, quick=quick)
+    if sc.workload == "overload":
+        from .overload_cell import run_overload_scenario
+
+        return run_overload_scenario(provider, sc, seed=seed, quick=quick)
     from .scenarios import _BY_NAME
 
     if _BY_NAME.get(sc.name) == sc:
@@ -423,10 +427,10 @@ def rewind_scenario(provider: str, sc: ChaosScenario, seed: int = 0,
     and the rewound run restored from the checkpoint.  Their verdicts
     must agree (``matches_cold``); tracing is observation-only.
     """
-    if sc.workload == "cluster":
+    if sc.workload != "stream":
         raise ValueError(
-            f"scenario {sc.name!r} runs a cluster workload; --rewind "
-            "supports two-node scenarios only")
+            f"scenario {sc.name!r} runs a {sc.workload} workload; "
+            "--rewind supports two-node stream scenarios only")
     params = _cell_params(provider, sc, seed, quick)
     # discovery: run cold to completion, learn when the plan armed
     probe = build_session("chaos", params)

@@ -41,7 +41,9 @@ class ChaosScenario:
     #: only promise invariant-clean loss
     expect_delivery: bool = True
     #: "stream" = the classic two-node windowed stream;
-    #: "cluster" = an N-client serving cluster (repro.faults.cluster_cell)
+    #: "cluster" = an N-client serving cluster (repro.faults.cluster_cell);
+    #: "overload" = a cluster under retry/admission policies driven past
+    #: saturation (repro.faults.overload_cell)
     workload: str = "stream"
 
     def plan(self, seed: int) -> FaultPlan:
@@ -137,6 +139,34 @@ SCENARIOS: tuple[ChaosScenario, ...] = (
         faults=(FaultSpec(kind="link_down", target="c1.up",
                           at=400.0, duration=2500.0),),
         workload="cluster",
+    ),
+    ChaosScenario(
+        name="retry_storm",
+        description="10x arrival spike on a bounded-queue server; "
+                    "post-spike goodput must recover to >=90% of "
+                    "pre-spike (no metastable retry storm)",
+        faults=(),
+        expect_delivery=False,
+        workload="overload",
+    ),
+    ChaosScenario(
+        name="slow_server_shed",
+        description="server CPU frozen 3 ms mid-run; the bounded queue "
+                    "sheds, NAK'd clients back off, nobody hangs",
+        # gate-relative, like many_clients; "s0" is the star's server
+        faults=(FaultSpec(kind="cpu_stall", target="s0",
+                          at=400.0, duration=3000.0),),
+        expect_delivery=False,
+        workload="overload",
+    ),
+    ChaosScenario(
+        name="partition_retry",
+        description="one client's uplink dark 2.5 ms with one tenant "
+                    "per client; every spared tenant keeps its SLO",
+        faults=(FaultSpec(kind="link_down", target="c1.up",
+                          at=400.0, duration=2500.0),),
+        expect_delivery=False,
+        workload="overload",
     ),
     ChaosScenario(
         name="unreliable_loss",

@@ -180,6 +180,8 @@ def _harvest_via(registry: MetricsRegistry, node: str, provider) -> None:
         registry.inc(f"{prefix}.vi_errors", provider.vi_errors)
     if provider.recoveries:
         registry.inc(f"{prefix}.recoveries", provider.recoveries)
+    if provider.conn_rejects:
+        registry.inc(f"{prefix}.conn_rejects", provider.conn_rejects)
     posted = {"send": 0, "recv": 0}
     completed = {"send": 0, "recv": 0}
     for vi in provider.vis.values():

@@ -117,6 +117,8 @@ class SimulatedProvider(ViaProvider):
         self.vi_errors = 0
         #: successful vi_reset recoveries
         self.recoveries = 0
+        #: dial attempts this side rejected (admission control)
+        self.conn_rejects = 0
         #: asynchronous errors recorded (VipErrorCallback analog)
         self.async_errors: list[AsyncError] = []
         self._error_callbacks: list = []
@@ -343,6 +345,7 @@ class SimulatedProvider(ViaProvider):
         return vi
 
     def connect_reject(self, handle, request: ConnRequest) -> Op:
+        self.conn_rejects += 1
         rej = _ConnRejPayload(request.conn_id, "rejected by peer")
         self._conn_replies[request.conn_id] = rej
         yield from self._control_tx(request.client_node, rej)

@@ -68,8 +68,23 @@ def run_cluster_once_sharded(provider: str, cfg, rate_rps: float | None = None,
         for host in hosts:
             host.close()
 
-    hist = fold_latency_tapes([r["tape"] for r in results],
-                              "latency_us", LATENCY_BUCKETS)
+    # fold each tenant's latency tapes across shards into one finished
+    # histogram, and sum the rest of its aggregates — the same shape
+    # _tenant_rollup builds from a single-heap run
+    n_tenants = len(results[0]["tenants"])
+    count_keys = ("completed", "failed", "retried", "abandoned",
+                  "deadline_exceeded", "shed_naks", "expected")
+    tenants = []
+    for t in range(n_tenants):
+        parts = [r["tenants"][t] for r in results]
+        ten = {k: sum(p[k] for p in parts) for k in count_keys}
+        ten["finishes"] = [x for p in parts for x in p["finishes"]]
+        ten["sched"] = [x for p in parts for x in p["sched"]]
+        ten["hist"] = fold_latency_tapes([p["tape"] for p in parts],
+                                         "latency_us", LATENCY_BUCKETS)
+        tenants.append(ten)
+    server_stats = {k: sum(r["server_stats"][k] for r in results)
+                    for k in results[0]["server_stats"]}
     merged = merge_registries([r["registry"] for r in results])
     ports = {"drops": 0, "contended": 0, "backpressured": 0}
     for r in results:
@@ -77,12 +92,8 @@ def run_cluster_once_sharded(provider: str, cfg, rate_rps: float | None = None,
             ports[key] += r["ports"][key]
     point = _assemble_point(
         provider, cfg, rate_rps,
-        hist=hist,
-        completed=sum(r["completed"] for r in results),
-        failed=sum(r["failed"] for r in results),
-        served=sum(r["served"] for r in results),
-        finishes=[t for r in results for t in r["finishes"]],
-        sched=[t for r in results for t in r["sched"]],
+        tenants=tenants,
+        server_stats=server_stats,
         ports=ports,
         retransmissions=sum(r["retransmissions"] for r in results),
         recoveries=sum(r["recoveries"] for r in results),

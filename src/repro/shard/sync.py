@@ -72,9 +72,11 @@ class ShardHost:
             injector.arm()
         self.boundary = ShardBoundary(tb, plan, index)
         self.gate = ShardGate(tb.sim)
-        self.hist = LatencyTape(tb.sim)
+        self.cfg = cfg
+        self.tapes = [LatencyTape(tb.sim)
+                      for _ in range(max(1, cfg.tenants))]
         self.servers, self.clients = _build_actors(
-            cfg, topo, tb, rate_rps, self.hist, self.gate.view)
+            cfg, topo, tb, rate_rps, self.tapes, self.gate.view)
         owned = self.boundary.owned
         for i, server in enumerate(self.servers):
             if server.node in owned:
@@ -124,13 +126,28 @@ class ShardHost:
         registry = MetricsRegistry()
         harvest_shard_into(registry, self.tb, owned, self.index, counters)
         providers = list(self.tb.providers.values())
+        tenants = []
+        for t in range(max(1, self.cfg.tenants)):
+            tcl = [c for c in clients if c.tenant == t]
+            tenants.append({
+                "completed": sum(c.stats["completed"] for c in tcl),
+                "failed": sum(c.stats["failed"] for c in tcl),
+                "retried": sum(c.stats["retried"] for c in tcl),
+                "abandoned": sum(c.stats["abandoned"] for c in tcl),
+                "deadline_exceeded": sum(c.stats["deadline_exceeded"]
+                                         for c in tcl),
+                "shed_naks": sum(c.stats["shed_naks"] for c in tcl),
+                "expected": sum(c.n_requests for c in tcl),
+                "finishes": [x for c in tcl for x in c.finish_times],
+                "sched": [x for c in tcl for x in c.schedule],
+                "tape": self.tapes[t].records,
+            })
+        server_keys = ("served", "errors", "shed_queue", "shed_deadline",
+                       "naks_sent", "conns_rejected")
         return {
-            "completed": sum(c.stats["completed"] for c in clients),
-            "failed": sum(c.stats["failed"] for c in clients),
-            "served": sum(s.stats["served"] for s in servers),
-            "finishes": [t for c in clients for t in c.finish_times],
-            "sched": [t for c in clients for t in c.schedule],
-            "tape": self.hist.records,
+            "tenants": tenants,
+            "server_stats": {k: sum(s.stats[k] for s in servers)
+                             for k in server_keys},
             "ports": _port_stats(self.tb),
             "retransmissions": sum(p.engine.retransmissions
                                    for p in providers),

@@ -38,8 +38,10 @@ __all__ = [
 ]
 
 MAGIC = b"VIBESNAP"
-#: bump on any change to the framing or the payload encodings
-FORMAT_VERSION = 1
+#: bump on any change to the framing or the payload encodings —
+#: including new fields in the pickled state tier (v2: providers carry
+#: an admission-control ``conn_rejects`` counter)
+FORMAT_VERSION = 2
 #: stamped into every header; a restore across package versions refuses
 CODE_VERSION = f"repro-{__version__}/snap-{FORMAT_VERSION}"
 

@@ -48,3 +48,29 @@ def test_chaos_cluster_cell_is_deterministic():
     a = run_scenario("clan", sc, seed=3, quick=True)
     b = run_scenario("clan", sc, seed=3, quick=True)
     assert a.to_dict() == b.to_dict()
+
+
+def test_default_path_matches_pre_policy_golden():
+    """The overload layer must not move a byte of the default path.
+
+    ``tests/fixtures/golden_cluster_point.json`` was recorded before the
+    retry/admission policies existed; with ``retry="off"`` and
+    ``server_policy="none"`` (the defaults) every pre-existing key of
+    the point must still match it exactly.
+    """
+    import json
+    from pathlib import Path
+
+    golden = json.loads((Path(__file__).parent / "fixtures"
+                         / "golden_cluster_point.json").read_text())
+    points = {
+        "mvia_open_8k": run_cluster_once("mvia", CFG, 8_000.0),
+        "clan_closed": run_cluster_once(
+            "clan", ClusterConfig(nodes=4, clients=4, requests=4,
+                                  window=2, mode="closed"), None),
+    }
+    for cell, want in golden.items():
+        got = points[cell]
+        mismatched = {k: (want[k], got.get(k))
+                      for k in want if got.get(k) != want[k]}
+        assert not mismatched, mismatched
