@@ -144,6 +144,12 @@ def cmd_run(args) -> None:
             print()
     else:
         print(result.table())
+    if args.json_out:
+        from .vibe.metrics import results_to_json
+
+        with open(args.json_out, "w") as fh:
+            fh.write(results_to_json(result))
+        print(f"results written to {args.json_out}")
 
 
 def cmd_list(_args) -> None:
@@ -395,6 +401,268 @@ def cmd_compare(args) -> None:
     print(repo.compare(args.benchmark, args.metric, args.platforms))
 
 
+def cmd_serve(args) -> None:
+    """Run the experiment service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from .serve import ExperimentService
+
+    svc = ExperimentService(host=args.host, port=args.port,
+                            workers=args.workers,
+                            cache_dir=args.cache_dir,
+                            queue_capacity=args.queue_capacity,
+                            quick_quiesce=args.quick_quiesce)
+    svc.start()
+    stop = threading.Event()
+
+    def _signalled(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _signalled)
+    signal.signal(signal.SIGINT, _signalled)
+    print(f"vibe serve: listening on {svc.url} "
+          f"({svc.workers} warm workers, cache in {svc.cache_dir})",
+          flush=True)
+    while not stop.is_set():
+        stop.wait(0.5)
+    mode = "quick-quiesce" if svc.quick_quiesce else "drain"
+    print(f"vibe serve: shutting down ({mode})", flush=True)
+    svc.stop()
+    print("vibe serve: stopped", flush=True)
+
+
+def _submit_spec(args) -> dict:
+    """The experiment spec a ``vibe submit`` invocation describes."""
+    if args.spec_kind == "run":
+        params = {"benchmark": args.benchmark, "provider": args.provider,
+                  "fidelity": args.fidelity}
+        if args.sizes:
+            params["sizes"] = _sizes(args.sizes)
+    elif args.spec_kind == "cluster":
+        params = _cluster_spec_params(args)
+    else:
+        params = {"quick": args.quick}
+        scenarios = _chaos_scenarios(args)
+        if scenarios:
+            params["scenarios"] = list(scenarios)
+        if args.provider != "all":
+            params["providers"] = args.provider.split(",")
+    return {"kind": args.spec_kind, "params": params, "seed": args.seed}
+
+
+def _event_line(event: dict) -> str:
+    kind = event["event"]
+    if kind in ("queued", "queue"):
+        return f"queue position {event['position']}"
+    if kind == "plan":
+        return (f"plan: {event['cells']} cells "
+                f"({event['cached_cells']} cached)")
+    if kind == "cell":
+        src = "cache" if event.get("cache_hit") else "sim"
+        label = ""
+        if event.get("provider"):
+            rate = event.get("rate")
+            label = f" {event['provider']}@" + \
+                (f"{rate:g}rps" if rate is not None else "closed")
+        m = event.get("metrics") or {}
+        stats = ""
+        if m.get("goodput_rps") is not None:
+            stats = (f" goodput={m['goodput_rps']:.0f}rps"
+                     f" p99={m['p99_us']:.0f}us")
+        return (f"cell {event['done']}/{event['total']}"
+                f"{label} [{src}]{stats}")
+    if kind == "done":
+        return "done" + (" (cache hit)" if event.get("cache_hit") else "")
+    if kind == "failed":
+        return f"failed: {event.get('error')}"
+    if kind == "cancelled":
+        return f"cancelled ({event.get('where')})"
+    return kind
+
+
+def cmd_submit(args) -> None:
+    from .serve.client import ServiceClient, ServiceError
+
+    spec = _submit_spec(args)
+    client = ServiceClient(args.server, client=args.client)
+    try:
+        job = client.submit(spec)
+        job_id = job["id"]
+        position = job.get("queue_position")
+        print(f"submitted {job_id} ({job['label']}) state={job['state']}"
+              + (f" position={position}" if position is not None else ""),
+              flush=True)
+        if args.follow:
+            for event in client.follow(job_id):
+                print(f"  {_event_line(event)}", flush=True)
+            job = client.job(job_id)
+        elif args.wait:
+            job = client.wait(job_id, timeout=args.timeout)
+        else:
+            return
+        if job["state"] != "done":
+            sys.exit(f"job {job_id} {job['state']}: {job.get('error')}")
+        body, hit = client.result(job_id)
+    except ServiceError as exc:
+        sys.exit(str(exc))
+    marker = "cache hit" if hit else "computed"
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            fh.write(body)
+        print(f"result written to {args.json_out} ({marker})")
+    else:
+        print(f"# result ({marker})")
+        print(body)
+
+
+def cmd_jobs(args) -> None:
+    import json
+
+    from .serve.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server)
+    try:
+        if args.job_id and args.cancel:
+            out = client.cancel(args.job_id)
+            print(f"{args.job_id}: cancelled={out['cancelled']} "
+                  f"state={out['state']}")
+        elif args.job_id:
+            print(json.dumps(client.job(args.job_id), indent=2,
+                             sort_keys=True))
+        else:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+                return
+            print(f"{'id':<12} {'state':<10} {'cells':<8} "
+                  f"{'cache':<6} {'client':<12} label")
+            for job in jobs:
+                cells = f"{job['cells_done']}/{job['cells_total']}"
+                cache = "hit" if job["cache_hit"] else "-"
+                print(f"{job['id']:<12} {job['state']:<10} {cells:<8} "
+                      f"{cache:<6} {job['client']:<12} {job['label']}")
+    except ServiceError as exc:
+        sys.exit(str(exc))
+
+
+def _add_cluster_identity_flags(p: argparse.ArgumentParser) -> None:
+    """The cluster flags that define *which* experiment runs.
+
+    Shared by ``vibe cluster`` (direct) and ``vibe submit cluster``
+    (via the service), so one sweep spelled either way carries the same
+    identity — and therefore the same cell cache keys and result bytes.
+    """
+    p.add_argument("--provider", default="all",
+                   help='comma-separated providers, or "all" '
+                        "(default: all four)")
+    p.add_argument("--topology", default="star",
+                   choices=["star", "dumbbell", "fattree"])
+    p.add_argument("--nodes", type=int, default=4,
+                   help="total nodes; the first --servers of them "
+                        "run servers (default 4)")
+    p.add_argument("--servers", type=int, default=1)
+    p.add_argument("--clients", type=int, default=8,
+                   help="client processes, round-robin over the "
+                        "non-server nodes (default 8)")
+    p.add_argument("--rate", metavar="RPS[,RPS...]",
+                   help="offered-load grid in requests/s "
+                        "(default: geometric 2k..64k)")
+    p.add_argument("--requests", type=int, default=16,
+                   help="requests per client per point (default 16)")
+    p.add_argument("--req-size", type=int, default=128)
+    p.add_argument("--resp-size", type=int, default=1024)
+    p.add_argument("--window", type=int, default=4,
+                   help="per-client outstanding-request bound")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "uniform", "burst"])
+    p.add_argument("--service", default="fixed:20", metavar="SPEC",
+                   help="server service-time model: fixed:T, exp:M, "
+                        "bytes:C or none (default fixed:20)")
+    p.add_argument("--mode", default="open",
+                   choices=["open", "closed"])
+    p.add_argument("--think-us", type=float, default=0.0,
+                   help="closed-loop think time between requests")
+    p.add_argument("--retry", default="off", metavar="SPEC",
+                   help='client retry policy: "off", "on", or '
+                        '"budget=3,base=200,cap=5000,jitter=0.5,'
+                        'timeout=50000" (us; default off)')
+    p.add_argument("--server-policy", default="none", metavar="SPEC",
+                   help='server admission control: "none" or '
+                        '"depth=64,shed=tail|deadline,conns=16" '
+                        "(default none)")
+    p.add_argument("--tenants", type=int, default=1,
+                   help="tenant groups (client i belongs to tenant "
+                        "i %% N); each gets its own latency "
+                        "histogram and SLO verdict (default 1)")
+    p.add_argument("--slo-p99-us", type=float, default=10_000.0,
+                   help="per-tenant SLO: p99 latency target in us "
+                        "(<=0 disables; default 10000)")
+    p.add_argument("--slo-goodput", type=float, default=0.9,
+                   help="per-tenant SLO: goodput floor as a fraction "
+                        "of the realized offered rate (default 0.9)")
+    p.add_argument("--deadline-us", type=float, default=None,
+                   help="run deadline per point in simulated us "
+                        "(default 30s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fidelity", default="packet",
+                   choices=["packet", "auto", "flow"],
+                   help="auto/flow fast-forwards uncontended "
+                        "steady-state transfers")
+    p.add_argument("--check", action="store_true",
+                   help="run every point under the online "
+                        "conformance checker")
+    p.add_argument("--quick", action="store_true",
+                   help="3-point rate grid (CI-sized)")
+
+
+def _cluster_spec_params(args) -> dict:
+    """Experiment-spec params for a cluster invocation's identity flags."""
+    params = {
+        "topology": args.topology, "nodes": args.nodes,
+        "servers": args.servers, "clients": args.clients,
+        "requests": args.requests, "req_size": args.req_size,
+        "resp_size": args.resp_size, "window": args.window,
+        "arrival": args.arrival, "service": args.service,
+        "mode": args.mode, "think_us": args.think_us,
+        "fidelity": args.fidelity, "retry": args.retry,
+        "server_policy": args.server_policy, "tenants": args.tenants,
+        "slo_p99_us": args.slo_p99_us, "slo_goodput": args.slo_goodput,
+        "check": bool(args.check),
+    }
+    if args.deadline_us is not None:
+        params["deadline_us"] = args.deadline_us
+    if args.provider != "all":
+        params["providers"] = args.provider.split(",")
+    if args.rate:
+        params["rates"] = [float(r) for r in args.rate.split(",")]
+    elif args.quick:
+        params["quick"] = True
+    return params
+
+
+def _add_submit_common(p: argparse.ArgumentParser) -> None:
+    from .serve.service import DEFAULT_PORT
+
+    p.add_argument("--server",
+                   default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                   help="service base URL (default %(default)s)")
+    p.add_argument("--client", default="",
+                   help="client name for queue fairness "
+                        "(default: your IP as the service sees it)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes, then print or "
+                        "write its result")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's live events (SSE), then "
+                        "fetch the result")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait timeout in seconds (default 600)")
+    p.add_argument("--json-out", metavar="FILE.json",
+                   help="write the result payload to FILE (the bytes "
+                        "match the direct CLI's --json-out exactly)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vibe",
@@ -431,6 +699,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restore each cell's testbed from a shared "
                           "construction checkpoint (byte-identical "
                           "results, less wall-clock)")
+    run.add_argument("--json-out", metavar="FILE.json",
+                     help="also write the results as canonical JSON "
+                          "(the bytes a served `submit run` returns)")
 
     sub.add_parser("list", help="list benchmark names")
 
@@ -500,67 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster",
         help="N-node serving cluster: capacity sweep across offered "
              "loads, per-provider saturation knee")
-    clus.add_argument("--provider", default="all",
-                      help='comma-separated providers, or "all" '
-                           "(default: all four)")
-    clus.add_argument("--topology", default="star",
-                      choices=["star", "dumbbell", "fattree"])
-    clus.add_argument("--nodes", type=int, default=4,
-                      help="total nodes; the first --servers of them "
-                           "run servers (default 4)")
-    clus.add_argument("--servers", type=int, default=1)
-    clus.add_argument("--clients", type=int, default=8,
-                      help="client processes, round-robin over the "
-                           "non-server nodes (default 8)")
-    clus.add_argument("--rate", metavar="RPS[,RPS...]",
-                      help="offered-load grid in requests/s "
-                           "(default: geometric 2k..64k)")
-    clus.add_argument("--requests", type=int, default=16,
-                      help="requests per client per point (default 16)")
-    clus.add_argument("--req-size", type=int, default=128)
-    clus.add_argument("--resp-size", type=int, default=1024)
-    clus.add_argument("--window", type=int, default=4,
-                      help="per-client outstanding-request bound")
-    clus.add_argument("--arrival", default="poisson",
-                      choices=["poisson", "uniform", "burst"])
-    clus.add_argument("--service", default="fixed:20", metavar="SPEC",
-                      help="server service-time model: fixed:T, exp:M, "
-                           "bytes:C or none (default fixed:20)")
-    clus.add_argument("--mode", default="open",
-                      choices=["open", "closed"])
-    clus.add_argument("--think-us", type=float, default=0.0,
-                      help="closed-loop think time between requests")
-    clus.add_argument("--retry", default="off", metavar="SPEC",
-                      help='client retry policy: "off", "on", or '
-                           '"budget=3,base=200,cap=5000,jitter=0.5,'
-                           'timeout=50000" (us; default off)')
-    clus.add_argument("--server-policy", default="none", metavar="SPEC",
-                      help='server admission control: "none" or '
-                           '"depth=64,shed=tail|deadline,conns=16" '
-                           "(default none)")
-    clus.add_argument("--tenants", type=int, default=1,
-                      help="tenant groups (client i belongs to tenant "
-                           "i %% N); each gets its own latency "
-                           "histogram and SLO verdict (default 1)")
-    clus.add_argument("--slo-p99-us", type=float, default=10_000.0,
-                      help="per-tenant SLO: p99 latency target in us "
-                           "(<=0 disables; default 10000)")
-    clus.add_argument("--slo-goodput", type=float, default=0.9,
-                      help="per-tenant SLO: goodput floor as a fraction "
-                           "of the realized offered rate (default 0.9)")
-    clus.add_argument("--deadline-us", type=float, default=None,
-                      help="run deadline per point in simulated us "
-                           "(default 30s)")
-    clus.add_argument("--seed", type=int, default=0)
-    clus.add_argument("--fidelity", default="packet",
-                      choices=["packet", "auto", "flow"],
-                      help="auto/flow fast-forwards uncontended "
-                           "steady-state transfers")
-    clus.add_argument("--check", action="store_true",
-                      help="run every point under the online "
-                           "conformance checker")
-    clus.add_argument("--quick", action="store_true",
-                      help="3-point rate grid (CI-sized)")
+    _add_cluster_identity_flags(clus)
     clus.add_argument("--json-out", metavar="FILE.json",
                       help="also write the report as JSON")
     clus.add_argument("--shards", type=int, default=1,
@@ -602,6 +813,66 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("metric")
     cmp_.add_argument("--platforms", type=lambda s: s.split(","),
                       default=None)
+
+    from .serve.service import DEFAULT_PORT
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the experiment service: job queue, warm worker pool, "
+             "content-addressed result cache, live SSE streams")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=DEFAULT_PORT,
+                     help="listen port (0 = pick a free one; "
+                          "default %(default)s)")
+    srv.add_argument("--workers", type=int, default=0,
+                     help="simulation worker processes "
+                          "(default: all cores)")
+    srv.add_argument("--cache-dir", default=".vibe-cache", metavar="DIR",
+                     help="result + cell cache directory "
+                          "(default %(default)s); interchangeable with "
+                          "`vibe cluster --checkpoint-dir`")
+    srv.add_argument("--queue-capacity", type=int, default=64,
+                     help="max queued jobs before submissions get 429 "
+                          "(default 64)")
+    srv.add_argument("--quick-quiesce", action="store_true",
+                     help="on shutdown, cancel queued jobs instead of "
+                          "draining them (running cells still finish "
+                          "and persist)")
+
+    sm = sub.add_parser(
+        "submit",
+        help="submit an experiment to a running `vibe serve` instance")
+    smsub = sm.add_subparsers(dest="spec_kind", required=True)
+    smr = smsub.add_parser("run", help="one suite benchmark")
+    smr.add_argument("benchmark", choices=sorted(SUITE))
+    smr.add_argument("--provider", default="clan")
+    smr.add_argument("--fidelity", default="packet",
+                     choices=["packet", "auto", "flow"])
+    smr.add_argument("--sizes", help="comma-separated message sizes")
+    smr.add_argument("--seed", type=int, default=0)
+    _add_submit_common(smr)
+    smc = smsub.add_parser("cluster", help="a cluster capacity sweep")
+    _add_cluster_identity_flags(smc)
+    _add_submit_common(smc)
+    smx = smsub.add_parser("chaos", help="a fault-injection campaign")
+    smx.add_argument("--provider", default="all",
+                     help='comma-separated providers, or "all"')
+    smx.add_argument("--scenario", action="append", metavar="NAME",
+                     help="run only these scenarios (repeatable, "
+                          "comma-separable)")
+    smx.add_argument("--quick", action="store_true")
+    smx.add_argument("--seed", type=int, default=0)
+    _add_submit_common(smx)
+
+    jb = sub.add_parser(
+        "jobs", help="list, inspect, or cancel service jobs")
+    jb.add_argument("job_id", nargs="?",
+                    help="job id to inspect (omit to list all)")
+    jb.add_argument("--cancel", action="store_true",
+                    help="cancel the given job")
+    jb.add_argument("--server",
+                    default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                    help="service base URL (default %(default)s)")
     return parser
 
 
@@ -621,6 +892,9 @@ def main(argv: list[str] | None = None) -> None:
         "save": cmd_save,
         "report": cmd_report,
         "compare": cmd_compare,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
     }[args.command](args)
 
 

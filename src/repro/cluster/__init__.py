@@ -23,10 +23,16 @@ from .runner import (
     RATE_GRID,
     ClusterConfig,
     ClusterReport,
+    assemble_report,
+    cell_key,
     find_knee,
+    load_cell,
+    resolve_rates,
     run_cluster,
     run_cluster_once,
     slo_knee,
+    store_cell,
+    sweep_cells,
 )
 from .server import ClusterServer, make_service
 from .topology import Topology, build_testbed, make_topology
@@ -44,11 +50,17 @@ __all__ = [
     "StartGate",
     "Topology",
     "arrival_offsets",
+    "assemble_report",
     "build_testbed",
+    "cell_key",
     "find_knee",
+    "load_cell",
     "make_service",
     "make_topology",
+    "resolve_rates",
     "run_cluster",
     "run_cluster_once",
     "slo_knee",
+    "store_cell",
+    "sweep_cells",
 ]

@@ -29,7 +29,8 @@ from .workload import LATENCY_BUCKETS, ClusterClient, StartGate
 
 __all__ = ["ClusterConfig", "ClusterReport", "RATE_GRID",
            "QUICK_RATE_GRID", "find_knee", "slo_knee", "run_cluster",
-           "run_cluster_once"]
+           "run_cluster_once", "cell_key", "load_cell", "store_cell",
+           "resolve_rates", "sweep_cells", "assemble_report"]
 
 #: default total offered loads (requests/s) for a capacity sweep —
 #: geometric, wide enough to cross every provider's knee
@@ -462,13 +463,18 @@ class ClusterReport:
         )
 
 
-def _cell_key(provider: str, cfg: ClusterConfig, rate: float | None,
-              check: bool) -> str:
-    """Content-address one sweep cell for campaign checkpointing.
+def cell_key(provider: str, cfg: ClusterConfig, rate: float | None,
+             check: bool) -> str:
+    """Content-address one sweep cell: the *single* cell identity.
 
-    A pure function of (code version, provider, config, rate, check):
-    identical across processes and resumed campaigns, changed by any
-    input that could change the point's bytes.
+    A pure function of (code version, provider, config, rate, check) —
+    identical across processes, resumed campaigns, and the experiment
+    service (:mod:`repro.serve`), changed by any input that could
+    change the point's bytes.  Campaign checkpoints
+    (``--checkpoint-dir``) and the service's content-addressed result
+    cache both persist cells as ``cell-<key>.json`` through
+    :func:`load_cell`/:func:`store_cell`, so a cell computed by either
+    consumer is a cache hit for the other.
     """
     from ..snap import snapshot_key
 
@@ -476,7 +482,8 @@ def _cell_key(provider: str, cfg: ClusterConfig, rate: float | None,
     return snapshot_key(canon, cfg.seed)
 
 
-def _load_cell(checkpoint_dir: str, key: str) -> dict | None:
+def load_cell(checkpoint_dir: str, key: str) -> dict | None:
+    """Read one checkpointed cell point, or None if absent/torn."""
     import os
 
     path = os.path.join(checkpoint_dir, f"cell-{key}.json")
@@ -487,7 +494,8 @@ def _load_cell(checkpoint_dir: str, key: str) -> dict | None:
         return None
 
 
-def _store_cell(checkpoint_dir: str, key: str, point: dict) -> None:
+def store_cell(checkpoint_dir: str, key: str, point: dict) -> None:
+    """Atomically persist one finished cell point under its key."""
     import os
 
     os.makedirs(checkpoint_dir, exist_ok=True)
@@ -524,17 +532,15 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
         raise ValueError("warm_start is not supported with shards > 1 "
                          "(a restored construction checkpoint would "
                          "clobber the per-shard replicas)")
-    if cfg.mode == "closed":
-        rates = (None,)
-    elif rates is None:
-        rates = RATE_GRID
+    rates = resolve_rates(cfg, rates)
     cells = [(p, cfg, r, check, shards, shard_workers)
-             for p in providers for r in rates]
+             for p, cfg, r, check in sweep_cells(providers, cfg, rates,
+                                                 check)]
     done: dict[int, tuple] = {}
     todo = []
     if checkpoint_dir is not None:
         for i, cell in enumerate(cells):
-            point = _load_cell(checkpoint_dir, _cell_key(*cell[:4]))
+            point = load_cell(checkpoint_dir, cell_key(*cell[:4]))
             if point is not None:
                 done[i] = (point, None)
             else:
@@ -558,11 +564,10 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
         for (i, cell), result in zip(todo, fresh):
             done[i] = result
             if checkpoint_dir is not None:
-                _store_cell(checkpoint_dir, _cell_key(*cell[:4]), result[0])
+                store_cell(checkpoint_dir, cell_key(*cell[:4]), result[0])
 
     points = [done[i][0] for i in range(len(cells))]
-    report = ClusterReport(config=asdict(cfg), providers=tuple(providers),
-                           rates=tuple(r for r in rates if r is not None))
+    report = assemble_report(providers, cfg, rates, points)
     if shards > 1:
         report.shard_stats = {}
         for i, cell in enumerate(cells):
@@ -571,6 +576,40 @@ def run_cluster(providers: tuple, cfg: ClusterConfig,
                 continue  # cell restored from a (shard-agnostic) checkpoint
             rate_label = "closed" if cell[2] is None else f"{cell[2]:g}"
             report.shard_stats[f"{cell[0]}@{rate_label}"] = stats
+    return report
+
+
+def resolve_rates(cfg: ClusterConfig, rates: tuple | None) -> tuple:
+    """Normalise a sweep's rate grid exactly as :func:`run_cluster` does:
+    closed-loop runs collapse to one rate-less cell, open-loop sweeps
+    default to :data:`RATE_GRID`."""
+    if cfg.mode == "closed":
+        return (None,)
+    if rates is None:
+        return RATE_GRID
+    return tuple(rates)
+
+
+def sweep_cells(providers: tuple, cfg: ClusterConfig, rates: tuple,
+                check: bool = False) -> list[tuple]:
+    """The sweep's ``(provider, cfg, rate, check)`` cells in canonical
+    order — the order :func:`assemble_report` expects points back in."""
+    return [(p, cfg, r, check) for p in providers for r in rates]
+
+
+def assemble_report(providers: tuple, cfg: ClusterConfig, rates: tuple,
+                    points: list[dict]) -> ClusterReport:
+    """Fold finished points (in :func:`sweep_cells` order) into a
+    :class:`ClusterReport`.
+
+    Shared by :func:`run_cluster` and the experiment service
+    (:mod:`repro.serve`): because assembly is a pure function of the
+    points, a served sweep's ``to_json`` is byte-identical to the
+    direct CLI's for the same cells, however they were scheduled or
+    cached.
+    """
+    report = ClusterReport(config=asdict(cfg), providers=tuple(providers),
+                           rates=tuple(r for r in rates if r is not None))
     for i, prov in enumerate(providers):
         curve_pts = points[i * len(rates):(i + 1) * len(rates)]
         curve = {"points": curve_pts}

@@ -1,0 +1,48 @@
+"""Experiment control plane: the simulator as a long-running service.
+
+Everything else in the suite is one-shot CLI — every sweep rebuilds
+testbeds and recomputes identical cells.  This package runs the
+simulator behind a dependency-free HTTP/JSON service (stdlib
+``http.server`` only):
+
+* :mod:`~repro.serve.spec` — :class:`ExperimentSpec`, the validated,
+  canonicalised description of one experiment (``run`` / ``cluster`` /
+  ``chaos``), content-addressed by the same
+  :func:`repro.snap.snapshot_key` hash campaign checkpoints use;
+* :mod:`~repro.serve.cache` — :class:`ResultCache`, atomic JSON files
+  keyed by ``(spec, seed, code version)``, so an identical cell
+  submitted by any client is served from cache byte-identically;
+* :mod:`~repro.serve.jobs` — a bounded FIFO job queue with per-client
+  round-robin fairness and an append-only per-job event log;
+* :mod:`~repro.serve.execute` — spec -> result-JSON execution, shared
+  verbatim with the direct CLI so served bytes ``cmp``-match it;
+* :mod:`~repro.serve.service` — :class:`ExperimentService`, the HTTP
+  server: job submission, status, results, an SSE event stream per
+  job, and a ``/metrics`` endpoint exporting the service's own
+  counters through the :mod:`repro.obs` registry;
+* :mod:`~repro.serve.client` — :class:`ServiceClient`, the stdlib
+  client behind ``vibe submit`` / ``vibe jobs``.
+
+Correctness bar (proven by ``tests/test_serve.py`` and the CI ``serve``
+job): a served cell's result JSON is byte-identical to the same cell
+run via the direct CLI, and resubmitting it is answered from the
+content-addressed cache with ``cache_hit: true`` and the same bytes.
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache
+from .client import ServiceClient, ServiceError
+from .execute import execute_spec
+from .jobs import Job, JobQueue, QueueFullError
+from .service import ExperimentService
+from .spec import ExperimentSpec, SpecError
+
+__all__ = [
+    "ExperimentSpec", "SpecError",
+    "ResultCache",
+    "Job", "JobQueue", "QueueFullError",
+    "execute_spec",
+    "ExperimentService",
+    "ServiceClient", "ServiceError",
+]

@@ -1,0 +1,90 @@
+"""Content-addressed result cache: atomic JSON files keyed by spec hash.
+
+One entry per distinct :meth:`~repro.serve.spec.ExperimentSpec.result_key`
+— a pure function of (canonical spec, seed, code version) — holding the
+exact result-JSON string the direct CLI would have produced.  Entries
+are written with the same ``os.replace`` discipline as campaign
+checkpoints, so a killed service never leaves a torn entry, and read
+back with two defences mirroring the snapshot layer:
+
+- the stored ``code_version`` must match the running build (the key
+  already folds :data:`~repro.snap.CODE_VERSION` in, so skew normally
+  just *misses*; the field check additionally catches a hand-edited or
+  foreign file that collides on the key), and
+- the stored SHA-256 of the result payload must verify, so silent
+  on-disk corruption is a miss, not a wrong answer.
+
+Any failed check is treated as a miss and healed by the next ``put``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+from ..snap.format import CODE_VERSION
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Filesystem-backed cache of whole-experiment result payloads."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"result-{key}.json")
+
+    def get(self, key: str) -> str | None:
+        """The cached result JSON for ``key``, or None on any doubt."""
+        try:
+            with open(self.path(key), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            with self._lock:
+                self.misses += 1
+            return None
+        result = entry.get("result")
+        ok = (
+            isinstance(result, str)
+            and entry.get("code_version") == CODE_VERSION
+            and entry.get("result_sha256")
+            == hashlib.sha256(result.encode()).hexdigest()
+        )
+        with self._lock:
+            if ok:
+                self.hits += 1
+            else:
+                self.misses += 1
+        return result if ok else None
+
+    def put(self, key: str, spec_dict: dict, result_json: str) -> None:
+        """Atomically persist one finished experiment's result."""
+        entry = {
+            "key": key,
+            "code_version": CODE_VERSION,
+            "spec": spec_dict,
+            "result": result_json,
+            "result_sha256":
+                hashlib.sha256(result_json.encode()).hexdigest(),
+        }
+        path = self.path(key)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)  # atomic: concurrent writers race benignly
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.root)
+                       if name.startswith("result-")
+                       and name.endswith(".json"))
+        except OSError:
+            return 0

@@ -20,7 +20,7 @@ from .harness import (
     run_latency,
     split_segments,
 )
-from .metrics import BenchResult, Measurement, merge_tables
+from .metrics import BenchResult, Measurement, merge_tables, results_to_json
 from .mtu import DEFAULT_MTUS, mtu_bandwidth, mtu_latency
 from .multiclient import DEFAULT_CLIENT_COUNTS, multiclient_throughput
 from .multivi import DEFAULT_VI_COUNTS, multivi_bandwidth, multivi_latency
@@ -106,6 +106,7 @@ __all__ = [
     "ResultRepository",
     "result_from_dict",
     "result_to_dict",
+    "results_to_json",
     "reuse_bandwidth",
     "reuse_latency",
     "reuse_schedule",

@@ -74,6 +74,10 @@ def parallel_map(fn: Callable, tasks: Iterable[Sequence], jobs: int = 1,
     at every ``--jobs`` value.
     """
     tasks = [tuple(t) for t in tasks]
+    if not tasks:
+        # nothing to do — and ProcessPoolExecutor(max_workers=0) would
+        # raise ValueError if an empty list ever reached the pool path
+        return []
     jobs = effective_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         if initializer is not None:

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-__all__ = ["Measurement", "BenchResult", "merge_tables"]
+__all__ = ["Measurement", "BenchResult", "merge_tables",
+           "results_to_json"]
 
 _MISSING = object()
 
@@ -105,6 +107,25 @@ def _fmt(value: Any) -> str:
             return f"{value:.2f}"
         return f"{value:.4f}"
     return str(value)
+
+
+def results_to_json(result: "BenchResult | list[BenchResult]") -> str:
+    """Canonical JSON for one benchmark invocation's result(s).
+
+    Deterministic byte-for-byte (sorted keys, fixed indent, no
+    timestamps), so the string doubles as a content-addressable cache
+    payload: ``vibe run --json-out`` and the experiment service
+    (:mod:`repro.serve`) both emit exactly this, which is what lets a
+    served cell be ``cmp``-equal to a direct CLI run.
+    """
+    from .repository import result_to_dict  # deferred: imports BenchResult
+
+    results = result if isinstance(result, list) else [result]
+    return json.dumps(
+        {"results": [result_to_dict(r) for r in results]},
+        indent=2,
+        sort_keys=True,
+    )
 
 
 def merge_tables(results: Iterable[BenchResult], metric: str,

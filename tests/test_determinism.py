@@ -195,3 +195,12 @@ def test_run_benchmark_meta_is_jobs_invariant():
     assert serial.meta["provider"] == "clan"
     assert serial.meta["params"]["benchmark"] == "base_latency"
     assert repr(serial) == repr(fanned)
+
+
+def test_parallel_map_empty_task_list_returns_empty():
+    """Regression: an empty task list must short-circuit to [] at every
+    --jobs value instead of ever reaching the pool machinery."""
+    from repro.vibe.executor import parallel_map
+
+    for jobs in (1, 2, -1):
+        assert parallel_map(len, [], jobs=jobs) == []
